@@ -1,0 +1,40 @@
+"""Ablation benchmark — DRAM refresh cadence vs multiplier utilisation.
+
+The 99.04 % utilisation figure depends on how often the external DRAM steals
+a 6-cycle extension from the macro-cycle.  This bench sweeps the refresh
+interval to show the sensitivity (and that the paper's operating point sits
+on the flat part of the curve), plus the filter-length sensitivity of the
+macro-cycle structure.
+"""
+
+from repro.arch.scheduler import utilisation_formula
+
+
+def test_ablation_refresh_interval_sweep(benchmark):
+    """Utilisation as a function of macro-cycles between refreshes."""
+
+    def sweep():
+        return {
+            interval: utilisation_formula(13, interval, 6)
+            for interval in (1, 2, 4, 8, 16, 32, 48, 96, 192)
+        }
+
+    curve = benchmark(sweep)
+    # Monotone: fewer refreshes -> higher utilisation.
+    intervals = sorted(curve)
+    values = [curve[i] for i in intervals]
+    assert values == sorted(values)
+    # The paper's operating point (48) is already above 99%.
+    assert curve[48] > 0.99
+    # Refreshing every macro-cycle would waste ~1/3 of the multiplier.
+    assert curve[1] < 0.70
+
+
+def test_ablation_filter_length_sweep(benchmark):
+    """Utilisation vs filter length: longer macro-cycles hide the refresh better."""
+
+    def sweep():
+        return {length: utilisation_formula(length, 48, 6) for length in (2, 5, 9, 13)}
+
+    curve = benchmark(sweep)
+    assert curve[13] > curve[9] > curve[5] > curve[2]

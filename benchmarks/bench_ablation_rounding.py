@@ -1,0 +1,71 @@
+"""Ablation benchmark — the §4.3 rounding rule and the word-length choice.
+
+DESIGN.md calls out two design decisions worth ablating:
+
+* the round-half-up rule applied when narrowing the 64-bit accumulator back
+  to the 32-bit word (replacing it with plain truncation loses bit-exactness),
+* the 32-bit word length with a scale-dependent integer part (shorter words
+  eventually cannot hold the integer part Table II requires).
+"""
+
+import numpy as np
+
+from repro.filters.catalog import get_bank
+from repro.fixedpoint.errors import DynamicRangeError
+from repro.fixedpoint.wordlength import plan_word_lengths
+from repro.fxdwt.lossless import lossless_word_length_search
+from repro.fxdwt.transform import FixedPointDWT
+from repro.imaging.phantoms import shepp_logan
+
+
+def test_ablation_rounding_rule(benchmark):
+    """Half-up vs truncation on the same workload: only half-up is lossless."""
+    bank = get_bank("F2")
+    image = shepp_logan(128)
+
+    def roundtrip_both():
+        exact = FixedPointDWT(bank, 4, rounding="half_up").roundtrip(image)[0]
+        truncated = FixedPointDWT(bank, 4, rounding="truncate").roundtrip(image)[0]
+        return exact, truncated
+
+    exact, truncated = benchmark(roundtrip_both)
+    assert np.array_equal(exact, image)
+    assert not np.array_equal(truncated, image)
+    assert np.abs(truncated - image).max() <= 2  # off by an LSB or two, not garbage
+
+
+def test_ablation_word_length_sweep(benchmark):
+    """Sweep the datapath word length; 32 bits is lossless, short words fail."""
+    image = shepp_logan(64)
+
+    sweep = benchmark(
+        lossless_word_length_search, image, "F2", 4, range(18, 34, 2)
+    )
+    assert sweep[32].lossless
+    assert any(not report.lossless for report in sweep.values())
+    # Losslessness is monotone in the word length.
+    statuses = [sweep[w].lossless for w in sorted(sweep)]
+    first_lossless = statuses.index(True)
+    assert all(statuses[first_lossless:])
+
+
+def test_ablation_integer_part_must_grow_with_scale(benchmark):
+    """Keeping the scale-1 integer part for every scale overflows deep scales.
+
+    This is the §3 argument for the variable integer part: the per-scale
+    dynamic-range growth is real, so a fixed split either overflows (too few
+    integer bits at deep scales) or wastes fractional precision.
+    """
+    bank = get_bank("F6")  # the bank with the fastest dynamic-range growth
+
+    def try_fixed_integer_part():
+        try:
+            # A 22-bit word can hold F6's scale-1/2 integer parts but not the
+            # 24..29 bits scales 4..6 need; plan construction must refuse.
+            plan_word_lengths(bank, 6, word_length=22)
+            return False
+        except DynamicRangeError:
+            return True
+
+    refused = benchmark(try_fixed_integer_part)
+    assert refused

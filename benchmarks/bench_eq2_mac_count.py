@@ -1,0 +1,37 @@
+"""Benchmark eq2 — MAC operation counts (Eq. (1)/(2)) and the Pentium baseline."""
+
+import numpy as np
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import eq2
+from repro.dwt.opcount import count_macs_instrumented
+from repro.filters.catalog import get_bank
+from repro.perf.opcount_model import PAPER_MAC_COUNT, WorkloadModel
+from repro.perf.software_baseline import PentiumBaseline
+
+
+def test_eq2_mac_counts(benchmark, save_report):
+    """Regenerate the 8.99e6-MAC worked example and the 42 s baseline time."""
+
+    def counts():
+        workload = WorkloadModel()  # N=512, L=13/13, S=6
+        baseline = PentiumBaseline()
+        return workload.total_macs(), baseline.seconds_for_workload(workload)
+
+    total_macs, seconds = benchmark(counts)
+    assert abs(total_macs - PAPER_MAC_COUNT) / PAPER_MAC_COUNT < 0.02
+    assert abs(seconds - 42.0) < 1.0
+
+    result = eq2.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_eq2_instrumented_count_matches_closed_form(benchmark):
+    """Walk the actual transform loop structure and count every MAC (128x128)."""
+    bank = get_bank("F2")
+    image = np.zeros((128, 128))
+
+    per_scale = benchmark(count_macs_instrumented, image, bank, 4)
+    workload = WorkloadModel.for_bank(bank, image_size=128, scales=4)
+    assert sum(per_scale.values()) == workload.total_macs()

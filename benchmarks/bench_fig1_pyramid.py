@@ -1,0 +1,36 @@
+"""Benchmark fig1 — the 2-D pyramid building block (one stage and full pyramid)."""
+
+import numpy as np
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import fig1
+from repro.dwt.transform2d import analyze_2d_stage, fdwt_2d, idwt_2d
+from repro.filters.catalog import get_bank
+from repro.imaging.phantoms import shepp_logan
+
+
+def test_fig1_single_stage(benchmark, save_report):
+    """Time one 2-D analysis stage (Fig. 1's building block) on a 256x256 phantom."""
+    bank = get_bank("F2")
+    image = shepp_logan(256).astype(float)
+
+    hh, details = benchmark(analyze_2d_stage, image, bank)
+    assert hh.shape == (128, 128)
+    assert details.shape == (128, 128)
+
+    result = fig1.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_fig1_full_pyramid_roundtrip(benchmark):
+    """Time a 6-scale forward + inverse float transform of a 256x256 phantom."""
+    bank = get_bank("F2")
+    image = shepp_logan(256).astype(float)
+
+    def roundtrip():
+        pyramid = fdwt_2d(image, bank, 6)
+        return idwt_2d(pyramid, bank)
+
+    reconstructed = benchmark(roundtrip)
+    assert np.max(np.abs(reconstructed - image)) < 0.5

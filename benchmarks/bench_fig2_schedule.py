@@ -1,0 +1,32 @@
+"""Benchmark fig2 — macro-cycle schedule generation and utilisation accounting."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import fig2
+from repro.arch.accelerator import forward_macrocycles
+from repro.arch.config import paper_configuration
+from repro.arch.scheduler import operation_schedule, simulate_utilisation
+
+
+def test_fig2_schedule_and_utilisation(benchmark, save_report):
+    """Account the cycles of a full 512x512, 6-scale forward transform."""
+    config = paper_configuration()
+    macrocycles = forward_macrocycles(config.image_size, config.scales)
+
+    report = benchmark(simulate_utilisation, macrocycles, config)
+    assert 0.990 < report.utilisation < 0.991
+
+    result = fig2.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_fig2_slot_table_generation(benchmark):
+    """Generate the per-cycle slot tables (normal + refresh-extended macro-cycle)."""
+
+    def build_tables():
+        return operation_schedule(13), operation_schedule(13, refresh=True)
+
+    normal, extended = benchmark(build_tables)
+    assert len(normal) == 13
+    assert len(extended) == 19

@@ -1,0 +1,46 @@
+"""Benchmark fig3 — the cycle-accurate datapath/accelerator simulation."""
+
+import numpy as np
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import fig3
+from repro.arch.accelerator import DwtAccelerator
+from repro.arch.config import ArchitectureConfig
+from repro.imaging.phantoms import random_image
+
+
+def test_fig3_cycle_accurate_forward(benchmark, save_report):
+    """Simulate the full accelerator forward transform of a 32x32 image.
+
+    This is the simulator-speed figure (how fast the Python model runs), not
+    a silicon figure; the asserted properties are the hardware ones — cycle
+    counts, utilisation and bit-exactness — via the fig3 experiment.
+    """
+    config = ArchitectureConfig(image_size=32, scales=3)
+    image = random_image(32, seed=11)
+
+    def simulate():
+        accelerator = DwtAccelerator(config)
+        return accelerator.forward(image)
+
+    pyramid, report = benchmark(simulate)
+    assert report.macrocycles == 2 * (32 * 32 + 16 * 16 + 8 * 8)
+    assert pyramid.scales == 3
+
+    result = fig3.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_fig3_cycle_accurate_roundtrip_lossless(benchmark):
+    """Simulate forward + inverse on the hardware model and check bit-exactness."""
+    config = ArchitectureConfig(image_size=16, scales=2)
+    image = random_image(16, seed=3)
+
+    def roundtrip():
+        accelerator = DwtAccelerator(config)
+        reconstructed, _, _, _ = accelerator.roundtrip(image)
+        return reconstructed
+
+    reconstructed = benchmark(roundtrip)
+    assert np.array_equal(reconstructed, image)

@@ -1,0 +1,53 @@
+"""Benchmark headline — §5 figures: 3.5 images/s, 154x speedup, 11.2 mm², 99.04 %."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import headline
+from repro.arch.config import paper_configuration
+from repro.arch.report import proposed_area_breakdown
+from repro.perf.software_baseline import measure_reference_dwt
+from repro.perf.speedup import speedup_report
+from repro.perf.throughput import ThroughputModel, clock_sweep, image_size_sweep
+
+
+def test_headline_figures(benchmark, save_report):
+    """Compute every §5 headline figure from the analytic models."""
+
+    def compute():
+        throughput = ThroughputModel.paper()
+        return (
+            throughput.images_per_second,
+            speedup_report().speedup,
+            proposed_area_breakdown(paper_configuration()).total_mm2,
+            throughput.utilisation,
+        )
+
+    images_per_second, speedup, area, utilisation = benchmark(compute)
+    assert abs(images_per_second - 3.5) / 3.5 < 0.1
+    assert abs(speedup - 154.0) / 154.0 < 0.05
+    assert abs(area - 11.2) / 11.2 < 0.10
+    assert abs(100 * utilisation - 99.04) < 0.05
+
+    result = headline.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_headline_design_space_sweeps(benchmark):
+    """Clock and image-size sweeps around the paper's operating point."""
+
+    def sweeps():
+        return (
+            clock_sweep([20.0, 25.0, 33.0, 40.0]),
+            image_size_sweep([128, 256, 512, 1024]),
+        )
+
+    clocks, sizes = benchmark(sweeps)
+    assert clocks[40.0].images_per_second > clocks[20.0].images_per_second
+    assert sizes[1024].transform_seconds > sizes[512].transform_seconds
+
+
+def test_headline_reference_software_on_this_machine(benchmark):
+    """Wall-clock of our NumPy FDWT (context only, never mixed with paper numbers)."""
+    run = benchmark(measure_reference_dwt, 256, 6, None, 1, 0)
+    assert run.seconds > 0

@@ -1,0 +1,43 @@
+"""Benchmark lossless — §3's bit-exact round trip with the 32-bit datapath."""
+
+import numpy as np
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import lossless
+from repro.filters.catalog import get_bank
+from repro.fxdwt.transform import FixedPointDWT
+from repro.imaging.phantoms import random_image, shepp_logan
+
+
+def test_lossless_roundtrip_ct_phantom(benchmark, save_report):
+    """Fixed-point forward + inverse of a 256x256 CT phantom (6 scales, F2)."""
+    engine = FixedPointDWT(get_bank("F2"), 6)
+    image = shepp_logan(256)
+
+    reconstructed, _ = benchmark(engine.roundtrip, image)
+    assert np.array_equal(reconstructed, image)
+
+    result = lossless.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_lossless_roundtrip_random_image(benchmark):
+    """The paper's own validation input: a random 12-bit image."""
+    engine = FixedPointDWT(get_bank("F2"), 6)
+    image = random_image(256, seed=0)
+
+    reconstructed, _ = benchmark(engine.roundtrip, image)
+    assert np.array_equal(reconstructed, image)
+
+
+def test_lossless_roundtrip_all_banks(benchmark):
+    """All six Table I banks on one 64x64 phantom (4 scales each)."""
+    image = shepp_logan(64)
+    engines = [FixedPointDWT(get_bank(name), 4) for name in ("F1", "F2", "F3", "F4", "F5", "F6")]
+
+    def roundtrip_all():
+        return [engine.roundtrip(image)[0] for engine in engines]
+
+    reconstructions = benchmark(roundtrip_all)
+    assert all(np.array_equal(rec, image) for rec in reconstructions)

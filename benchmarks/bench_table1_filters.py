@@ -1,0 +1,21 @@
+"""Benchmark table1 — regenerate Table I (filter banks) and time bank construction."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import table1
+from repro.filters.qmf import build_bank
+from repro.filters.coefficients import TABLE_I
+
+
+def test_table1_filter_banks(benchmark, save_report):
+    """Rebuild all six Table I banks (expansion + high-pass derivation)."""
+
+    def build_all():
+        return [build_bank(spec) for spec in TABLE_I.values()]
+
+    banks = benchmark(build_all)
+    assert len(banks) == 6
+
+    result = table1.run()
+    save_report(result)
+    assert_reproduced(result)

@@ -1,0 +1,24 @@
+"""Benchmark table2 — regenerate Table II (b_int per scale) from the filters."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import table2
+from repro.filters.catalog import get_bank
+from repro.filters.coefficients import FILTER_NAMES
+from repro.fixedpoint.wordlength import integer_bits_schedule
+
+
+def test_table2_integer_bits_schedule(benchmark, save_report):
+    """Derive the full Table II (6 banks x 6 scales) from the dynamic-range analysis."""
+
+    def derive_table():
+        return {
+            name: integer_bits_schedule(get_bank(name), 6) for name in FILTER_NAMES
+        }
+
+    table = benchmark(derive_table)
+    assert len(table) == 6
+
+    result = table2.run()
+    save_report(result)
+    assert_reproduced(result)

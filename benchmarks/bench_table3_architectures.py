@@ -1,0 +1,38 @@
+"""Benchmark table3 — regenerate Table III (prior-architecture comparison)."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import table3
+from repro.baselines.comparison import area_ratios, table_iii_comparison
+
+
+def test_table3_architecture_comparison(benchmark, save_report):
+    """Build the five-row comparison at the paper's operating point."""
+    rows = benchmark(table_iii_comparison)
+    assert len(rows) == 5
+
+    ratios = area_ratios(rows)
+    assert all(ratio > 10.0 for ratio in ratios.values())
+
+    result = table3.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_table3_word_length_ablation(benchmark, save_report):
+    """Ablation: at 8-bit precision the prior architectures become affordable.
+
+    This regenerates the argument of section 3: the prior architectures were
+    designed for 8-bit imagery; it is the 32-bit lossless word length that
+    blows up their memory area, which is what motivates the proposed design.
+    """
+
+    def both_precisions():
+        return (
+            table_iii_comparison(word_length=8, include_proposed=False),
+            table_iii_comparison(word_length=32, include_proposed=False),
+        )
+
+    eight_bit, thirty_two_bit = benchmark(both_precisions)
+    for narrow, wide in zip(eight_bit, thirty_two_bit):
+        assert narrow.memory_area_mm2 < wide.memory_area_mm2 / 3.0

@@ -1,0 +1,29 @@
+"""Benchmark table4 / fig4 — input-buffer sizing, bank folding, Table IV rounds."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import fig4, table4
+from repro.arch.input_buffer import bank2_rounds_table, simulate_line_occupancy
+
+
+def test_table4_bank2_rounds(benchmark, save_report):
+    """Regenerate Table IV (Bank2 refill rounds per scale, 512x512 image)."""
+    table = benchmark(bank2_rounds_table, 512, 6, 6)
+    assert {scale: entry["rounds"] for scale, entry in table.items()} == {
+        1: 31, 2: 15, 3: 7, 4: 3, 5: 1, 6: 0,
+    }
+
+    result = table4.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_fig4_line_occupancy_replay(benchmark, save_report):
+    """Replay the scale-1 line schedule (512 samples) and check the 4l+1 bound."""
+    report = benchmark(simulate_line_occupancy, 512, 6)
+    assert report.fits_minimum_buffer
+    assert report.max_live_words <= 25
+
+    result = fig4.run()
+    save_report(result)
+    assert_reproduced(result)

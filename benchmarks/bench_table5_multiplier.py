@@ -1,0 +1,46 @@
+"""Benchmark table5 — multiplier design comparison (compiled vs pipelined Wallace)."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import table5
+from repro.arch.multiplier import PipelinedMultiplier, wallace_multiplier_estimate
+from repro.technology.timing import multiplier_comparison
+
+
+def test_table5_multiplier_comparison(benchmark, save_report):
+    """Regenerate both Table V rows from the structural models."""
+    rows = benchmark(multiplier_comparison)
+    assert len(rows) == 2
+    assert rows[0].access_time_ns > 25.0 > rows[1].access_time_ns
+
+    result = table5.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_table5_behavioural_multiplier_throughput(benchmark):
+    """Throughput of the behavioural 2-stage pipelined multiplier model.
+
+    One product per clock once the pipeline is full — this times the Python
+    model itself (a simulator-speed figure, not a silicon figure).
+    """
+    mult = PipelinedMultiplier(operand_bits=32, stages=2)
+    operands = [(a, a + 1) for a in range(256)]
+
+    def stream_products():
+        mult.reset()
+        completed = 0
+        for a, b in operands:
+            mult.issue(a, b)
+            if mult.tick() is not None:
+                completed += 1
+        for _ in range(mult.stages):
+            mult.issue_bubble()
+            if mult.tick() is not None:
+                completed += 1
+        return completed
+
+    completed = benchmark(stream_products)
+    assert completed == len(operands)
+    estimate = wallace_multiplier_estimate(32, 2)
+    assert estimate.max_clock_mhz > 40.0

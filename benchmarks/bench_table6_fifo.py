@@ -1,0 +1,37 @@
+"""Benchmark table6 — FIFO depth bounds from the dependence-distance analysis."""
+
+from bench_util import assert_reproduced
+
+from repro.analysis.experiments import table6
+from repro.arch.output_fifo import VariableDepthFifo, fifo_bounds_table
+
+
+def test_table6_fifo_depth_bounds(benchmark, save_report):
+    """Regenerate Table VI (MIN(D)/MAX(D) per scale, N=512, L=13)."""
+    table = benchmark(fifo_bounds_table, 512, 6, 6)
+    ours = {scale: (b.min_depth, b.max_depth) for scale, b in table.items()}
+    assert ours == {
+        1: (250, 504), 2: (122, 248), 3: (58, 120),
+        4: (26, 56), 5: (10, 24), 6: (2, 8),
+    }
+
+    result = table6.run()
+    save_report(result)
+    assert_reproduced(result)
+
+
+def test_table6_fifo_streaming_throughput(benchmark):
+    """Push one full scale-1 column (512 high-pass results) through the FIFO."""
+    fifo = VariableDepthFifo(depth=250, capacity=256)
+
+    def stream_column():
+        out = []
+        for value in range(512):
+            delayed = fifo.push(value)
+            if delayed is not None:
+                out.append(delayed)
+        out.extend(fifo.drain())
+        return out
+
+    out = benchmark(stream_column)
+    assert out == list(range(512))

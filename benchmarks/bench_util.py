@@ -1,0 +1,18 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+benchmark files can import them explicitly)."""
+
+from __future__ import annotations
+
+from repro.analysis.record import ExperimentResult
+
+__all__ = ["assert_reproduced"]
+
+
+def assert_reproduced(result: ExperimentResult) -> None:
+    """Fail the benchmark if any paper comparison falls outside tolerance."""
+    failing = [
+        f"{c.quantity}: paper={c.paper_value} measured={c.measured_value}"
+        for c in result.comparisons
+        if not c.within_tolerance
+    ]
+    assert not failing, "paper values not reproduced: " + "; ".join(failing)

@@ -1,0 +1,37 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark regenerates one paper table/figure: it times the underlying
+computation with pytest-benchmark, asserts the paper-vs-measured comparisons
+of the corresponding experiment driver, and writes the rendered table to
+``benchmarks/reports/<experiment id>.txt`` so the regenerated rows can be
+inspected next to the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.record import ExperimentResult
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    """Write an ExperimentResult's rendered table to the reports directory."""
+
+    def _save(result: ExperimentResult) -> Path:
+        path = report_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        return path
+
+    return _save
+

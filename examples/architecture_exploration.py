@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Architecture exploration: area, throughput and word-length trade-offs.
+
+Reproduces the paper's design-space arguments and lets you move around the
+operating point:
+
+* Table III — why prior architectures are unaffordable at lossless
+  (32-bit) precision and how the proposed single-MAC datapath compares,
+* the Fig. 3 area composition of the proposed datapath (the 11.2 mm² figure),
+* throughput/speedup across clock frequencies and image sizes,
+* the word-length ablation behind the 32-bit choice.
+
+Run with:  python examples/architecture_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.arch import PciBoardModel, paper_configuration, proposed_area_breakdown
+from repro.baselines import area_ratios, table_iii_comparison
+from repro.fxdwt import lossless_word_length_search
+from repro.imaging import shepp_logan
+from repro.perf import PentiumBaseline, WorkloadModel, clock_sweep, image_size_sweep, speedup_report
+
+
+def show_table_iii() -> None:
+    rows = table_iii_comparison()
+    print(
+        format_table(
+            ("architecture", "multipliers", "memory words", "area mm2", "paper mm2"),
+            [
+                (r.name, r.multipliers, r.memory_words, round(r.total_area_mm2, 2), r.paper_area_mm2)
+                for r in rows
+            ],
+            title="Table III at lossless precision (L=13, S=6, N=512, 32-bit words)",
+        )
+    )
+    ratios = area_ratios(rows)
+    print("\nArea relative to the proposed datapath:")
+    for name, ratio in ratios.items():
+        print(f"  {name:<22s} {ratio:5.1f}x")
+
+
+def show_area_breakdown() -> None:
+    print("\n" + str(proposed_area_breakdown(paper_configuration())))
+
+
+def show_performance_sweeps() -> None:
+    print("\nThroughput vs clock (512x512, 6 scales):")
+    for clock, estimate in clock_sweep([20.0, 25.0, 33.0, 40.0]).items():
+        print(f"  {clock:5.1f} MHz -> {estimate.images_per_second:5.2f} images/s")
+
+    print("\nTransform time vs image size (at 33 MHz):")
+    for size, estimate in image_size_sweep([128, 256, 512, 1024]).items():
+        print(f"  {size:4d}x{size:<4d} -> {estimate.transform_seconds * 1e3:8.1f} ms")
+
+    report = speedup_report()
+    baseline = PentiumBaseline()
+    workload = WorkloadModel()
+    print(
+        f"\nSpeedup vs the 133 MHz Pentium baseline: {report.speedup:.0f}x "
+        f"({baseline.seconds_for_workload(workload):.0f} s -> "
+        f"{report.accelerator_seconds * 1e3:.0f} ms per image)"
+    )
+
+
+def show_pci_board() -> None:
+    # The paper's stated follow-on work: the accelerator on a PCI board.
+    board = PciBoardModel(paper_configuration())
+    report = board.report()
+    print("\nPCI-board follow-on (section 5 future work):")
+    print(f"  {report}")
+    print(f"  end-to-end speedup vs Pentium-133 incl. bus transfers: "
+          f"{board.effective_speedup_vs_pentium():.0f}x")
+
+
+def show_word_length_ablation() -> None:
+    print("\nWord-length ablation (F2, 4 scales, 64x64 CT phantom):")
+    image = shepp_logan(64)
+    for word_length, report in lossless_word_length_search(image, "F2", 4, range(18, 34, 2)).items():
+        status = "lossless" if report.lossless else (
+            "plan infeasible" if report.mismatched_pixels < 0 else f"max |err| {report.max_abs_error}"
+        )
+        print(f"  {word_length:2d}-bit word: {status}")
+
+
+def main() -> None:
+    show_table_iii()
+    show_area_breakdown()
+    show_performance_sweeps()
+    show_pci_board()
+    show_word_length_ablation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Runs all thirteen experiment drivers (Tables I-VI, Figs. 1-4, the Eq. (2)
+worked example, the §5 headline figures and the §3 lossless claim), prints
+each regenerated table next to its paper-vs-measured comparison, and exits
+non-zero if any comparison falls outside its declared tolerance — the same
+criterion the benchmark harness enforces.
+
+Run with:  python examples/paper_tables.py [experiment_id ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import experiment_ids, run_experiment
+
+
+def main(requested: list[str]) -> int:
+    ids = requested or experiment_ids()
+    failures = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print("\n" + "=" * 78 + "\n")
+        if not result.all_within_tolerance:
+            failures.append(experiment_id)
+    if failures:
+        print(f"FAILED to reproduce within tolerance: {', '.join(failures)}")
+        return 1
+    print(f"All {len(ids)} experiments reproduced within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,36 @@
+"""repro — reproduction of the DATE'98 lossless medical-image DWT architecture.
+
+The package is organised as one subpackage per subsystem (see DESIGN.md):
+
+* :mod:`repro.filters` — the Table I biorthogonal filter banks.
+* :mod:`repro.dwt` — floating-point reference 2-D DWT (Mallat pyramid).
+* :mod:`repro.fixedpoint` — two's-complement formats, rounding, Table II analysis.
+* :mod:`repro.fxdwt` — bit-accurate fixed-point transform and lossless checks.
+* :mod:`repro.arch` — cycle-accurate model of the proposed architecture.
+* :mod:`repro.baselines` — prior-architecture hardware-requirement models (Table III).
+* :mod:`repro.technology` — ES2 0.7 µm area/timing model (Table V, 11.2 mm²).
+* :mod:`repro.perf` — MAC counts, software baseline, throughput and speedup.
+* :mod:`repro.imaging` — synthetic 12-bit medical-image phantoms and metrics.
+* :mod:`repro.coding` — lossless wavelet codecs (extension).
+* :mod:`repro.analysis` — per-table/figure experiment drivers.
+
+The most common entry points are re-exported here.
+"""
+
+from .arch import DwtAccelerator, estimate_performance, paper_configuration
+from .filters import available_banks, default_bank, get_bank
+from .fxdwt import FixedPointDWT, verify_lossless
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "available_banks",
+    "default_bank",
+    "get_bank",
+    "FixedPointDWT",
+    "verify_lossless",
+    "DwtAccelerator",
+    "estimate_performance",
+    "paper_configuration",
+]

@@ -1,0 +1,27 @@
+"""Experiment framework: table rendering, paper-vs-measured records, drivers.
+
+Public API
+----------
+``run_experiment(id)`` / ``run_all()`` / ``EXPERIMENTS``
+    One driver per paper table/figure (``table1`` .. ``table6``, ``fig1`` ..
+    ``fig4``, ``eq2``, ``headline``, ``lossless``).
+``ExperimentResult`` / ``Comparison``
+    Result containers with paper-vs-measured comparison records.
+``format_table``
+    Plain-text table rendering.
+"""
+
+from .experiments import EXPERIMENTS, experiment_ids, run_all, run_experiment
+from .record import Comparison, ExperimentResult
+from .tabulate import format_cell, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+    "Comparison",
+    "ExperimentResult",
+    "format_cell",
+    "format_table",
+]

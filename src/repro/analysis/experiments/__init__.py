@@ -1,0 +1,53 @@
+"""One experiment module per paper table/figure (see DESIGN.md §4).
+
+Each module exposes ``run(...) -> ExperimentResult``; the registry below
+maps experiment ids to those callables so benches, examples and the
+EXPERIMENTS.md generator can enumerate them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..record import ExperimentResult
+from . import eq2, fig1, fig2, fig3, fig4, headline, lossless, table1, table2, table3, table4, table5, table6
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment", "run_all"]
+
+#: Registry: experiment id -> run() callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "eq2": eq2.run,
+    "headline": headline.run,
+    "lossless": lossless.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in DESIGN.md order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
+        ) from exc
+    return runner(**kwargs)
+
+
+def run_all(**kwargs) -> Dict[str, ExperimentResult]:
+    """Run every experiment (used by the EXPERIMENTS.md generator)."""
+    return {experiment_id: runner() for experiment_id, runner in EXPERIMENTS.items()}

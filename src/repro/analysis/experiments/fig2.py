@@ -1,0 +1,82 @@
+"""Experiment fig2 — Fig. 2: the macro-cycle operation schedule.
+
+Fig. 2 lists, cycle by cycle, what the DRAM manager, input buffer,
+accumulator control and output FIFO do during one 13-cycle macro-cycle and
+during the 6-cycle refresh extension, and the paper derives from it the
+99.04 % multiplier utilisation.  The experiment regenerates the slot table,
+checks its structural properties (one DRAM read and one write per
+macro-cycle, L coefficient reads, load-then-accumulate control) and
+reproduces the utilisation figure both in closed form and by running the
+macro-cycle counter over a full-image workload.
+"""
+
+from __future__ import annotations
+
+from ...arch.accelerator import forward_macrocycles
+from ...arch.config import paper_configuration
+from ...arch.scheduler import operation_schedule, simulate_utilisation, utilisation_formula
+from ..record import ExperimentResult
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Fig. 2 - macro-cycle operation schedule and multiplier utilisation"
+
+PAPER_UTILISATION_PERCENT = 99.04
+
+
+def run(image_size: int = 512, scales: int = 6) -> ExperimentResult:
+    """Regenerate the Fig. 2 schedule and the 99.04% utilisation figure."""
+    config = paper_configuration(image_size=image_size, scales=scales)
+    normal = operation_schedule(config.macrocycle_cycles, refresh=False)
+    extended = operation_schedule(
+        config.macrocycle_cycles, refresh=True,
+        refresh_stall_cycles=config.refresh_stall_cycles,
+    )
+    macrocycles = forward_macrocycles(image_size, scales)
+    report = simulate_utilisation(macrocycles, config)
+    closed_form = utilisation_formula(
+        config.macrocycle_cycles,
+        config.refresh_interval_macrocycles,
+        config.refresh_stall_cycles,
+    )
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=("quantity", "value"),
+    )
+    result.add_row(("normal macro-cycle length", len(normal)))
+    result.add_row(("extended macro-cycle length", len(extended)))
+    result.add_row(("DRAM reads per macro-cycle", sum(1 for s in normal if s.dram_op == "rd")))
+    result.add_row(("DRAM writes per macro-cycle", sum(1 for s in normal if s.dram_op == "wr")))
+    result.add_row(("coefficient reads per macro-cycle",
+                    sum(1 for s in normal if s.input_buffer_op.startswith("rd_cf"))))
+    result.add_row(("acc 'load' cycles per macro-cycle",
+                    sum(1 for s in normal if s.acc_ctl == "load")))
+    result.add_row(("hold cycles in the refresh extension",
+                    sum(1 for s in extended if s.acc_ctl == "hold")))
+    result.add_row(("macro-cycles per refresh", config.refresh_interval_macrocycles))
+    result.add_row(("forward-transform macro-cycles", macrocycles))
+    result.add_row(("utilisation (full run)", 100.0 * report.utilisation))
+    result.add_row(("utilisation (closed form)", 100.0 * closed_form))
+
+    result.add_comparison(
+        "normal macro-cycle cycles", 13.0, float(len(normal)), tolerance=0.0
+    )
+    result.add_comparison(
+        "extended macro-cycle cycles", 19.0, float(len(extended)), tolerance=0.0
+    )
+    result.add_comparison(
+        "multiplier utilisation",
+        PAPER_UTILISATION_PERCENT,
+        100.0 * report.utilisation,
+        unit="%",
+        tolerance=0.001,
+    )
+    result.add_note(
+        "The refresh cadence (one 6-cycle extension every 48 macro-cycles) corresponds to a "
+        "standard 15.6 us distributed DRAM refresh at the 25 ns design clock and reproduces "
+        "the quoted 99.04% utilisation."
+    )
+    return result

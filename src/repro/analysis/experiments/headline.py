@@ -1,0 +1,78 @@
+"""Experiment headline — §5 conclusions: area, throughput, speedup, utilisation.
+
+The paper's concluding claims for the 512x512, 12-bit, 6-scale, 13-tap
+operating point at 33 MHz are:
+
+* chip area ≈ 11.2 mm² (0.7 µm CMOS),
+* 3.5 images/s,
+* 154x faster than a 133 MHz Pentium,
+* 99.04 % multiplier utilisation,
+* one multiplier and N/2 + 32 on-chip memory words.
+
+This experiment gathers all of them from the analytic models.
+"""
+
+from __future__ import annotations
+
+from ...arch.accelerator import estimate_performance
+from ...arch.config import paper_configuration
+from ...arch.report import PAPER_PROPOSED_AREA_MM2, hardware_requirements, proposed_area_breakdown
+from ...perf.speedup import PAPER_SPEEDUP, speedup_report
+from ...perf.throughput import PAPER_IMAGES_PER_SECOND
+from ..record import ExperimentResult
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "headline"
+TITLE = "Section 5 headline figures (512x512, 12-bit, 6 scales, 33 MHz)"
+
+PAPER_UTILISATION_PERCENT = 99.04
+PAPER_MEMORY_WORDS = 512 // 2 + 32
+
+
+def run() -> ExperimentResult:
+    """Reproduce every §5 headline number."""
+    config = paper_configuration()
+    performance = estimate_performance(config)
+    area = proposed_area_breakdown(config)
+    requirements = hardware_requirements(config)
+    speedup = speedup_report(config)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=("quantity", "paper", "measured"),
+    )
+    result.add_row(("datapath area (mm2)", PAPER_PROPOSED_AREA_MM2, area.total_mm2))
+    result.add_row(("images per second", PAPER_IMAGES_PER_SECOND, performance.images_per_second))
+    result.add_row(("speedup vs Pentium-133", PAPER_SPEEDUP, speedup.speedup))
+    result.add_row(("multiplier utilisation (%)", PAPER_UTILISATION_PERCENT,
+                    100.0 * performance.utilisation))
+    result.add_row(("multipliers", 1, requirements.multipliers))
+    result.add_row(("on-chip memory words", PAPER_MEMORY_WORDS, requirements.memory_words))
+    result.add_row(("transform time (ms)", None, performance.transform_seconds * 1e3))
+
+    result.add_comparison(
+        "datapath area", PAPER_PROPOSED_AREA_MM2, area.total_mm2, unit="mm2", tolerance=0.10
+    )
+    result.add_comparison(
+        "throughput", PAPER_IMAGES_PER_SECOND, performance.images_per_second,
+        unit="images/s", tolerance=0.10,
+    )
+    result.add_comparison(
+        "speedup vs Pentium", PAPER_SPEEDUP, speedup.speedup, unit="x", tolerance=0.05
+    )
+    result.add_comparison(
+        "multiplier utilisation", PAPER_UTILISATION_PERCENT,
+        100.0 * performance.utilisation, unit="%", tolerance=0.001,
+    )
+    result.add_comparison(
+        "on-chip memory words", float(PAPER_MEMORY_WORDS),
+        float(requirements.memory_words), unit="words", tolerance=0.0,
+    )
+    result.add_note(
+        "Throughput and speedup come from the analytic cycle model (validated against the "
+        "cycle-accurate simulator on small images); the area comes from the calibrated ES2 "
+        "technology model."
+    )
+    return result

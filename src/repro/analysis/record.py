@@ -1,0 +1,116 @@
+"""Experiment result containers: measured rows + paper-vs-measured records.
+
+Every experiment module in :mod:`repro.analysis.experiments` returns an
+:class:`ExperimentResult`: the regenerated table/figure rows, a list of
+:class:`Comparison` records pairing each headline paper value with the value
+this reproduction measures, and free-text notes about known deviations.
+EXPERIMENTS.md is essentially a rendering of these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .tabulate import format_table
+
+__all__ = ["Comparison", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-value-versus-measured-value record."""
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    tolerance: float = 0.10  # relative tolerance considered "reproduced"
+
+    @property
+    def relative_error(self) -> float:
+        """``(measured - paper) / |paper|`` (0 when both are zero)."""
+        if self.paper_value == 0:
+            return 0.0 if self.measured_value == 0 else float("inf")
+        return (self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.relative_error) <= self.tolerance
+
+    def row(self) -> Sequence:
+        return (
+            self.quantity,
+            self.paper_value,
+            self.measured_value,
+            self.unit,
+            f"{100.0 * self.relative_error:+.1f}%",
+            "ok" if self.within_tolerance else "DEVIATES",
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, row: Sequence) -> None:
+        self.rows.append(tuple(row))
+
+    def add_comparison(
+        self,
+        quantity: str,
+        paper_value: float,
+        measured_value: float,
+        unit: str = "",
+        tolerance: float = 0.10,
+    ) -> Comparison:
+        comparison = Comparison(
+            quantity=quantity,
+            paper_value=paper_value,
+            measured_value=measured_value,
+            unit=unit,
+            tolerance=tolerance,
+        )
+        self.comparisons.append(comparison)
+        return comparison
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # -- summaries -----------------------------------------------------------------------
+    @property
+    def all_within_tolerance(self) -> bool:
+        return all(c.within_tolerance for c in self.comparisons)
+
+    def comparison_table(self) -> str:
+        headers = ("quantity", "paper", "measured", "unit", "rel. error", "status")
+        return format_table(headers, [c.row() for c in self.comparisons])
+
+    def render(self, float_digits: int = 3) -> str:
+        """Full human-readable report (table + comparisons + notes)."""
+        parts = [
+            format_table(
+                self.headers,
+                self.rows,
+                float_digits=float_digits,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        if self.comparisons:
+            parts.append("")
+            parts.append("Paper vs measured:")
+            parts.append(self.comparison_table())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,64 @@
+"""Plain-text table rendering shared by experiments, examples and benches.
+
+Nothing fancy: fixed-width ASCII tables with right-aligned numbers, because
+every experiment in this reproduction prints its results as "the same rows
+the paper's table shows" plus a paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_cell", "format_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    """Render one table cell: floats to ``float_digits`` places, None as ''."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if abs(value) >= 1e6 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_digits: int = 3,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    rendered: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    headers = [str(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Cycle-accurate model of the proposed VLSI architecture (§4 of the paper).
+
+Public API
+----------
+``ArchitectureConfig`` / ``paper_configuration``
+    Static parameters (N, S, filter bank, word length, clock, refresh).
+``DwtAccelerator``
+    Top-level behavioural + cycle-counting model (forward/inverse runs).
+``estimate_performance``
+    Closed-form cycle/throughput estimate (3.5 images/s headline).
+``Datapath`` / ``MacUnit`` / ``AlignmentUnit`` / ``PipelinedMultiplier``
+    The Fig. 3 datapath blocks.
+``CoefficientRam`` / ``ExternalDram`` / ``FrameBuffer`` / ``RefreshTimer``
+    Memory subsystem models.
+``operation_schedule`` / ``simulate_utilisation`` / ``utilisation_formula``
+    The Fig. 2 macro-cycle schedule and the 99.04 % utilisation accounting.
+``minimum_buffer_size`` / ``bank2_rounds_table`` / ``fifo_bounds_table``
+    The §4.1/§4.4 buffer and FIFO sizing (Tables IV and VI).
+``proposed_area_breakdown`` / ``hardware_requirements``
+    The 11.2 mm² area composition and component counts.
+"""
+
+from .accelerator import (
+    AcceleratorRunReport,
+    DwtAccelerator,
+    PerformanceEstimate,
+    estimate_performance,
+    forward_macrocycles,
+    inverse_macrocycles,
+)
+from .alignment import AlignmentEntry, AlignmentUnit
+from .coeff_ram import FILTER_ROLES, CoefficientRam
+from .config import ArchitectureConfig, paper_configuration
+from .datapath import Datapath, DatapathStats
+from .dram import ExternalDram, FrameBuffer, RefreshTimer
+from .host_interface import (
+    BoardThroughputReport,
+    HostTransferModel,
+    PciBoardModel,
+    PciBusParameters,
+)
+from .input_buffer import (
+    BankLayout,
+    LineOccupancyReport,
+    bank2_rounds,
+    bank2_rounds_table,
+    bank_layout,
+    bank_size,
+    minimum_buffer_size,
+    rounded_buffer_size,
+    simulate_line_occupancy,
+)
+from .mac import MacStats, MacUnit
+from .multiplier import (
+    MultiplierEstimate,
+    PipelinedMultiplier,
+    array_multiplier_estimate,
+    wallace_multiplier_estimate,
+    wallace_tree_depth,
+)
+from .output_fifo import (
+    FifoDepthBounds,
+    VariableDepthFifo,
+    choose_fifo_depth,
+    dependence_distances,
+    fifo_bounds_table,
+    fifo_depth_bounds,
+    max_fifo_depth,
+    min_fifo_depth,
+)
+from .report import (
+    PAPER_PROPOSED_AREA_MM2,
+    HardwareRequirements,
+    hardware_requirements,
+    proposed_area_breakdown,
+)
+from .scheduler import (
+    CycleSlot,
+    MacrocycleCounter,
+    UtilisationReport,
+    operation_schedule,
+    refresh_schedule_cycles,
+    simulate_utilisation,
+    utilisation_formula,
+)
+
+__all__ = [
+    "AcceleratorRunReport",
+    "DwtAccelerator",
+    "PerformanceEstimate",
+    "estimate_performance",
+    "forward_macrocycles",
+    "inverse_macrocycles",
+    "AlignmentEntry",
+    "AlignmentUnit",
+    "FILTER_ROLES",
+    "CoefficientRam",
+    "ArchitectureConfig",
+    "paper_configuration",
+    "Datapath",
+    "DatapathStats",
+    "ExternalDram",
+    "FrameBuffer",
+    "RefreshTimer",
+    "BoardThroughputReport",
+    "HostTransferModel",
+    "PciBoardModel",
+    "PciBusParameters",
+    "BankLayout",
+    "LineOccupancyReport",
+    "bank2_rounds",
+    "bank2_rounds_table",
+    "bank_layout",
+    "bank_size",
+    "minimum_buffer_size",
+    "rounded_buffer_size",
+    "simulate_line_occupancy",
+    "MacStats",
+    "MacUnit",
+    "MultiplierEstimate",
+    "PipelinedMultiplier",
+    "array_multiplier_estimate",
+    "wallace_multiplier_estimate",
+    "wallace_tree_depth",
+    "FifoDepthBounds",
+    "VariableDepthFifo",
+    "choose_fifo_depth",
+    "dependence_distances",
+    "fifo_bounds_table",
+    "fifo_depth_bounds",
+    "max_fifo_depth",
+    "min_fifo_depth",
+    "PAPER_PROPOSED_AREA_MM2",
+    "HardwareRequirements",
+    "hardware_requirements",
+    "proposed_area_breakdown",
+    "CycleSlot",
+    "MacrocycleCounter",
+    "UtilisationReport",
+    "operation_schedule",
+    "refresh_schedule_cycles",
+    "simulate_utilisation",
+    "utilisation_formula",
+]

@@ -1,0 +1,110 @@
+"""Alignment and rounding unit (§4.3, the block after the MAC in Fig. 3).
+
+The integer part of the intermediate wavelet data changes with the scale
+(Table II).  After the 64-bit accumulation the result must therefore be
+shifted by a scale-dependent amount — the *alignment* — and narrowed to the
+32-bit datapath word with the §4.3 rounding rule.  The per-scale shift
+amounts depend only on the filter bank and are written into a small
+configuration memory at set-up time, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.rounding import round_half_up_shift, truncate_shift
+from ..fixedpoint.wordlength import WordLengthPlan
+
+__all__ = ["AlignmentEntry", "AlignmentUnit"]
+
+
+@dataclass(frozen=True)
+class AlignmentEntry:
+    """One row of the alignment configuration memory."""
+
+    scale: int
+    direction: str  # "forward" or "inverse"
+    pass_name: str  # "rows" or "columns" within the 2-D stage
+    shift: int
+    target_format: QFormat
+
+
+class AlignmentUnit:
+    """Scale-indexed shift-and-round stage.
+
+    The unit is configured from a :class:`WordLengthPlan` and the coefficient
+    format; it then answers "by how much must the 64-bit accumulator value be
+    shifted when producing data of scale ``s``" for both transform directions
+    and both 1-D passes of a 2-D stage, and applies the shift with the §4.3
+    round-half-up rule (or plain truncation for the ablation experiments).
+    """
+
+    def __init__(self, plan: WordLengthPlan, rounding: str = "half_up") -> None:
+        if rounding not in ("half_up", "truncate"):
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        self.plan = plan
+        self.rounding = rounding
+        self._table: Dict[tuple, AlignmentEntry] = {}
+        self._build_configuration()
+
+    # -- configuration ---------------------------------------------------------------
+    def _register(self, scale: int, direction: str, pass_name: str,
+                  source_frac: int, target: QFormat) -> None:
+        shift = source_frac + self.plan.coefficient_format.fractional_bits - target.fractional_bits
+        if shift < 0:
+            raise ValueError(
+                f"negative alignment shift for scale {scale} ({direction}/{pass_name}); "
+                "the word-length plan is inconsistent"
+            )
+        self._table[(direction, scale, pass_name)] = AlignmentEntry(
+            scale=scale,
+            direction=direction,
+            pass_name=pass_name,
+            shift=shift,
+            target_format=target,
+        )
+
+    def _build_configuration(self) -> None:
+        plan = self.plan
+        for scale in range(1, plan.scales + 1):
+            previous = plan.format_for_scale(scale - 1)
+            current = plan.format_for_scale(scale)
+            # Forward: rows consume scale-(s-1) data, columns consume the
+            # row results already in the scale-s format.
+            self._register(scale, "forward", "rows", previous.fractional_bits, current)
+            self._register(scale, "forward", "columns", current.fractional_bits, current)
+            # Inverse: columns are undone first (still in the scale-s format),
+            # rows land in the coarser scale-(s-1) format.
+            self._register(scale, "inverse", "columns", current.fractional_bits, current)
+            self._register(scale, "inverse", "rows", current.fractional_bits, previous)
+
+    # -- queries ------------------------------------------------------------------------
+    def entry(self, direction: str, scale: int, pass_name: str) -> AlignmentEntry:
+        """Configuration row for one (direction, scale, pass) combination."""
+        try:
+            return self._table[(direction, scale, pass_name)]
+        except KeyError as exc:
+            raise KeyError(
+                f"no alignment entry for direction={direction!r} scale={scale} "
+                f"pass={pass_name!r}"
+            ) from exc
+
+    def shift_for(self, direction: str, scale: int, pass_name: str) -> int:
+        """Shift amount (in bits) for one combination."""
+        return self.entry(direction, scale, pass_name).shift
+
+    def configuration_rows(self):
+        """All configuration entries, sorted — the contents of the config memory."""
+        return [self._table[key] for key in sorted(self._table)]
+
+    # -- datapath operation --------------------------------------------------------------
+    def align(self, accumulator_value: int, direction: str, scale: int, pass_name: str) -> int:
+        """Shift-and-round a 64-bit accumulator value into the datapath word."""
+        entry = self.entry(direction, scale, pass_name)
+        if self.rounding == "half_up":
+            value = round_half_up_shift(int(accumulator_value), entry.shift)
+        else:
+            value = truncate_shift(int(accumulator_value), entry.shift)
+        return int(value)

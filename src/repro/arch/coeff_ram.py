@@ -1,0 +1,133 @@
+"""Filter-coefficient RAM (the small memory read 13 times per macro-cycle).
+
+Fig. 2 shows 13 coefficient reads per macro-cycle (``rd_cf1`` .. ``rd_cf13``)
+feeding the multiplier; Fig. 3 shows the "Filter Coefficients" block next to
+the MAC.  The RAM holds the quantised taps of the four filters of the bank
+(analysis H/G for the FDWT, synthesis Ht/Gt for the IDWT) in the 32-bit
+coefficient format.  Because the memory is tiny (a few tens of words) it is
+implemented on chip and contributes to the ``N/2 + 32`` on-chip word budget
+through the rounded 32-word block the paper accounts for.
+
+:class:`CoefficientRam` is the behavioural model: it is loaded from a
+:class:`~repro.filters.qmf.BiorthogonalBank` and a coefficient
+:class:`~repro.fixedpoint.qformat.QFormat`, serves one stored coefficient per
+read, and counts accesses so the schedule statistics can check the "13 reads
+per macro-cycle" figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..filters.qmf import BiorthogonalBank
+from ..fixedpoint.qformat import QFormat
+from ..fxdwt.transform import QuantizedFilter, quantize_filter
+
+__all__ = ["CoefficientRam", "FilterRole", "FILTER_ROLES"]
+
+#: The four filter roles stored in the RAM, in address order.
+FILTER_ROLES: Tuple[str, str, str, str] = ("h", "g", "ht", "gt")
+
+FilterRole = str
+
+
+@dataclass
+class _StoredFilter:
+    """Base address and quantised taps of one filter in the RAM."""
+
+    role: FilterRole
+    base_address: int
+    quantized: QuantizedFilter
+
+
+class CoefficientRam:
+    """Behavioural model of the on-chip filter-coefficient memory.
+
+    Parameters
+    ----------
+    bank:
+        The biorthogonal filter bank whose taps are stored.
+    coefficient_format:
+        32-bit fixed-point format of the stored taps (3 integer bits for
+        every Table I bank).
+
+    The four filters are packed back to back; ``read(role, tap)`` returns the
+    stored integer of one tap and counts the access.  ``window(role)`` returns
+    the whole tap list (what the datapath consumes over one macro-cycle).
+    """
+
+    def __init__(self, bank: BiorthogonalBank, coefficient_format: QFormat) -> None:
+        self.bank = bank
+        self.coefficient_format = coefficient_format
+        self._filters: Dict[FilterRole, _StoredFilter] = {}
+        address = 0
+        for role in FILTER_ROLES:
+            quantized = quantize_filter(bank.all_filters()[role], coefficient_format)
+            self._filters[role] = _StoredFilter(
+                role=role, base_address=address, quantized=quantized
+            )
+            address += len(quantized)
+        self._total_words = address
+        self.reads = 0
+
+    # -- static structure -------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Number of coefficient words actually stored."""
+        return self._total_words
+
+    @property
+    def rounded_words(self) -> int:
+        """Word count rounded up to the next power of two (RAM block size)."""
+        size = 1
+        while size < self._total_words:
+            size *= 2
+        return size
+
+    def base_address(self, role: FilterRole) -> int:
+        """First RAM address of the taps of ``role``."""
+        return self._stored(role).base_address
+
+    def filter_length(self, role: FilterRole) -> int:
+        """Number of taps stored for ``role``."""
+        return len(self._stored(role).quantized)
+
+    # -- accesses ------------------------------------------------------------------
+    def read(self, role: FilterRole, tap_index: int) -> int:
+        """Read one stored coefficient (tap ``tap_index`` of filter ``role``)."""
+        stored = self._stored(role)
+        taps = stored.quantized.stored_taps
+        if not 0 <= tap_index < len(taps):
+            raise IndexError(
+                f"tap index {tap_index} outside filter {role!r} of {len(taps)} taps"
+            )
+        self.reads += 1
+        return taps[tap_index]
+
+    def window(self, role: FilterRole) -> List[int]:
+        """All stored taps of ``role``, in macro-cycle read order.
+
+        Counts one read per tap, exactly as the ``rd_cf1 .. rd_cfL`` slots of
+        Fig. 2 do.
+        """
+        stored = self._stored(role)
+        self.reads += len(stored.quantized)
+        return list(stored.quantized.stored_taps)
+
+    def quantized(self, role: FilterRole) -> QuantizedFilter:
+        """The :class:`QuantizedFilter` stored for ``role`` (no read counted)."""
+        return self._stored(role).quantized
+
+    def reset_counters(self) -> None:
+        """Clear the access counter."""
+        self.reads = 0
+
+    # -- helpers ----------------------------------------------------------------------
+    def _stored(self, role: FilterRole) -> _StoredFilter:
+        try:
+            return self._filters[role]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown filter role {role!r}; expected one of {FILTER_ROLES}"
+            ) from exc

@@ -1,0 +1,257 @@
+"""Line-level datapath model (Fig. 3): MAC + alignment + buffers, bit-exact.
+
+The datapath processes one row or one column at a time.  For the forward
+transform a line pass reads the ``M`` samples of the line once from the
+external memory, produces ``M/2`` low-pass and ``M/2`` high-pass outputs (one
+output per macro-cycle, each output being ``L`` multiply-accumulates against
+the periodically extended window), aligns each 64-bit accumulator result to
+the destination scale's fixed-point format with the §4.3 rounding rule, and
+writes the ``M`` results back once.  For the inverse transform a line pass
+consumes the interleaved low/high halves and reconstructs the ``M`` samples
+of the finer scale.
+
+The arithmetic is exactly the arithmetic of
+:class:`repro.fxdwt.transform.FixedPointDWT` — same quantised coefficients,
+same accumulation, same alignment shifts, same rounding — so the outputs of
+the datapath are bit-for-bit identical to the software fixed-point transform.
+That equivalence (the paper's "simulated ... and gave the same output as a
+software implementation") is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..filters.qmf import BiorthogonalBank
+from ..fixedpoint.errors import OverflowPolicyError
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.wordlength import WordLengthPlan, plan_word_lengths
+from .alignment import AlignmentUnit
+from .coeff_ram import CoefficientRam
+from .config import ArchitectureConfig
+from .mac import MacUnit
+from .output_fifo import VariableDepthFifo, choose_fifo_depth
+from .scheduler import MacrocycleCounter
+
+__all__ = ["DatapathStats", "Datapath"]
+
+
+@dataclass
+class DatapathStats:
+    """Traffic and occupancy counters accumulated over datapath passes."""
+
+    line_passes: int = 0
+    samples_in: int = 0
+    samples_out: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    coefficient_reads: int = 0
+    fifo_pushes: int = 0
+
+    def merge(self, other: "DatapathStats") -> None:
+        self.line_passes += other.line_passes
+        self.samples_in += other.samples_in
+        self.samples_out += other.samples_out
+        self.dram_reads += other.dram_reads
+        self.dram_writes += other.dram_writes
+        self.coefficient_reads += other.coefficient_reads
+        self.fifo_pushes += other.fifo_pushes
+
+
+class Datapath:
+    """Behavioural model of the Fig. 3 datapath operating on whole lines.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration (image size, filter bank, scales, word
+        length, clock, refresh cadence).
+    plan:
+        Optional word-length plan; defaults to the paper plan derived from
+        the configured bank and scale count.
+    rounding:
+        ``"half_up"`` (paper rule) or ``"truncate"`` — forwarded to the
+        alignment unit so ablations can disable the rounding rule.
+    overflow_policy:
+        ``"raise"`` (default), ``"saturate"`` or ``"wrap"`` applied to every
+        aligned output word.
+    """
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        plan: Optional[WordLengthPlan] = None,
+        rounding: str = "half_up",
+        overflow_policy: str = "raise",
+    ) -> None:
+        self.config = config
+        self.bank: BiorthogonalBank = config.bank
+        self.plan = plan if plan is not None else plan_word_lengths(
+            self.bank,
+            config.scales,
+            word_length=config.word_length,
+            input_bits=config.input_bits,
+            accumulator_bits=config.accumulator_bits,
+        )
+        if overflow_policy not in ("raise", "saturate", "wrap"):
+            raise ValueError(f"unknown overflow policy {overflow_policy!r}")
+        self.overflow_policy = overflow_policy
+        self.alignment = AlignmentUnit(self.plan, rounding=rounding)
+        self.coeff_ram = CoefficientRam(self.bank, self.plan.coefficient_format)
+        self.mac = MacUnit(
+            operand_bits=config.word_length,
+            accumulator_bits=config.accumulator_bits,
+        )
+        self.counter = MacrocycleCounter(
+            filter_length=config.macrocycle_cycles,
+            refresh_stall_cycles=config.refresh_stall_cycles,
+            refresh_interval_macrocycles=config.refresh_interval_macrocycles,
+        )
+        self.stats = DatapathStats()
+        self.fifo = VariableDepthFifo(depth=0, capacity=config.image_size // 2)
+
+    # -- configuration queries ------------------------------------------------------
+    def format_for_scale(self, scale: int) -> QFormat:
+        """Fixed-point format of data belonging to ``scale`` (0 = input image)."""
+        return self.plan.format_for_scale(scale)
+
+    def reset_counters(self) -> None:
+        """Clear all statistics (keeps the configuration)."""
+        self.mac.reset()
+        self.coeff_ram.reset_counters()
+        self.counter = MacrocycleCounter(
+            filter_length=self.config.macrocycle_cycles,
+            refresh_stall_cycles=self.config.refresh_stall_cycles,
+            refresh_interval_macrocycles=self.config.refresh_interval_macrocycles,
+        )
+        self.stats = DatapathStats()
+
+    # -- core per-sample helpers -----------------------------------------------------
+    def _check_word(self, value: int, fmt: QFormat) -> int:
+        if fmt.min_int <= value <= fmt.max_int:
+            return value
+        if self.overflow_policy == "raise":
+            raise OverflowPolicyError(
+                f"aligned value {value} exceeds {fmt} range [{fmt.min_int}, {fmt.max_int}]"
+            )
+        if self.overflow_policy == "saturate":
+            return max(fmt.min_int, min(fmt.max_int, value))
+        # wrap
+        modulus = 1 << fmt.word_length
+        wrapped = value % modulus
+        return wrapped - modulus if wrapped >= (modulus >> 1) else wrapped
+
+    def _convolve_window(
+        self, line: np.ndarray, start: int, role: str
+    ) -> int:
+        """One macro-cycle: L MACs over the periodically extended window."""
+        quantized = self.coeff_ram.quantized(role)
+        coefficients = self.coeff_ram.window(role)
+        self.stats.coefficient_reads += len(coefficients)
+        n = line.shape[0]
+        window = [int(line[(start + idx) % n]) for idx in quantized.indices]
+        return self.mac.convolve(window, coefficients)
+
+    # -- analysis (forward) line pass ---------------------------------------------------
+    def analyze_line(
+        self, line: np.ndarray, scale: int, pass_name: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One forward line pass: return the ``(low, high)`` decimated halves.
+
+        ``scale`` is the destination scale (the data produced belongs to
+        ``scale``); ``pass_name`` is ``"rows"`` or ``"columns"`` and selects
+        the alignment-configuration entry (rows consume scale ``scale - 1``
+        data, columns consume row results already in the ``scale`` format).
+        """
+        line = np.asarray(line, dtype=np.int64)
+        if line.ndim != 1:
+            raise ValueError("analyze_line expects a 1-D line")
+        n = line.shape[0]
+        if n % 2:
+            raise ValueError(f"line length {n} must be even")
+        target = self.format_for_scale(scale)
+        half = n // 2
+        low = np.zeros(half, dtype=np.int64)
+        high = np.zeros(half, dtype=np.int64)
+        fifo_depth = choose_fifo_depth(n, self.config.half_filter_length) if n > 2 * self.config.half_filter_length else 0
+        self.fifo.resize(min(fifo_depth, self.fifo.capacity or fifo_depth))
+        for k in range(half):
+            acc = self._convolve_window(line, 2 * k, "h")
+            value = self.alignment.align(acc, "forward", scale, pass_name)
+            low[k] = self._check_word(value, target)
+            self.counter.step()
+
+            acc = self._convolve_window(line, 2 * k, "g")
+            value = self.alignment.align(acc, "forward", scale, pass_name)
+            # The high-pass result is delayed through the write-back FIFO; the
+            # delay only reorders the DRAM writes, not the values themselves.
+            delayed = self.fifo.push((k, self._check_word(value, target)))
+            if delayed is not None:
+                high[delayed[0]] = delayed[1]
+            self.stats.fifo_pushes += 1
+            self.counter.step()
+        for k, value in self.fifo.drain():
+            high[k] = value
+        self.stats.line_passes += 1
+        self.stats.samples_in += n
+        self.stats.samples_out += n
+        self.stats.dram_reads += n
+        self.stats.dram_writes += n
+        return low, high
+
+    # -- synthesis (inverse) line pass ---------------------------------------------------
+    def synthesize_line(
+        self, low: np.ndarray, high: np.ndarray, scale: int, pass_name: str
+    ) -> np.ndarray:
+        """One inverse line pass: reconstruct the length-``2M`` finer line.
+
+        ``scale`` is the scale being undone; for ``pass_name == "columns"``
+        the result stays in the ``scale`` format, for ``"rows"`` it lands in
+        the coarser ``scale - 1`` format (see the alignment configuration).
+        """
+        low = np.asarray(low, dtype=np.int64)
+        high = np.asarray(high, dtype=np.int64)
+        if low.shape != high.shape or low.ndim != 1:
+            raise ValueError("synthesize_line expects two equal-length 1-D halves")
+        half = low.shape[0]
+        out_len = 2 * half
+        entry = self.alignment.entry("inverse", scale, pass_name)
+        target = entry.target_format
+        qht = self.coeff_ram.quantized("ht")
+        qgt = self.coeff_ram.quantized("gt")
+
+        out = np.zeros(out_len, dtype=np.int64)
+        for m in range(out_len):
+            window: List[int] = []
+            coefficients: List[int] = []
+            # Contributions of the low-pass branch: taps ht[m - 2k].
+            for idx, stored in zip(qht.indices, qht.stored_taps):
+                # m - 2k = idx  (mod out_len)  =>  k = (m - idx) / 2
+                numerator = (m - idx) % out_len
+                if numerator % 2 == 0:
+                    window.append(int(low[numerator // 2]))
+                    coefficients.append(stored)
+            for idx, stored in zip(qgt.indices, qgt.stored_taps):
+                numerator = (m - idx) % out_len
+                if numerator % 2 == 0:
+                    window.append(int(high[numerator // 2]))
+                    coefficients.append(stored)
+            self.stats.coefficient_reads += len(coefficients)
+            acc = self.mac.convolve(window, coefficients)
+            value = self.alignment.align(acc, "inverse", scale, pass_name)
+            out[m] = self._check_word(value, target)
+            self.counter.step()
+        self.stats.line_passes += 1
+        self.stats.samples_in += out_len
+        self.stats.samples_out += out_len
+        self.stats.dram_reads += out_len
+        self.stats.dram_writes += out_len
+        return out
+
+    # -- utilisation ------------------------------------------------------------------------
+    def utilisation(self) -> float:
+        """Multiplier utilisation accumulated so far (busy / total cycles)."""
+        return self.counter.utilisation()

@@ -1,0 +1,215 @@
+"""External DRAM model (image frame store + refresh requests).
+
+The proposed architecture keeps the image — initial, intermediate and final
+convolution results — in a single image-sized external DRAM (§4).  The
+design goals the DRAM model has to let us check are:
+
+* every datum is **read once and written once** per convolution pass,
+* one DRAM read and one DRAM write per macro-cycle (Fig. 2, cycles 0 and
+  7/8–10),
+* the DRAM needs a periodic refresh, during which the macro-cycle is
+  extended by six stall cycles (cycles 13–18 of Fig. 2); with a standard
+  15.6 µs distributed-refresh interval and a 25 ns clock this is one refresh
+  every 48 macro-cycles and yields the 99.04 % multiplier utilisation.
+
+:class:`ExternalDram` is a word-addressable store of 32-bit words (stored
+integers) with access counters; :class:`RefreshTimer` generates the refresh
+requests from a cycle budget; :class:`FrameBuffer` maps (row, column) image
+coordinates onto DRAM addresses so the transform passes can address the
+frame in either orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ExternalDram", "RefreshTimer", "FrameBuffer"]
+
+
+class ExternalDram:
+    """Word-addressable external memory with access counters.
+
+    The memory stores Python/NumPy ``int64`` *stored* integers (the datapath
+    word); word-level wrapping is the responsibility of the datapath, the
+    memory itself is just storage.
+    """
+
+    def __init__(self, words: int) -> None:
+        if words < 1:
+            raise ValueError("DRAM size must be at least one word")
+        self.words = words
+        self._data = np.zeros(words, dtype=np.int64)
+        self.reads = 0
+        self.writes = 0
+        self.refreshes = 0
+
+    # -- accesses -----------------------------------------------------------------
+    def read(self, address: int) -> int:
+        """Read one word."""
+        self._check(address)
+        self.reads += 1
+        return int(self._data[address])
+
+    def write(self, address: int, value: int) -> None:
+        """Write one word."""
+        self._check(address)
+        self.writes += 1
+        self._data[address] = np.int64(value)
+
+    def refresh(self) -> None:
+        """Account for one refresh operation."""
+        self.refreshes += 1
+
+    def reset_counters(self) -> None:
+        """Clear the access counters (not the contents)."""
+        self.reads = 0
+        self.writes = 0
+        self.refreshes = 0
+
+    # -- bulk helpers (loading and unloading the frame around a run) ---------------
+    def load(self, values: np.ndarray, base_address: int = 0) -> None:
+        """Bulk-load ``values`` starting at ``base_address`` (not counted).
+
+        Used to model the host filling the frame buffer over the PCI bus
+        before a transform run; it does not count as datapath DRAM traffic.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        end = base_address + values.size
+        self._check(base_address)
+        if end > self.words:
+            raise ValueError(
+                f"load of {values.size} words at {base_address} exceeds DRAM size {self.words}"
+            )
+        self._data[base_address:end] = values
+
+    def dump(self, base_address: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Bulk-read ``count`` words starting at ``base_address`` (not counted)."""
+        if count is None:
+            count = self.words - base_address
+        self._check(base_address)
+        end = base_address + count
+        if end > self.words:
+            raise ValueError(
+                f"dump of {count} words at {base_address} exceeds DRAM size {self.words}"
+            )
+        return self._data[base_address:end].copy()
+
+    # -- helpers -----------------------------------------------------------------------
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} outside DRAM of {self.words} words")
+
+
+@dataclass
+class RefreshTimer:
+    """Generates DRAM refresh requests every ``interval_cycles`` clock cycles.
+
+    ``advance(cycles)`` consumes a number of elapsed clock cycles and returns
+    how many refresh requests became due during them.  The datapath extends
+    the current macro-cycle by the stall cycles of Fig. 2 for each request it
+    serves.
+    """
+
+    interval_cycles: int
+    _elapsed: int = 0
+    requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_cycles < 1:
+            raise ValueError("interval_cycles must be >= 1")
+
+    def advance(self, cycles: int) -> int:
+        """Advance the timer; return the number of refreshes now due."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._elapsed += cycles
+        due = self._elapsed // self.interval_cycles
+        self._elapsed -= due * self.interval_cycles
+        self.requests += due
+        return due
+
+    def reset(self) -> None:
+        self._elapsed = 0
+        self.requests = 0
+
+
+class FrameBuffer:
+    """Maps image (row, column) coordinates to DRAM addresses.
+
+    The frame is stored in raster (row-major) order.  ``row_address`` /
+    ``column_address`` give the address of a sample when a line is being
+    traversed along a row or along a column, which is how the row and column
+    passes of the transform address the frame.
+    """
+
+    def __init__(self, dram: ExternalDram, rows: int, cols: int, base_address: int = 0) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("frame dimensions must be positive")
+        if base_address < 0 or base_address + rows * cols > dram.words:
+            raise ValueError(
+                f"frame of {rows}x{cols} at base {base_address} does not fit in "
+                f"{dram.words}-word DRAM"
+            )
+        self.dram = dram
+        self.rows = rows
+        self.cols = cols
+        self.base_address = base_address
+
+    # -- address computation -----------------------------------------------------------
+    def address(self, row: int, col: int) -> int:
+        """DRAM address of pixel ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(
+                f"pixel ({row}, {col}) outside frame of {self.rows}x{self.cols}"
+            )
+        return self.base_address + row * self.cols + col
+
+    # -- pixel accesses (counted) ---------------------------------------------------------
+    def read_pixel(self, row: int, col: int) -> int:
+        return self.dram.read(self.address(row, col))
+
+    def write_pixel(self, row: int, col: int, value: int) -> None:
+        self.dram.write(self.address(row, col), value)
+
+    # -- line accesses (counted, one DRAM access per sample) --------------------------------
+    def read_row(self, row: int, length: Optional[int] = None) -> np.ndarray:
+        """Read the first ``length`` samples of a row (counted per sample)."""
+        length = self.cols if length is None else length
+        return np.array(
+            [self.read_pixel(row, col) for col in range(length)], dtype=np.int64
+        )
+
+    def write_row(self, row: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        for col, value in enumerate(values):
+            self.write_pixel(row, col, int(value))
+
+    def read_column(self, col: int, length: Optional[int] = None) -> np.ndarray:
+        """Read the first ``length`` samples of a column (counted per sample)."""
+        length = self.rows if length is None else length
+        return np.array(
+            [self.read_pixel(row, col) for row in range(length)], dtype=np.int64
+        )
+
+    def write_column(self, col: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        for row, value in enumerate(values):
+            self.write_pixel(row, col, int(value))
+
+    # -- bulk helpers (not counted) ----------------------------------------------------------
+    def load_image(self, image: np.ndarray) -> None:
+        """Bulk-load a full image (host-side fill, not counted as traffic)."""
+        image = np.asarray(image, dtype=np.int64)
+        if image.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"image of shape {image.shape} does not match frame {self.rows}x{self.cols}"
+            )
+        self.dram.load(image, self.base_address)
+
+    def dump_image(self) -> np.ndarray:
+        """Bulk-read the full frame (host-side readback, not counted)."""
+        flat = self.dram.dump(self.base_address, self.rows * self.cols)
+        return flat.reshape(self.rows, self.cols)

@@ -1,0 +1,191 @@
+"""PCI host-interface model (the paper's stated follow-on work).
+
+§5 of the paper: "We are currently working on the design of a chip based on
+the proposed architecture, with a PCI Bus interface.  This chip is the core
+of a PCI board that will speedup the DWT computation on desktop PCs."
+
+That board was never evaluated in the paper, so nothing here feeds any paper
+number; the model answers the system-level question the follow-on work
+raises: once the transform itself runs at ~3.5 images/s, does moving the
+image across a 32-bit/33 MHz PCI bus (and back) erode the speedup?
+
+The model is deliberately simple and conservative:
+
+* the image is written once to the board (``N² · ceil(input_bits/8)`` bytes
+  at the board's effective write bandwidth),
+* the transform runs at the accelerator's analytic rate,
+* the coefficient mosaic is read back (``N²`` words of
+  ``ceil(word_length/8)`` bytes) at the effective read bandwidth,
+* transfers and computation optionally overlap (double buffering in the
+  external DRAM), which is what the single-image-store architecture allows
+  for a *stream* of images as long as transfer time stays below compute
+  time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .accelerator import PerformanceEstimate, estimate_performance
+from .config import ArchitectureConfig, paper_configuration
+
+__all__ = ["PciBusParameters", "HostTransferModel", "PciBoardModel", "BoardThroughputReport"]
+
+
+@dataclass(frozen=True)
+class PciBusParameters:
+    """Effective parameters of the host bus.
+
+    The classic PCI 2.1 32-bit/33 MHz bus peaks at 132 MB/s; sustained
+    throughput with a commodity 1990s chipset is closer to 60–90 MB/s for
+    writes and 40–70 MB/s for reads, which is what the defaults reflect.
+    """
+
+    name: str = "PCI 32-bit / 33 MHz"
+    write_bandwidth_mb_s: float = 80.0
+    read_bandwidth_mb_s: float = 60.0
+    transaction_overhead_us: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth_mb_s <= 0 or self.read_bandwidth_mb_s <= 0:
+            raise ValueError("bus bandwidths must be positive")
+        if self.transaction_overhead_us < 0:
+            raise ValueError("transaction_overhead_us must be non-negative")
+
+
+@dataclass(frozen=True)
+class HostTransferModel:
+    """Bytes moved per image between the host and the board."""
+
+    image_size: int
+    input_bits: int
+    word_length: int
+
+    @property
+    def upload_bytes(self) -> int:
+        """Raw image sent to the board (one write per pixel)."""
+        bytes_per_pixel = (self.input_bits + 7) // 8
+        return self.image_size * self.image_size * bytes_per_pixel
+
+    @property
+    def download_bytes(self) -> int:
+        """Coefficient mosaic read back (one word per pixel)."""
+        bytes_per_word = (self.word_length + 7) // 8
+        return self.image_size * self.image_size * bytes_per_word
+
+
+@dataclass(frozen=True)
+class BoardThroughputReport:
+    """End-to-end throughput of the PCI board for one configuration."""
+
+    transform: PerformanceEstimate
+    upload_seconds: float
+    download_seconds: float
+    overlapped: bool
+    images_per_second: float
+    transfer_bound: bool
+
+    @property
+    def total_seconds_per_image(self) -> float:
+        return 1.0 / self.images_per_second
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        regime = "transfer-bound" if self.transfer_bound else "compute-bound"
+        return (
+            f"{self.transform.image_size}x{self.transform.image_size}: "
+            f"{self.images_per_second:.2f} images/s end to end ({regime}; "
+            f"upload {self.upload_seconds * 1e3:.1f} ms, "
+            f"compute {self.transform.transform_seconds * 1e3:.1f} ms, "
+            f"download {self.download_seconds * 1e3:.1f} ms)"
+        )
+
+
+class PciBoardModel:
+    """End-to-end model of the PCI accelerator board.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration of the on-board accelerator.
+    bus:
+        Host-bus parameters (defaults to sustained 32-bit/33 MHz PCI).
+    overlap_transfers:
+        Whether image upload/download overlaps with computation of the
+        previous/next image (double buffering); the paper's single image
+        store supports this for streamed archives because the DRAM is only
+        touched once per datum per pass.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ArchitectureConfig] = None,
+        bus: Optional[PciBusParameters] = None,
+        overlap_transfers: bool = True,
+    ) -> None:
+        self.config = config or paper_configuration()
+        self.bus = bus or PciBusParameters()
+        self.overlap_transfers = overlap_transfers
+
+    # -- per-image costs -----------------------------------------------------------
+    def transfer_model(self) -> HostTransferModel:
+        return HostTransferModel(
+            image_size=self.config.image_size,
+            input_bits=self.config.input_bits,
+            word_length=self.config.word_length,
+        )
+
+    def upload_seconds(self) -> float:
+        transfers = self.transfer_model()
+        return (
+            transfers.upload_bytes / (self.bus.write_bandwidth_mb_s * 1e6)
+            + self.bus.transaction_overhead_us * 1e-6
+        )
+
+    def download_seconds(self) -> float:
+        transfers = self.transfer_model()
+        return (
+            transfers.download_bytes / (self.bus.read_bandwidth_mb_s * 1e6)
+            + self.bus.transaction_overhead_us * 1e-6
+        )
+
+    # -- throughput -------------------------------------------------------------------
+    def report(self, direction: str = "forward") -> BoardThroughputReport:
+        """End-to-end images/s including bus transfers."""
+        transform = estimate_performance(self.config, direction)
+        upload = self.upload_seconds()
+        download = self.download_seconds()
+        if self.overlap_transfers:
+            # Steady state of a pipelined stream: the slowest stage dominates.
+            bottleneck = max(transform.transform_seconds, upload, download)
+            per_image = bottleneck
+            transfer_bound = bottleneck > transform.transform_seconds
+        else:
+            per_image = transform.transform_seconds + upload + download
+            transfer_bound = (upload + download) > transform.transform_seconds
+        return BoardThroughputReport(
+            transform=transform,
+            upload_seconds=upload,
+            download_seconds=download,
+            overlapped=self.overlap_transfers,
+            images_per_second=1.0 / per_image,
+            transfer_bound=transfer_bound,
+        )
+
+    def effective_speedup_vs_pentium(self) -> float:
+        """Speedup over the Pentium-133 baseline including bus transfers.
+
+        The software baseline keeps the image in host memory, so its time is
+        compared against the board's full upload + compute + download path
+        (non-overlapped, the fair single-image comparison).
+        """
+        from ..perf.software_baseline import PentiumBaseline
+        from ..perf.opcount_model import WorkloadModel
+
+        baseline = PentiumBaseline()
+        workload = WorkloadModel(
+            image_size=self.config.image_size, scales=self.config.scales
+        )
+        transform = estimate_performance(self.config)
+        total = transform.transform_seconds + self.upload_seconds() + self.download_seconds()
+        return baseline.seconds_for_workload(workload) / total

@@ -1,0 +1,216 @@
+"""Input buffer organisation (§4.1, Fig. 4 and Table IV).
+
+The input buffer holds the samples of the row/column currently being
+convolved so that every datum is read from the external DRAM exactly once.
+With the periodic ("circular") extension, the first ``2l`` samples of a line
+are the *border data*: they are needed again by the last outputs of the line
+(whose windows wrap around), so they stay resident for the whole line.  The
+minimum buffer size is therefore
+
+    Bsize = 2*l (border) + 2*l + 1 (current window) = 4*l + 1
+
+which the paper rounds up to the next power of two (32 words for L = 13) to
+simplify the addressing.  The buffer is folded into two banks of
+``Bsize/2`` words (Fig. 4); Bank2 is refilled ``#rounds`` times per line
+(Table IV) while Bank1 keeps the border data and the line remainder, and the
+roles of the banks swap between even and odd rows/columns.
+
+Besides the static sizing helpers, :func:`simulate_line_occupancy` replays
+the per-macro-cycle read/produce/retire schedule of one line and verifies
+that the live working set never exceeds ``4*l + 1`` — the claim behind the
+paper's buffer sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = [
+    "minimum_buffer_size",
+    "rounded_buffer_size",
+    "bank_size",
+    "bank2_rounds",
+    "bank2_rounds_table",
+    "BankLayout",
+    "bank_layout",
+    "LineOccupancyReport",
+    "simulate_line_occupancy",
+]
+
+
+def minimum_buffer_size(half_filter_length: int) -> int:
+    """``Bsize = 4*l + 1`` (§4.1)."""
+    if half_filter_length < 1:
+        raise ValueError("half_filter_length must be >= 1")
+    return 4 * half_filter_length + 1
+
+
+def rounded_buffer_size(half_filter_length: int) -> int:
+    """Minimum buffer size rounded up to the next power of two (32 for l=6)."""
+    size = 1
+    minimum = minimum_buffer_size(half_filter_length)
+    while size < minimum:
+        size *= 2
+    return size
+
+
+def bank_size(half_filter_length: int) -> int:
+    """Size of each of the two banks the buffer is folded into."""
+    return rounded_buffer_size(half_filter_length) // 2
+
+
+def bank2_rounds(line_length: int, half_filter_length: int) -> int:
+    """Number of times Bank2 is refilled while processing one line.
+
+    Bank2 holds ``Bsize/2`` consecutive samples; a line of ``line_length``
+    samples therefore streams through it ``line_length / (Bsize/2) - 1``
+    additional times after the initial fill (Table IV: 31 rounds for a
+    512-sample line with a 13-tap filter, down to 0 rounds for the 16-sample
+    lines of scale 6).
+    """
+    if line_length < 2:
+        raise ValueError("line_length must be >= 2")
+    bank = bank_size(half_filter_length)
+    if line_length <= bank:
+        return 0
+    return line_length // bank - 1
+
+
+def bank2_rounds_table(
+    image_size: int, scales: int, half_filter_length: int
+) -> Dict[int, Dict[str, int]]:
+    """Reproduce Table IV: per-scale line length and Bank2 rounds."""
+    table: Dict[int, Dict[str, int]] = {}
+    for scale in range(1, scales + 1):
+        line = image_size // (2 ** (scale - 1))
+        table[scale] = {
+            "line_length": line,
+            "rounds": bank2_rounds(line, half_filter_length),
+        }
+    return table
+
+
+@dataclass(frozen=True)
+class BankLayout:
+    """Address ranges of the folded buffer for one line parity (Fig. 4)."""
+
+    parity: str  # "even" or "odd"
+    border_range: range  # addresses holding the 2l border samples
+    streaming_range: range  # addresses refilled #rounds times
+    remainder_range: range  # addresses holding the tail of the line
+
+    @property
+    def total_words(self) -> int:
+        return len(self.border_range) + len(self.streaming_range) + len(self.remainder_range)
+
+
+def bank_layout(half_filter_length: int, parity: str = "even") -> BankLayout:
+    """Address map of the two banks for even or odd rows/columns (Fig. 4).
+
+    For even lines the border data sits at the top of Bank1 and Bank2 is the
+    streaming half; for odd lines the roles of the two banks swap.
+    """
+    if parity not in ("even", "odd"):
+        raise ValueError("parity must be 'even' or 'odd'")
+    l = half_filter_length
+    size = rounded_buffer_size(l)
+    bank = size // 2
+    if parity == "even":
+        border = range(0, 2 * l)
+        streaming = range(bank, size)
+        remainder = range(2 * l, bank)
+    else:
+        border = range(bank, bank + 2 * l)
+        streaming = range(0, bank)
+        remainder = range(bank + 2 * l, size)
+    return BankLayout(
+        parity=parity,
+        border_range=border,
+        streaming_range=streaming,
+        remainder_range=remainder,
+    )
+
+
+@dataclass(frozen=True)
+class LineOccupancyReport:
+    """Result of replaying the buffer schedule of one line."""
+
+    line_length: int
+    half_filter_length: int
+    macrocycles: int
+    dram_reads: int
+    outputs: int
+    max_live_words: int
+    minimum_buffer_size: int
+    fits_minimum_buffer: bool
+
+
+def simulate_line_occupancy(line_length: int, half_filter_length: int) -> LineOccupancyReport:
+    """Replay one line's schedule and measure the peak buffer occupancy.
+
+    The schedule reads the line's samples from DRAM strictly in order, one
+    per macro-cycle; an output (alternating low-pass / high-pass) is emitted
+    as soon as its causal window ``x[2k] .. x[2k + 2l]`` (indices mod the
+    line length) is fully resident; a sample is retired once the last output
+    needing it has been emitted — except the ``2l`` border samples, which
+    stay resident until the end of the line because the final windows wrap
+    around onto them.
+    """
+    M = line_length
+    l = half_filter_length
+    if M < 2 or M % 2:
+        raise ValueError("line_length must be even and >= 2")
+    if M <= 2 * l:
+        raise ValueError(
+            f"line of {M} samples is shorter than the filter support {2 * l + 1}"
+        )
+    taps = 2 * l + 1
+
+    # Last output index (k) that uses each sample.
+    last_use: Dict[int, int] = {}
+    for k in range(M // 2):
+        for n in range(taps):
+            sample = (2 * k + n) % M
+            last_use[sample] = max(last_use.get(sample, -1), k)
+
+    live: set = set()
+    next_read = 0
+    next_output = 0
+    macrocycles = 0
+    outputs = 0
+    max_live = 0
+
+    def window_resident(k: int) -> bool:
+        return all(((2 * k + n) % M) in live for n in range(taps))
+
+    while next_output < M // 2 or next_read < M:
+        macrocycles += 1
+        if next_read < M:
+            live.add(next_read)
+            next_read += 1
+        max_live = max(max_live, len(live))
+        # Emit every output whose window is now complete (the hardware emits
+        # one per macro-cycle; emitting eagerly here only lowers occupancy
+        # between reads, the peak is reached right after a read either way).
+        while next_output < M // 2 and window_resident(next_output):
+            k = next_output
+            outputs += 2  # low-pass and high-pass share the window
+            next_output += 1
+            # Retire samples whose last user was this output.
+            for n in range(taps):
+                sample = (2 * k + n) % M
+                if last_use[sample] == k:
+                    live.discard(sample)
+
+    minimum = minimum_buffer_size(l)
+    return LineOccupancyReport(
+        line_length=M,
+        half_filter_length=l,
+        macrocycles=macrocycles,
+        dram_reads=M,
+        outputs=outputs,
+        max_live_words=max_live,
+        minimum_buffer_size=minimum,
+        fits_minimum_buffer=max_live <= minimum,
+    )

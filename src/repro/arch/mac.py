@@ -1,0 +1,120 @@
+"""MAC unit: pipelined multiplier + 64-bit accumulator (Fig. 3 centre).
+
+The accumulator control (``acc_ctl`` row of Fig. 2) knows three commands:
+
+* ``load`` — start a new convolution: the accumulator is loaded with the
+  incoming product (cycle 0 of a macro-cycle),
+* ``acc``  — add the incoming product to the accumulator (cycles 1..L-1),
+* ``hold`` — keep the current value (refresh-stall cycles 13..18).
+
+The accumulator is 64 bits wide; like the hardware register it wraps modulo
+2**64, which is harmless because the word-length plan guarantees the final
+value of every convolution fits (transient overflow in two's complement
+cancels out as long as the end result is representable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fixedpoint.rounding import wrap_twos_complement
+from .multiplier import PipelinedMultiplier
+
+__all__ = ["MacUnit", "MacStats"]
+
+
+@dataclass
+class MacStats:
+    """Operation counters of the MAC unit (drive the utilisation figures)."""
+
+    multiplies: int = 0
+    accumulate_cycles: int = 0
+    load_cycles: int = 0
+    hold_cycles: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles in which the multiplier produced useful work."""
+        return self.accumulate_cycles + self.load_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.hold_cycles
+
+    def utilisation(self) -> float:
+        """busy / total, the metric the paper quotes as 99.04 %."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.total_cycles
+
+
+class MacUnit:
+    """Behavioural multiply-accumulate unit with an explicit accumulator."""
+
+    def __init__(self, operand_bits: int = 32, accumulator_bits: int = 64,
+                 multiplier_stages: int = 2) -> None:
+        if accumulator_bits < operand_bits:
+            raise ValueError("accumulator must be at least as wide as the operands")
+        self.operand_bits = operand_bits
+        self.accumulator_bits = accumulator_bits
+        self.multiplier = PipelinedMultiplier(operand_bits, multiplier_stages)
+        self.accumulator: int = 0
+        self.stats = MacStats()
+
+    def reset(self) -> None:
+        """Clear the accumulator, pipeline and statistics."""
+        self.multiplier.reset()
+        self.accumulator = 0
+        self.stats = MacStats()
+
+    # -- the three acc_ctl commands ------------------------------------------------
+    def load(self, data: int, coefficient: int) -> None:
+        """Cycle 0 of a macro-cycle: start a new accumulation with ``data * coefficient``."""
+        product = self._multiply(data, coefficient)
+        self.accumulator = wrap_twos_complement(product, self.accumulator_bits)
+        self.stats.load_cycles += 1
+
+    def accumulate(self, data: int, coefficient: int) -> None:
+        """Cycles 1..L-1: add ``data * coefficient`` to the accumulator."""
+        product = self._multiply(data, coefficient)
+        self.accumulator = wrap_twos_complement(
+            self.accumulator + product, self.accumulator_bits
+        )
+        self.stats.accumulate_cycles += 1
+
+    def hold(self) -> None:
+        """Refresh-stall cycle: the accumulator keeps its value, multiplier idles."""
+        self.stats.hold_cycles += 1
+
+    # -- helpers --------------------------------------------------------------------
+    def _multiply(self, data: int, coefficient: int) -> int:
+        a = int(wrap_twos_complement(int(data), self.operand_bits))
+        b = int(wrap_twos_complement(int(coefficient), self.operand_bits))
+        self.stats.multiplies += 1
+        return a * b
+
+    def value(self) -> int:
+        """Current accumulator contents (signed, 64-bit wrapped)."""
+        return int(self.accumulator)
+
+    def convolve(self, data_window, coefficients) -> int:
+        """Run one full macro-cycle worth of MACs and return the accumulator.
+
+        Convenience wrapper used by the datapath: ``load`` on the first pair,
+        ``accumulate`` on the rest.  ``data_window`` and ``coefficients`` must
+        have equal length (one MAC per filter tap, i.e. per macro-cycle slot).
+        """
+        data_window = list(data_window)
+        coefficients = list(coefficients)
+        if len(data_window) != len(coefficients):
+            raise ValueError(
+                f"window of {len(data_window)} samples does not match "
+                f"{len(coefficients)} coefficients"
+            )
+        if not data_window:
+            raise ValueError("cannot convolve an empty window")
+        self.load(data_window[0], coefficients[0])
+        for data, coeff in zip(data_window[1:], coefficients[1:]):
+            self.accumulate(data, coeff)
+        return self.value()

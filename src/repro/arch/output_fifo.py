@@ -1,0 +1,236 @@
+"""Output FIFO organisation and dependence-distance analysis (§4.4, Table VI).
+
+When the FDWT proceeds from one scale to the next, the outputs of a
+convolution pass are written back to the same external-memory locations that
+still hold the inputs of that pass (the transform is computed in place, one
+image-sized DRAM).  Two hazards bound the number of cycles ``D`` by which
+the output FIFO delays the write-back:
+
+* **Write-after-read (lower bound).**  Position ``j`` of the column being
+  processed must not be overwritten before its old value has been read as a
+  convolution input.  The reads proceed one position per macro-cycle
+  (``read_cycle(j) = l + 1 + j``); the new value destined for position ``j``
+  is produced earlier than that for the second (high-pass) half of the
+  column, so the write must be delayed by at least ``MIN(D)`` cycles.
+* **Read-after-write (upper bound).**  The following convolution pass starts
+  reading the freshly written values shortly after the current pass ends;
+  a write delayed too much would not have landed yet, which caps the delay
+  at ``MAX(D)``.
+
+With the schedule conventions documented in the functions below the bounds
+come out as ``MIN(D) = M/2 - l`` and ``MAX(D) = M - l - 2`` for a line of
+``M`` samples, which reproduces Table VI of the paper exactly
+(250/504, 122/248, 58/120, 26/56, 10/24, 2/8 for N = 512, L = 13).
+Because ``D`` changes with the scale, the FIFO is implemented as a
+variable-depth FIFO in the intermediate RAM, exactly as §4.4 describes;
+:class:`VariableDepthFifo` is the behavioural model of that structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "read_cycle",
+    "write_available_cycle",
+    "next_pass_read_cycle",
+    "dependence_distances",
+    "min_fifo_depth",
+    "max_fifo_depth",
+    "fifo_depth_bounds",
+    "fifo_bounds_table",
+    "choose_fifo_depth",
+    "VariableDepthFifo",
+]
+
+
+def read_cycle(position: int, half_filter_length: int) -> int:
+    """Macro-cycle at which the *old* value at ``position`` is read.
+
+    Reads proceed in position order, one per macro-cycle, after a prologue of
+    ``l + 1`` cycles (the pipeline fill of Fig. 2): ``read_cycle(j) = l+1+j``.
+    """
+    if position < 0:
+        raise ValueError("position must be non-negative")
+    return half_filter_length + 1 + position
+
+
+def write_available_cycle(position: int, line_length: int, half_filter_length: int) -> int:
+    """Macro-cycle at which the *new* value for ``position`` becomes available.
+
+    Outputs are stored in decimated order: low-pass results occupy positions
+    ``0 .. M/2 - 1`` and high-pass results positions ``M/2 .. M - 1``.  The
+    low/high pair of output index ``k`` is produced once its causal window
+    ``x[2k] .. x[2k + 2l]`` has been read, i.e. at macro-cycles
+    ``2k + 2l + 1`` and ``2k + 2l + 2`` respectively.
+    """
+    M = line_length
+    l = half_filter_length
+    if not 0 <= position < M:
+        raise ValueError(f"position {position} outside line of {M} samples")
+    if position < M // 2:  # low-pass output k = position
+        k = position
+        return 2 * k + 2 * l + 1
+    k = position - M // 2  # high-pass output
+    return 2 * k + 2 * l + 2
+
+
+def next_pass_read_cycle(position: int, line_length: int, half_filter_length: int) -> int:
+    """Macro-cycle at which the *following* pass reads the new value at ``position``.
+
+    The next convolution pass starts right after the current line's ``M``
+    macro-cycles and again reads one position per macro-cycle after an
+    ``l``-cycle prologue (one cycle shorter than the producing pass's
+    ``l + 1`` prologue: its first read needs no preceding branch cycle).
+    """
+    if not 0 <= position < line_length:
+        raise ValueError(f"position {position} outside line of {line_length} samples")
+    return line_length + half_filter_length + position
+
+
+def dependence_distances(line_length: int, half_filter_length: int) -> List[int]:
+    """``write_available_cycle(j) - read_cycle(j)`` for the delayed positions.
+
+    Only the high-pass half of the column (positions ``M/2 .. M-1``) goes
+    through the write-back FIFO: the low-pass ("average") results are the
+    input stream of the next convolution and are consumed through the
+    datapath rather than written early.  Negative distances are the
+    write-after-read hazards the FIFO delay must cover.
+    """
+    M = line_length
+    return [
+        write_available_cycle(j, M, half_filter_length)
+        - read_cycle(j, half_filter_length)
+        for j in range(M // 2, M)
+    ]
+
+
+def min_fifo_depth(line_length: int, half_filter_length: int) -> int:
+    """Smallest delay ``D`` such that ``min_j(distance(j) + D) > 0``.
+
+    Derived from the dependence distances (not hard-coded); equals
+    ``M/2 - l`` for every Table VI configuration.
+    """
+    worst = min(dependence_distances(line_length, half_filter_length))
+    return max(0, 1 - worst)
+
+
+def max_fifo_depth(line_length: int, half_filter_length: int) -> int:
+    """Largest delay ``D`` that still lands every write before the following
+    pass reads it: ``max D`` with
+    ``write_available_cycle(j) + D < next_pass_read_cycle(j)`` for the
+    delayed (high-pass) positions.
+
+    Equals ``M - l - 2`` for every Table VI configuration.
+    """
+    M = line_length
+    slack = [
+        next_pass_read_cycle(j, M, half_filter_length)
+        - write_available_cycle(j, M, half_filter_length)
+        for j in range(M // 2, M)
+    ]
+    return min(slack) - 1
+
+
+@dataclass(frozen=True)
+class FifoDepthBounds:
+    """Bounds on the FIFO depth for one scale (one column of Table VI)."""
+
+    scale: int
+    line_length: int
+    min_depth: int
+    max_depth: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.min_depth <= self.max_depth
+
+
+def fifo_depth_bounds(line_length: int, half_filter_length: int, scale: int = 0) -> FifoDepthBounds:
+    """MIN(D)/MAX(D) for one line length."""
+    return FifoDepthBounds(
+        scale=scale,
+        line_length=line_length,
+        min_depth=min_fifo_depth(line_length, half_filter_length),
+        max_depth=max_fifo_depth(line_length, half_filter_length),
+    )
+
+
+def fifo_bounds_table(
+    image_size: int, scales: int, half_filter_length: int
+) -> Dict[int, FifoDepthBounds]:
+    """Reproduce Table VI: per-scale MIN(D)/MAX(D) for an ``image_size`` image."""
+    table: Dict[int, FifoDepthBounds] = {}
+    for scale in range(1, scales + 1):
+        line = image_size // (2 ** (scale - 1))
+        table[scale] = fifo_depth_bounds(line, half_filter_length, scale)
+    return table
+
+
+def choose_fifo_depth(line_length: int, half_filter_length: int) -> int:
+    """Depth actually programmed for a scale: the minimum legal depth.
+
+    Any value in ``[MIN(D), MAX(D)]`` is functionally correct; the minimum
+    keeps the intermediate-RAM footprint smallest, which is what the
+    ``N/2 + 32`` on-chip word count of the paper assumes (``MIN(D)`` at
+    scale 1 is ``N/2 - l < N/2``).
+    """
+    bounds = fifo_depth_bounds(line_length, half_filter_length)
+    if not bounds.feasible:
+        raise ValueError(
+            f"no feasible FIFO depth for line length {line_length}: "
+            f"min {bounds.min_depth} > max {bounds.max_depth}"
+        )
+    return bounds.min_depth
+
+
+class VariableDepthFifo:
+    """Behavioural model of the variable-depth FIFO in the intermediate RAM.
+
+    The FIFO delays each pushed item by exactly ``depth`` push/pop steps:
+    ``push`` returns the item that was pushed ``depth`` steps earlier (or
+    ``None`` while the FIFO is still filling).  ``resize`` changes the depth
+    between scales, as the paper's configuration memory does.
+    """
+
+    def __init__(self, depth: int, capacity: Optional[int] = None) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if capacity is not None and depth > capacity:
+            raise ValueError(f"depth {depth} exceeds the RAM capacity {capacity}")
+        self.capacity = capacity
+        self.depth = depth
+        self._storage: Deque = deque()
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, item):
+        """Insert ``item``; return the item leaving the delay line, if any."""
+        self.pushes += 1
+        self._storage.append(item)
+        if len(self._storage) > self.depth:
+            self.pops += 1
+            return self._storage.popleft()
+        return None
+
+    def drain(self) -> List:
+        """Pop everything still inside (end of a pass)."""
+        items = list(self._storage)
+        self.pops += len(items)
+        self._storage.clear()
+        return items
+
+    def resize(self, depth: int) -> None:
+        """Change the depth between scales; the FIFO must be empty."""
+        if self._storage:
+            raise RuntimeError("cannot resize a non-empty FIFO")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if self.capacity is not None and depth > self.capacity:
+            raise ValueError(f"depth {depth} exceeds the RAM capacity {self.capacity}")
+        self.depth = depth
+
+    def __len__(self) -> int:
+        return len(self._storage)

@@ -1,0 +1,126 @@
+"""Architecture-level reports: area composition and hardware requirements.
+
+Two kinds of report are produced:
+
+* :func:`proposed_area_breakdown` composes the silicon area of the proposed
+  datapath (Fig. 3) from the calibrated ES2 technology model — pipelined
+  Wallace multiplier, 64-bit accumulator, alignment barrel shifter,
+  ``N/2 + 32`` on-chip memory words, coefficient RAM and pipeline
+  registers — and reproduces the ≈ 11.2 mm² figure of §5.
+* :func:`hardware_requirements` summarises the component counts the paper
+  quotes for the proposed architecture (one multiplier, one adder,
+  ``N/2 + 32`` memory words), in the same terms as the Table III columns of
+  the prior architectures, so that :mod:`repro.baselines` can build the full
+  comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology.area import AreaBreakdown, ram_area_mm2, register_area_mm2, barrel_shifter_area_mm2
+from ..technology.cells import TechnologyParameters, es2_07um
+from .config import ArchitectureConfig, paper_configuration
+from .multiplier import wallace_multiplier_estimate
+
+__all__ = [
+    "PAPER_PROPOSED_AREA_MM2",
+    "HardwareRequirements",
+    "hardware_requirements",
+    "proposed_area_breakdown",
+]
+
+#: Datapath area quoted in §5 of the paper (0.7 µm CMOS, 32-bit words).
+PAPER_PROPOSED_AREA_MM2 = 11.2
+
+
+@dataclass(frozen=True)
+class HardwareRequirements:
+    """Arithmetic-block and memory-word counts of one architecture instance."""
+
+    name: str
+    multipliers: int
+    adders: int
+    memory_words: int
+    word_length: int
+
+    @property
+    def memory_bits(self) -> int:
+        return self.memory_words * self.word_length
+
+
+def hardware_requirements(config: Optional[ArchitectureConfig] = None) -> HardwareRequirements:
+    """Component counts of the proposed architecture (§4/§5).
+
+    One 32x32 multiplier, one 64-bit accumulator adder, and
+    ``N/2 + 32`` on-chip memory words (input buffer + intermediate FIFO RAM +
+    coefficient storage rounded to the 32-word block).
+    """
+    config = config or paper_configuration()
+    return HardwareRequirements(
+        name="Proposed (this paper)",
+        multipliers=1,
+        adders=1,
+        memory_words=config.onchip_memory_words,
+        word_length=config.word_length,
+    )
+
+
+def proposed_area_breakdown(
+    config: Optional[ArchitectureConfig] = None,
+    tech: Optional[TechnologyParameters] = None,
+) -> AreaBreakdown:
+    """Compose the proposed datapath's silicon area from the cell model.
+
+    The blocks follow Fig. 3: the 2-stage pipelined Wallace multiplier, the
+    64-bit accumulator register + adder, the alignment (barrel shifter over
+    the 64-bit accumulator word) and rounding stage, the on-chip RAM
+    (``N/2`` intermediate-FIFO words plus the 32-word input buffer), the
+    filter-coefficient RAM and the datapath pipeline registers visible in
+    Fig. 3.  With the calibrated ES2 0.7 µm constants the total comes out
+    within a few percent of the 11.2 mm² the paper quotes.
+    """
+    config = config or paper_configuration()
+    tech = tech or es2_07um()
+    breakdown = AreaBreakdown(name=f"Proposed datapath, N={config.image_size}")
+
+    multiplier = wallace_multiplier_estimate(config.word_length, 2, tech)
+    breakdown.add("32x32 pipelined Wallace multiplier", multiplier.area_mm2)
+
+    # 64-bit accumulator: register + carry-propagate adder.
+    breakdown.add(
+        "64-bit accumulator (adder + register)",
+        register_area_mm2(config.accumulator_bits, tech)
+        + config.accumulator_bits * tech.array_cell_area_mm2,
+    )
+
+    # Alignment barrel shifter over the accumulator word + rounding increment.
+    breakdown.add(
+        "alignment shifter + rounding",
+        barrel_shifter_area_mm2(config.accumulator_bits, tech)
+        + config.word_length * tech.array_cell_area_mm2,
+    )
+
+    # On-chip RAM: N/2 intermediate (FIFO) words + the 32-word input buffer.
+    breakdown.add(
+        f"intermediate RAM ({config.image_size // 2} words)",
+        ram_area_mm2(config.image_size // 2, config.word_length, tech),
+    )
+    breakdown.add(
+        f"input buffer ({config.input_buffer_size} words)",
+        ram_area_mm2(config.input_buffer_size, config.word_length, tech),
+    )
+
+    # Filter-coefficient RAM: the low/high-pass pair used by the current
+    # transform direction (13 + 11 taps for F2) fits in a 32-word block; the
+    # pair for the other direction is reloaded by the host when switching
+    # between FDWT and IDWT.
+    breakdown.add("coefficient RAM (32 words)", ram_area_mm2(32, config.word_length, tech))
+
+    # Datapath pipeline registers of Fig. 3 (input, coefficient, product, output).
+    breakdown.add(
+        "pipeline registers",
+        register_area_mm2(4 * config.word_length, tech),
+    )
+    return breakdown

@@ -1,0 +1,39 @@
+"""Prior-architecture hardware-requirement models (Table III of the paper).
+
+Public API
+----------
+``SerialParallelArchitecture`` / ``ParallelArchitecture`` /
+``BlockFilteringArchitecture`` / ``Recursive1DArchitecture``
+    Parametric multiplier/memory/area models of the four prior architectures.
+``ProposedArchitecture``
+    The paper's architecture expressed in the same comparison terms.
+``table_iii_comparison`` / ``area_ratios``
+    The full Table III comparison and the area-ratio summary.
+"""
+
+from .base import ArchitectureEstimate, ArchitectureModel
+from .block_filtering import BlockFilteringArchitecture
+from .comparison import (
+    ALL_ARCHITECTURES,
+    PRIOR_ARCHITECTURES,
+    area_ratios,
+    table_iii_comparison,
+)
+from .parallel_filter import ParallelArchitecture
+from .proposed import ProposedArchitecture
+from .recursive_1d import Recursive1DArchitecture
+from .serial_parallel import SerialParallelArchitecture
+
+__all__ = [
+    "ArchitectureEstimate",
+    "ArchitectureModel",
+    "BlockFilteringArchitecture",
+    "ALL_ARCHITECTURES",
+    "PRIOR_ARCHITECTURES",
+    "area_ratios",
+    "table_iii_comparison",
+    "ParallelArchitecture",
+    "ProposedArchitecture",
+    "Recursive1DArchitecture",
+    "SerialParallelArchitecture",
+]

@@ -1,0 +1,135 @@
+"""Common interface of the prior-architecture hardware-requirement models.
+
+Table III of the paper compares four DWT architectures from the literature —
+Serial-Parallel, Parallel, Block-filtering and Recursive 1-D — against the
+proposed design, in terms of the number of multipliers, the number of memory
+elements (words) and the silicon area those components occupy at lossless
+precision (32-bit words, L = 13, S = 6, N = 512, ES2 0.7 µm).
+
+Each baseline model derives its multiplier and memory counts from the
+architecture's structure as described in the survey the paper cites
+(Chakrabarti, Viswanath & Owens 1996) and the paper's own §3 summary.  The
+printed formulas in the available copy of the paper are partially garbled;
+the reconstructions used here are documented per class and the published
+Table III areas are kept alongside as calibration references
+(``paper_area_mm2``), so that every comparison clearly separates "model
+output" from "value printed in the paper".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology.area import ram_area_mm2
+from ..technology.cells import TechnologyParameters, es2_07um
+
+__all__ = ["ArchitectureModel", "ArchitectureEstimate"]
+
+
+@dataclass(frozen=True)
+class ArchitectureEstimate:
+    """One row of the Table III comparison."""
+
+    name: str
+    multipliers: int
+    adders: int
+    memory_words: int
+    word_length: int
+    multiplier_area_mm2: float
+    memory_area_mm2: float
+    total_area_mm2: float
+    paper_area_mm2: Optional[float]
+
+    @property
+    def memory_bits(self) -> int:
+        return self.memory_words * self.word_length
+
+
+class ArchitectureModel:
+    """Base class: a parametric hardware-requirement model of one architecture.
+
+    Subclasses define :meth:`multiplier_count`, :meth:`adder_count` and
+    :meth:`memory_words` as functions of the filter length ``L``, the number
+    of scales ``S`` and the image size ``N``; :meth:`estimate` turns the
+    counts into areas with the calibrated technology model.
+
+    Parameters
+    ----------
+    filter_length:
+        ``L``, the number of filter taps (13 in the paper's comparison).
+    scales:
+        ``S``, the number of decomposition scales (6 in the comparison).
+    image_size:
+        ``N``, the number of rows/columns (512 in the comparison).
+    word_length:
+        Datapath word length in bits; the paper evaluates all architectures
+        at the 32-bit lossless word length.
+    """
+
+    #: Human-readable architecture name (overridden by subclasses).
+    name: str = "abstract"
+
+    #: Area printed in Table III for this architecture (None for new models).
+    paper_area_mm2: Optional[float] = None
+
+    def __init__(
+        self,
+        filter_length: int = 13,
+        scales: int = 6,
+        image_size: int = 512,
+        word_length: int = 32,
+    ) -> None:
+        if filter_length < 1 or scales < 1 or image_size < 2:
+            raise ValueError("filter_length, scales and image_size must be positive")
+        if word_length < 8:
+            raise ValueError("word_length must be at least 8 bits")
+        self.filter_length = filter_length
+        self.scales = scales
+        self.image_size = image_size
+        self.word_length = word_length
+
+    # -- structural counts (overridden) ------------------------------------------------
+    def multiplier_count(self) -> int:
+        """Number of hardware multipliers."""
+        raise NotImplementedError
+
+    def adder_count(self) -> int:
+        """Number of hardware adders (defaults to one per multiplier)."""
+        return self.multiplier_count()
+
+    def memory_words(self) -> int:
+        """Number of on-chip memory words."""
+        raise NotImplementedError
+
+    # -- area ----------------------------------------------------------------------------
+    def multiplier_area(self, tech: Optional[TechnologyParameters] = None) -> float:
+        """Total multiplier area, using the compiled-array cell the paper used
+        for its Table III estimates."""
+        from ..arch.multiplier import array_multiplier_estimate
+
+        tech = tech or es2_07um()
+        single = array_multiplier_estimate(self.word_length, tech).area_mm2
+        return self.multiplier_count() * single
+
+    def memory_area(self, tech: Optional[TechnologyParameters] = None) -> float:
+        """Total on-chip memory area."""
+        tech = tech or es2_07um()
+        return ram_area_mm2(self.memory_words(), self.word_length, tech)
+
+    def estimate(self, tech: Optional[TechnologyParameters] = None) -> ArchitectureEstimate:
+        """Full Table III row for this architecture."""
+        tech = tech or es2_07um()
+        mult_area = self.multiplier_area(tech)
+        mem_area = self.memory_area(tech)
+        return ArchitectureEstimate(
+            name=self.name,
+            multipliers=self.multiplier_count(),
+            adders=self.adder_count(),
+            memory_words=self.memory_words(),
+            word_length=self.word_length,
+            multiplier_area_mm2=mult_area,
+            memory_area_mm2=mem_area,
+            total_area_mm2=mult_area + mem_area,
+            paper_area_mm2=self.paper_area_mm2,
+        )

@@ -1,0 +1,31 @@
+"""Type-B baseline: the fully Parallel architecture [Chakrabarti et al. 1996].
+
+All four filters (row and column, low- and high-pass) are parallel FIR
+filters; the circuit is fed one row at a time (§3.B of the paper).  The
+multiplier count is again ``4 L`` (one per tap per parallel filter pair for
+rows and columns); the line storage needed between the row and column passes
+is the same ``2 L N + N`` words as the Serial-Parallel variant — which is why
+Table III prints the same area for both (the two differ in I/O bandwidth and
+control, not in arithmetic/memory volume).
+"""
+
+from __future__ import annotations
+
+from .base import ArchitectureModel
+
+__all__ = ["ParallelArchitecture"]
+
+
+class ParallelArchitecture(ArchitectureModel):
+    """Fully parallel filter architecture (type B of §3)."""
+
+    name = "B. Parallel"
+    paper_area_mm2 = 254.36
+
+    def multiplier_count(self) -> int:
+        """Four parallel filters of ``L`` taps each."""
+        return 4 * self.filter_length
+
+    def memory_words(self) -> int:
+        """``2 L N + N`` words of line storage between row and column passes."""
+        return 2 * self.filter_length * self.image_size + self.image_size

@@ -1,0 +1,75 @@
+"""The proposed architecture expressed in the Table III comparison terms.
+
+The proposed datapath has a fundamentally different structure from the four
+baselines (one time-multiplexed MAC instead of parallel filter banks), so
+its Table III row is built from the :mod:`repro.arch` models rather than
+from a closed-form multiplier/memory formula:
+
+* multipliers: 1 (the pipelined Wallace multiplier),
+* memory words: ``N/2 + 32`` (intermediate RAM + input buffer),
+* area: the full Fig. 3 composition of
+  :func:`repro.arch.report.proposed_area_breakdown` (≈ 11.2 mm²), *not*
+  just multiplier + RAM, because for this design the shifter, accumulator
+  and registers are no longer negligible relative to a single multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.config import ArchitectureConfig
+from ..arch.report import PAPER_PROPOSED_AREA_MM2, proposed_area_breakdown
+from ..technology.cells import TechnologyParameters, es2_07um
+from .base import ArchitectureEstimate, ArchitectureModel
+
+__all__ = ["ProposedArchitecture"]
+
+
+class ProposedArchitecture(ArchitectureModel):
+    """The paper's single-MAC architecture, as a Table III row."""
+
+    name = "Proposed (this paper)"
+    paper_area_mm2 = PAPER_PROPOSED_AREA_MM2
+
+    def multiplier_count(self) -> int:
+        return 1
+
+    def adder_count(self) -> int:
+        return 1
+
+    def memory_words(self) -> int:
+        config = self._config()
+        return config.onchip_memory_words
+
+    def multiplier_area(self, tech: Optional[TechnologyParameters] = None) -> float:
+        """Area of the single pipelined Wallace multiplier (not a compiled array)."""
+        from ..arch.multiplier import wallace_multiplier_estimate
+
+        tech = tech or es2_07um()
+        return wallace_multiplier_estimate(self.word_length, 2, tech).area_mm2
+
+    def estimate(self, tech: Optional[TechnologyParameters] = None) -> ArchitectureEstimate:
+        """Table III row using the complete Fig. 3 area composition."""
+        tech = tech or es2_07um()
+        breakdown = proposed_area_breakdown(self._config(), tech)
+        mult_area = self.multiplier_area(tech)
+        mem_area = self.memory_area(tech)
+        return ArchitectureEstimate(
+            name=self.name,
+            multipliers=self.multiplier_count(),
+            adders=self.adder_count(),
+            memory_words=self.memory_words(),
+            word_length=self.word_length,
+            multiplier_area_mm2=mult_area,
+            memory_area_mm2=mem_area,
+            total_area_mm2=breakdown.total_mm2,
+            paper_area_mm2=self.paper_area_mm2,
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+    def _config(self) -> ArchitectureConfig:
+        return ArchitectureConfig(
+            image_size=self.image_size,
+            scales=self.scales,
+            word_length=self.word_length,
+        )

@@ -1,0 +1,33 @@
+"""Type-A baseline: the Serial-Parallel architecture [Chakrabarti et al. 1996].
+
+Two *serial* filter pairs compute the row convolutions while two *parallel*
+filter pairs compute the column convolutions; the circuit is fed with two
+image rows at a time (§3.A of the paper).  A parallel FIR filter of length
+``L`` needs ``L`` multipliers; the serial row filters are usually also
+counted at full rate for the throughput the survey assumes, giving ``4 L``
+multipliers in total.  The row/column hand-over requires the architecture to
+hold ``2 L`` full image lines of partial column results plus one line of
+input samples, i.e. ``2 L N + N`` words — the dominant cost once the words
+are 32 bits wide.
+"""
+
+from __future__ import annotations
+
+from .base import ArchitectureModel
+
+__all__ = ["SerialParallelArchitecture"]
+
+
+class SerialParallelArchitecture(ArchitectureModel):
+    """Serial-Parallel architecture (type A of §3)."""
+
+    name = "A. Serial-Parallel"
+    paper_area_mm2 = 254.36
+
+    def multiplier_count(self) -> int:
+        """Two serial + two parallel filter pairs: ``4 L`` multipliers."""
+        return 4 * self.filter_length
+
+    def memory_words(self) -> int:
+        """``2 L N + N`` words of line storage for the column filters."""
+        return 2 * self.filter_length * self.image_size + self.image_size

@@ -1,0 +1,79 @@
+"""Lossless wavelet codecs (library extension beyond the paper).
+
+Public API
+----------
+``LosslessWaveletCodec``
+    Coefficient-exact back end for the paper's fixed-point DWT (bit-exact
+    round trip; models the hardware-to-coder hand-off, does not shrink).
+``STransformCodec``
+    Compressive lossless codec based on the reversible integer S-transform.
+``CompressedImage`` / ``CompressedSImage`` / ``SubbandChunk``
+    Compressed-stream containers with size/ratio accounting.
+``rice_encode`` / ``huffman_encode`` / ``rle_encode`` and friends
+    The underlying entropy-coding primitives.
+"""
+
+from .bitstream import BitReader, BitWriter
+from .codec import CompressedImage, LosslessWaveletCodec, SubbandChunk
+from .s_transform import (
+    CompressedSImage,
+    STransformCodec,
+    STransformPyramid,
+    s_transform_forward_1d,
+    s_transform_forward_2d,
+    s_transform_inverse_1d,
+    s_transform_inverse_2d,
+)
+from .huffman import (
+    HuffmanCode,
+    build_code_lengths,
+    canonical_codes,
+    huffman_decode,
+    huffman_encode,
+)
+from .mapper import flatten_pyramid, pyramid_scan, zigzag_decode, zigzag_encode
+from .rice import (
+    optimal_rice_parameter,
+    rice_code_length,
+    rice_decode,
+    rice_decode_value,
+    rice_encode,
+    rice_encode_value,
+)
+from .rle import LITERAL, ZERO_RUN, RleEvent, rle_decode, rle_encode, zero_fraction
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CompressedImage",
+    "LosslessWaveletCodec",
+    "SubbandChunk",
+    "CompressedSImage",
+    "STransformCodec",
+    "STransformPyramid",
+    "s_transform_forward_1d",
+    "s_transform_forward_2d",
+    "s_transform_inverse_1d",
+    "s_transform_inverse_2d",
+    "HuffmanCode",
+    "build_code_lengths",
+    "canonical_codes",
+    "huffman_decode",
+    "huffman_encode",
+    "flatten_pyramid",
+    "pyramid_scan",
+    "zigzag_decode",
+    "zigzag_encode",
+    "optimal_rice_parameter",
+    "rice_code_length",
+    "rice_decode",
+    "rice_decode_value",
+    "rice_encode",
+    "rice_encode_value",
+    "LITERAL",
+    "ZERO_RUN",
+    "RleEvent",
+    "rle_decode",
+    "rle_encode",
+    "zero_fraction",
+]

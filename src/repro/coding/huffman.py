@@ -1,0 +1,185 @@
+"""Canonical Huffman coding of bounded symbol alphabets.
+
+Used by the codec for the *category* stream (the bucketed magnitudes of the
+wavelet coefficients, JPEG-style), where the alphabet is small (< 64
+symbols) and a static canonical code transmitted as a table of code lengths
+is both compact and fast to rebuild.
+
+The implementation is deliberately self-contained (no heapq tricks beyond
+the standard algorithm) and exposes the intermediate artefacts — frequency
+table, code lengths, canonical codes — so tests can check the classical
+Huffman invariants (Kraft equality, optimality against a brute-force check
+on small alphabets).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = [
+    "HuffmanCode",
+    "build_code_lengths",
+    "canonical_codes",
+    "huffman_encode",
+    "huffman_decode",
+]
+
+
+def build_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code length of every symbol with non-zero frequency.
+
+    A single-symbol alphabet gets a 1-bit code (degenerate but decodable).
+    """
+    items = [(freq, symbol) for symbol, freq in frequencies.items() if freq > 0]
+    if not items:
+        return {}
+    if len(items) == 1:
+        return {items[0][1]: 1}
+    # Standard Huffman construction over a heap of (weight, tiebreak, node).
+    heap: List[Tuple[int, int, Tuple]] = []
+    for counter, (freq, symbol) in enumerate(sorted(items)):
+        heapq.heappush(heap, (freq, counter, ("leaf", symbol)))
+    counter = len(items)
+    while len(heap) > 1:
+        freq_a, _, node_a = heapq.heappop(heap)
+        freq_b, _, node_b = heapq.heappop(heap)
+        heapq.heappush(heap, (freq_a + freq_b, counter, ("node", node_a, node_b)))
+        counter += 1
+    _, _, root = heap[0]
+
+    lengths: Dict[int, int] = {}
+
+    def walk(node: Tuple, depth: int) -> None:
+        if node[0] == "leaf":
+            lengths[node[1]] = max(1, depth)
+            return
+        walk(node[1], depth + 1)
+        walk(node[2], depth + 1)
+
+    walk(root, 0)
+    return lengths
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Canonical ``{symbol: (code, length)}`` assignment from code lengths.
+
+    Symbols are ordered by (length, symbol value); codes are assigned in
+    increasing numeric order, which is the canonical-Huffman convention that
+    lets the decoder rebuild the code from the lengths alone.
+    """
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= (length - previous_length)
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code over a bounded non-negative alphabet."""
+
+    lengths: Dict[int, int]
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[int]) -> "HuffmanCode":
+        """Build the optimal code for the empirical distribution of ``symbols``."""
+        frequencies = Counter(int(s) for s in symbols)
+        if any(s < 0 for s in frequencies):
+            raise ValueError("Huffman symbols must be non-negative")
+        return cls(lengths=build_code_lengths(frequencies))
+
+    @property
+    def codes(self) -> Dict[int, Tuple[int, int]]:
+        return canonical_codes(self.lengths)
+
+    @property
+    def max_symbol(self) -> int:
+        return max(self.lengths) if self.lengths else 0
+
+    def kraft_sum(self) -> float:
+        """Kraft sum of the code (== 1 for a complete code, <= 1 always)."""
+        return sum(2.0 ** -length for length in self.lengths.values())
+
+    def expected_length(self, frequencies: Dict[int, int]) -> float:
+        """Average code length under ``frequencies`` (bits/symbol)."""
+        total = sum(frequencies.values())
+        if total == 0:
+            return 0.0
+        return sum(
+            frequencies.get(symbol, 0) * length for symbol, length in self.lengths.items()
+        ) / total
+
+    # -- serialisation of the code itself ------------------------------------------------
+    def write_table(self, writer: BitWriter) -> None:
+        """Write the code as a dense table of 5-bit lengths (0 = absent)."""
+        alphabet = self.max_symbol + 1 if self.lengths else 0
+        writer.write_uint(alphabet, 16)
+        for symbol in range(alphabet):
+            writer.write_uint(self.lengths.get(symbol, 0), 5)
+
+    @classmethod
+    def read_table(cls, reader: BitReader) -> "HuffmanCode":
+        alphabet = reader.read_uint(16)
+        lengths: Dict[int, int] = {}
+        for symbol in range(alphabet):
+            length = reader.read_uint(5)
+            if length:
+                lengths[symbol] = length
+        return cls(lengths=lengths)
+
+
+def huffman_encode(symbols: Sequence[int], code: HuffmanCode = None) -> bytes:
+    """Encode ``symbols`` with a (possibly provided) canonical Huffman code.
+
+    The code table and the symbol count are embedded so the stream is
+    self-contained.
+    """
+    symbols = [int(s) for s in symbols]
+    if any(s < 0 for s in symbols):
+        raise ValueError("Huffman symbols must be non-negative")
+    if code is None:
+        code = HuffmanCode.from_symbols(symbols)
+    writer = BitWriter()
+    code.write_table(writer)
+    writer.write_uint(len(symbols), 32)
+    codes = code.codes
+    for symbol in symbols:
+        if symbol not in codes:
+            raise ValueError(f"symbol {symbol} is not part of the Huffman code")
+        value, length = codes[symbol]
+        writer.write_uint(value, length)
+    return writer.getvalue()
+
+
+def huffman_decode(data: bytes) -> List[int]:
+    """Inverse of :func:`huffman_encode`."""
+    reader = BitReader(data)
+    code = HuffmanCode.read_table(reader)
+    count = reader.read_uint(32)
+    # Build a (length, code) -> symbol lookup for the canonical code.
+    lookup: Dict[Tuple[int, int], int] = {
+        (length, value): symbol for symbol, (value, length) in code.codes.items()
+    }
+    out: List[int] = []
+    for _ in range(count):
+        value = 0
+        length = 0
+        while True:
+            value = (value << 1) | reader.read_bit()
+            length += 1
+            if (length, value) in lookup:
+                out.append(lookup[(length, value)])
+                break
+            if length > 32:
+                raise ValueError("corrupt Huffman stream (no code within 32 bits)")
+    return out

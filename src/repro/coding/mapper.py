@@ -1,0 +1,80 @@
+"""Coefficient mapping: signed wavelet coefficients <-> non-negative symbols.
+
+Entropy coders work on non-negative integers; wavelet detail coefficients
+are signed and concentrated around zero.  The standard *zig-zag* (folding)
+map interleaves positive and negative values
+
+    0, -1, +1, -2, +2, ...  ->  0, 1, 2, 3, 4, ...
+
+preserving the magnitude ordering so that small-magnitude coefficients get
+small symbols.  The module also defines the canonical subband scan order
+(coarse to fine, as produced by :meth:`WaveletPyramid.iter_subbands`) used by
+the codec to serialise a pyramid into a single symbol stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..dwt.subbands import WaveletPyramid
+from ..fxdwt.transform import FixedPointPyramid
+
+__all__ = [
+    "zigzag_encode",
+    "zigzag_decode",
+    "pyramid_scan",
+    "flatten_pyramid",
+]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to non-negative integers (0, -1, 1, -2, ... order)."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values >= 0, 2 * values, -2 * values - 1).astype(np.int64)
+
+
+def zigzag_decode(symbols: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if symbols.size and symbols.min() < 0:
+        raise ValueError("zig-zag symbols must be non-negative")
+    return np.where(symbols % 2 == 0, symbols // 2, -(symbols + 1) // 2).astype(np.int64)
+
+
+def pyramid_scan(pyramid) -> Iterator[Tuple[str, int, np.ndarray]]:
+    """Yield ``(kind, scale, 2-D band)`` for each subband, coarse first.
+
+    Accepts either a float :class:`WaveletPyramid` or an integer
+    :class:`FixedPointPyramid`; the coefficients are returned exactly as
+    stored (the codec operates on stored integers so that the round trip is
+    lossless by construction).
+    """
+    if isinstance(pyramid, FixedPointPyramid):
+        yield "HH", pyramid.scales, np.asarray(pyramid.approximation)
+        for entry in reversed(pyramid.details):
+            for kind, band in entry.as_dict().items():
+                yield kind, entry.scale, np.asarray(band)
+        return
+    if isinstance(pyramid, WaveletPyramid):
+        for kind, scale, band in pyramid.iter_subbands():
+            yield kind, scale, np.asarray(band)
+        return
+    raise TypeError(f"unsupported pyramid type {type(pyramid).__name__}")
+
+
+def flatten_pyramid(pyramid) -> Tuple[List[Tuple[str, int, Tuple[int, int]]], np.ndarray]:
+    """Serialise a pyramid into ``(subband descriptors, concatenated samples)``.
+
+    The descriptor list records the kind, scale and shape of every subband in
+    scan order, which is all the decoder needs to rebuild the pyramid
+    structure from the flat coefficient stream.
+    """
+    descriptors: List[Tuple[str, int, Tuple[int, int]]] = []
+    chunks: List[np.ndarray] = []
+    for kind, scale, band in pyramid_scan(pyramid):
+        descriptors.append((kind, scale, (int(band.shape[0]), int(band.shape[1]))))
+        chunks.append(np.asarray(band, dtype=np.int64).ravel())
+    samples = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+    return descriptors, samples

@@ -1,0 +1,107 @@
+"""Rice (Golomb power-of-two) coding of non-negative integers.
+
+Rice codes are the standard low-complexity entropy coder for wavelet and
+predictive residuals (they are what lossless JPEG-LS and CCSDS use).  A
+symbol ``s`` is coded with parameter ``k`` as the unary quotient
+``s >> k`` followed by the ``k`` low-order bits.  The optimal ``k`` tracks
+the mean of the symbols; :func:`optimal_rice_parameter` picks it per block
+by exhaustive search over a small range (exact, and cheap for the block
+sizes used here).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = [
+    "rice_encode_value",
+    "rice_decode_value",
+    "rice_encode",
+    "rice_decode",
+    "rice_code_length",
+    "optimal_rice_parameter",
+]
+
+#: Largest Rice parameter considered by the optimiser (32-bit symbols).
+MAX_RICE_PARAMETER = 30
+
+
+def rice_encode_value(writer: BitWriter, value: int, k: int) -> None:
+    """Append the Rice code of one non-negative ``value`` with parameter ``k``."""
+    if value < 0:
+        raise ValueError("Rice codes encode non-negative integers")
+    if not 0 <= k <= MAX_RICE_PARAMETER:
+        raise ValueError(f"Rice parameter {k} outside [0, {MAX_RICE_PARAMETER}]")
+    quotient = value >> k
+    writer.write_unary(quotient)
+    if k:
+        writer.write_uint(value & ((1 << k) - 1), k)
+
+
+def rice_decode_value(reader: BitReader, k: int) -> int:
+    """Read one Rice-coded value with parameter ``k``."""
+    if not 0 <= k <= MAX_RICE_PARAMETER:
+        raise ValueError(f"Rice parameter {k} outside [0, {MAX_RICE_PARAMETER}]")
+    quotient = reader.read_unary()
+    remainder = reader.read_uint(k) if k else 0
+    return (quotient << k) | remainder
+
+
+def rice_code_length(value: int, k: int) -> int:
+    """Length in bits of the Rice code of ``value`` with parameter ``k``."""
+    if value < 0:
+        raise ValueError("Rice codes encode non-negative integers")
+    return (value >> k) + 1 + k
+
+
+def optimal_rice_parameter(symbols: Sequence[int], max_k: int = MAX_RICE_PARAMETER) -> int:
+    """Parameter ``k`` minimising the total code length of ``symbols``.
+
+    Exhaustive search; ties resolve to the smallest ``k``.  An empty block
+    returns 0.
+    """
+    arr = np.asarray(list(symbols), dtype=np.int64)
+    if arr.size == 0:
+        return 0
+    if arr.min() < 0:
+        raise ValueError("Rice codes encode non-negative integers")
+    best_k = 0
+    best_bits: Optional[int] = None
+    for k in range(0, max_k + 1):
+        bits = int(np.sum(arr >> k)) + arr.size * (1 + k)
+        if best_bits is None or bits < best_bits:
+            best_bits = bits
+            best_k = k
+    return best_k
+
+
+def rice_encode(symbols: Iterable[int], k: Optional[int] = None) -> bytes:
+    """Encode a block of non-negative symbols; returns ``header + payload``.
+
+    The chosen parameter (one byte) and the symbol count (four bytes) are
+    stored in front of the payload so that :func:`rice_decode` is
+    self-contained.
+    """
+    block = [int(s) for s in symbols]
+    if any(s < 0 for s in block):
+        raise ValueError("Rice codes encode non-negative integers")
+    if k is None:
+        k = optimal_rice_parameter(block)
+    writer = BitWriter()
+    writer.write_uint(k, 8)
+    writer.write_uint(len(block), 32)
+    for symbol in block:
+        rice_encode_value(writer, symbol, k)
+    return writer.getvalue()
+
+
+def rice_decode(data: bytes) -> List[int]:
+    """Inverse of :func:`rice_encode`."""
+    reader = BitReader(data)
+    k = reader.read_uint(8)
+    count = reader.read_uint(32)
+    return [rice_decode_value(reader, k) for _ in range(count)]

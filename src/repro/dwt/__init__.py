@@ -1,0 +1,70 @@
+"""Floating-point reference DWT (Mallat pyramid algorithm with periodic extension).
+
+Public API
+----------
+``fdwt_2d(image, bank, scales)`` / ``idwt_2d(pyramid, bank)``
+    Multi-scale 2-D forward/inverse transform (Fig. 1 of the paper).
+``fdwt_1d`` / ``idwt_1d`` and the single-stage ``analyze_*`` / ``synthesize_*``
+    building blocks.
+``WaveletPyramid`` / ``ScaleDetails``
+    Subband containers with mosaic packing.
+``mac_count_formula`` / ``count_macs_instrumented``
+    MAC operation counting (Eq. 1/2).
+"""
+
+from .convolution import (
+    analysis_convolve,
+    analysis_convolve_scalar,
+    analysis_pair,
+    periodic_gather,
+    synthesis_accumulate,
+    synthesis_accumulate_scalar,
+)
+from .opcount import (
+    MacCounter,
+    count_macs_instrumented,
+    mac_count_formula,
+    mac_count_paper_example,
+    mac_count_per_scale,
+)
+from .subbands import ScaleDetails, WaveletPyramid
+from .transform1d import (
+    analyze_1d,
+    fdwt_1d,
+    idwt_1d,
+    max_scales_for_length,
+    synthesize_1d,
+)
+from .transform2d import (
+    analyze_2d_stage,
+    fdwt_2d,
+    idwt_2d,
+    synthesize_2d_stage,
+    validate_image_for_transform,
+)
+
+__all__ = [
+    "analysis_convolve",
+    "analysis_convolve_scalar",
+    "analysis_pair",
+    "periodic_gather",
+    "synthesis_accumulate",
+    "synthesis_accumulate_scalar",
+    "MacCounter",
+    "count_macs_instrumented",
+    "mac_count_formula",
+    "mac_count_paper_example",
+    "mac_count_per_scale",
+    "ScaleDetails",
+    "WaveletPyramid",
+    "analyze_1d",
+    "fdwt_1d",
+    "idwt_1d",
+    "max_scales_for_length",
+    "synthesize_1d",
+    "analyze_2d_stage",
+    "fdwt_2d",
+    "idwt_2d",
+    "synthesize_2d_stage",
+    "validate_image_for_transform",
+]

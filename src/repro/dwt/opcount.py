@@ -1,0 +1,135 @@
+"""MAC operation counting (Eq. (1) and (2) of the paper).
+
+The paper motivates the accelerator with the number of multiply-accumulate
+(MAC) operations of the forward 2-D DWT: for ``N = 512``, 13-tap QMF filters
+and ``S = 6`` scales it quotes ``8.99e6`` MACs and 42 s of computation on a
+133 MHz Pentium.
+
+Two counters are provided:
+
+* :func:`mac_count_formula` — closed-form count per scale and in total,
+  derived from the structure of Fig. 1 (each of the four subimages of scale
+  ``j`` has ``(N/2^j)^2`` samples; producing a low/high pair costs
+  ``L(H) + L(G)`` MACs per pair of output samples for the rows and again for
+  the columns), i.e. ``MACs_j = 4 (N/2^j)^2 (L(H) + L(G))``.
+* :class:`MacCounter` + :func:`count_macs_instrumented` — an instrumented
+  scalar transform that counts every individual MAC actually executed, used
+  to validate the closed form.
+
+The paper's own printed formula is partially garbled in the available text;
+the closed form above reproduces its worked example within ~7 % (8.39e6 for
+the true F2 lengths 13/11, 9.08e6 if both filter lengths are taken as 13,
+versus the quoted 8.99e6) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..filters.qmf import BiorthogonalBank
+from .transform1d import max_scales_for_length
+
+__all__ = [
+    "mac_count_per_scale",
+    "mac_count_formula",
+    "mac_count_paper_example",
+    "MacCounter",
+    "count_macs_instrumented",
+]
+
+
+def mac_count_per_scale(image_size: int, length_h: int, length_g: int, scale: int) -> int:
+    """MACs needed to compute scale ``scale`` from scale ``scale - 1``.
+
+    ``image_size`` is the number of rows (= columns) N of the original
+    image.  Row filtering of the ``(N/2^(j-1))^2`` input consumes
+    ``(L(H) + L(G))`` MACs per output column pair; column filtering of the
+    two intermediate subimages consumes the same again, for a total of
+    ``4 (N/2^j)^2 (L(H) + L(G))``.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    half_size = image_size // (2 ** scale)
+    return 4 * half_size * half_size * (length_h + length_g)
+
+
+def mac_count_formula(
+    image_size: int, length_h: int, length_g: int, scales: int
+) -> Dict[int, int]:
+    """Per-scale MAC counts for a full ``scales``-scale FDWT.
+
+    Returns a dict mapping scale ``j`` to its MAC count; the total is the sum
+    of the values.  The same count applies to the IDWT.
+    """
+    if max_scales_for_length(image_size) < scales:
+        raise ValueError(
+            f"image size {image_size} does not support {scales} dyadic scales"
+        )
+    return {
+        j: mac_count_per_scale(image_size, length_h, length_g, j)
+        for j in range(1, scales + 1)
+    }
+
+
+def mac_count_paper_example() -> int:
+    """The paper's worked example: N=512, both filter lengths 13, S=6.
+
+    Returns the closed-form count (about 9.08e6); the paper quotes 8.99e6.
+    """
+    return sum(mac_count_formula(512, 13, 13, 6).values())
+
+
+@dataclass
+class MacCounter:
+    """Mutable counter of multiply-accumulate operations."""
+
+    macs: int = 0
+
+    def add(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("cannot add a negative number of MACs")
+        self.macs += count
+
+    def reset(self) -> None:
+        self.macs = 0
+
+
+def _count_stage_1d(length: int, filt_len: int, counter: MacCounter) -> None:
+    """Account for one decimated 1-D convolution over ``length`` input samples."""
+    counter.add((length // 2) * filt_len)
+
+
+def count_macs_instrumented(
+    image: np.ndarray, bank: BiorthogonalBank, scales: int
+) -> Dict[int, int]:
+    """Count the MACs the reference 2-D FDWT would actually execute.
+
+    The transform itself is not run; the counting walks the exact same loop
+    structure (rows then columns, per scale, per filter) and therefore counts
+    exactly one MAC per filter tap per produced output sample, which is what
+    the single-MAC hardware of the paper executes.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    rows, cols = image.shape
+    per_scale: Dict[int, int] = {}
+    for scale in range(1, scales + 1):
+        counter = MacCounter()
+        # Row filtering: each of the `rows` rows of length `cols` goes through
+        # both the H and the G filter.
+        for _ in range(rows):
+            _count_stage_1d(cols, len(bank.h), counter)
+            _count_stage_1d(cols, len(bank.g), counter)
+        # Column filtering: the two intermediate subimages have `cols // 2`
+        # columns of length `rows`, each filtered by H and G.
+        for _ in range(2 * (cols // 2)):
+            _count_stage_1d(rows, len(bank.h), counter)
+            _count_stage_1d(rows, len(bank.g), counter)
+        per_scale[scale] = counter.macs
+        rows //= 2
+        cols //= 2
+    return per_scale

@@ -1,0 +1,100 @@
+"""One-dimensional forward/inverse DWT stages and multi-scale transforms.
+
+These are the floating-point reference transforms.  A single stage splits a
+signal into a low-pass ("average") and a high-pass ("detail") half; the
+multi-scale transform applies the stage recursively to the average, exactly
+as Mallat's pyramid algorithm prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..filters.qmf import BiorthogonalBank
+from .convolution import analysis_convolve, synthesis_accumulate
+
+__all__ = [
+    "analyze_1d",
+    "synthesize_1d",
+    "fdwt_1d",
+    "idwt_1d",
+    "max_scales_for_length",
+]
+
+
+def max_scales_for_length(length: int) -> int:
+    """Largest number of dyadic scales applicable to a signal of ``length``.
+
+    Each stage halves the length; the paper requires every intermediate
+    length to remain even so that the periodic decimation stays well defined
+    (a 512-sample row supports at most 8 scales; the paper uses 6).
+    """
+    if length < 2:
+        return 0
+    scales = 0
+    while length % 2 == 0 and length >= 2:
+        scales += 1
+        length //= 2
+    return scales
+
+
+def analyze_1d(
+    signal: np.ndarray, bank: BiorthogonalBank
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One analysis stage: return ``(average, detail)`` halves of ``signal``."""
+    lo = analysis_convolve(signal, bank.h)
+    hi = analysis_convolve(signal, bank.g)
+    return lo, hi
+
+
+def synthesize_1d(
+    average: np.ndarray, detail: np.ndarray, bank: BiorthogonalBank
+) -> np.ndarray:
+    """One synthesis stage: reconstruct the signal from its two halves."""
+    average = np.asarray(average, dtype=float)
+    detail = np.asarray(detail, dtype=float)
+    if average.shape != detail.shape:
+        raise ValueError(
+            f"average and detail shapes differ: {average.shape} vs {detail.shape}"
+        )
+    out_len = 2 * average.shape[-1]
+    return synthesis_accumulate(average, bank.ht, out_len) + synthesis_accumulate(
+        detail, bank.gt, out_len
+    )
+
+
+def fdwt_1d(
+    signal: np.ndarray, bank: BiorthogonalBank, scales: int
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Multi-scale forward 1-D DWT.
+
+    Returns ``(average_S, [detail_1, ..., detail_S])`` where ``detail_j`` has
+    length ``len(signal) / 2**j``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise ValueError("fdwt_1d expects a 1-D signal")
+    if scales < 1:
+        raise ValueError("scales must be >= 1")
+    if max_scales_for_length(signal.size) < scales:
+        raise ValueError(
+            f"signal of length {signal.size} does not support {scales} dyadic scales"
+        )
+    details: List[np.ndarray] = []
+    average = signal
+    for _ in range(scales):
+        average, detail = analyze_1d(average, bank)
+        details.append(detail)
+    return average, details
+
+
+def idwt_1d(
+    average: np.ndarray, details: Sequence[np.ndarray], bank: BiorthogonalBank
+) -> np.ndarray:
+    """Multi-scale inverse 1-D DWT (inverse of :func:`fdwt_1d`)."""
+    signal = np.asarray(average, dtype=float)
+    for detail in reversed(list(details)):
+        signal = synthesize_1d(signal, detail, bank)
+    return signal

@@ -1,0 +1,118 @@
+"""Two-dimensional forward/inverse DWT (Mallat pyramid algorithm, Fig. 1).
+
+One 2-D stage filters the rows with the H/G pair (and decimates columns by
+two), then filters the columns of the two results (and decimates rows by
+two), producing the four subimages of Fig. 1.  The multi-scale transform
+recurses on the HH ("average") subimage.
+
+These are the floating-point reference transforms used to validate the
+fixed-point model and the cycle-accurate architecture model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..filters.qmf import BiorthogonalBank
+from .convolution import analysis_convolve, synthesis_accumulate
+from .subbands import ScaleDetails, WaveletPyramid
+from .transform1d import max_scales_for_length
+
+__all__ = [
+    "analyze_2d_stage",
+    "synthesize_2d_stage",
+    "fdwt_2d",
+    "idwt_2d",
+    "validate_image_for_transform",
+]
+
+
+def validate_image_for_transform(image: np.ndarray, scales: int) -> np.ndarray:
+    """Check that ``image`` is 2-D and supports ``scales`` dyadic scales."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    if scales < 1:
+        raise ValueError("scales must be >= 1")
+    for size in image.shape:
+        if max_scales_for_length(size) < scales:
+            raise ValueError(
+                f"image dimension {size} does not support {scales} dyadic scales"
+            )
+    return image
+
+
+def _filter_rows(image: np.ndarray, bank: BiorthogonalBank) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter along rows (axis 1) and decimate columns by two."""
+    lo = analysis_convolve(image, bank.h)
+    hi = analysis_convolve(image, bank.g)
+    return lo, hi
+
+
+def _filter_cols(image: np.ndarray, bank: BiorthogonalBank) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter along columns (axis 0) and decimate rows by two."""
+    lo = analysis_convolve(image.T, bank.h).T
+    hi = analysis_convolve(image.T, bank.g).T
+    return lo, hi
+
+
+def analyze_2d_stage(
+    image: np.ndarray, bank: BiorthogonalBank
+) -> Tuple[np.ndarray, ScaleDetails]:
+    """One 2-D analysis stage: return ``(dHH, ScaleDetails(HG, GH, GG))``.
+
+    The ``scale`` attribute of the returned details is set to 1; the caller
+    (the multi-scale driver) renumbers it.
+    """
+    image = np.asarray(image, dtype=float)
+    row_lo, row_hi = _filter_rows(image, bank)
+    hh, hg = _filter_cols(row_lo, bank)
+    gh, gg = _filter_cols(row_hi, bank)
+    return hh, ScaleDetails(scale=1, hg=hg, gh=gh, gg=gg)
+
+
+def synthesize_2d_stage(
+    hh: np.ndarray, details: ScaleDetails, bank: BiorthogonalBank
+) -> np.ndarray:
+    """One 2-D synthesis stage (inverse of :func:`analyze_2d_stage`)."""
+    hh = np.asarray(hh, dtype=float)
+    if hh.shape != details.shape:
+        raise ValueError(
+            f"approximation shape {hh.shape} does not match detail shape {details.shape}"
+        )
+    rows2 = 2 * hh.shape[0]
+
+    def up_cols(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return (
+            synthesis_accumulate(lo.T, bank.ht, rows2)
+            + synthesis_accumulate(hi.T, bank.gt, rows2)
+        ).T
+
+    row_lo = up_cols(hh, details.hg)
+    row_hi = up_cols(details.gh, details.gg)
+    cols2 = 2 * hh.shape[1]
+    return synthesis_accumulate(row_lo, bank.ht, cols2) + synthesis_accumulate(
+        row_hi, bank.gt, cols2
+    )
+
+
+def fdwt_2d(image: np.ndarray, bank: BiorthogonalBank, scales: int) -> WaveletPyramid:
+    """Multi-scale forward 2-D DWT of ``image`` (Fig. 1 applied S times)."""
+    image = validate_image_for_transform(image, scales)
+    details = []
+    average = image
+    for scale in range(1, scales + 1):
+        average, stage_details = analyze_2d_stage(average, bank)
+        stage_details.scale = scale
+        details.append(stage_details)
+    return WaveletPyramid(approximation=average, details=details)
+
+
+def idwt_2d(pyramid: WaveletPyramid, bank: BiorthogonalBank) -> np.ndarray:
+    """Multi-scale inverse 2-D DWT (inverse of :func:`fdwt_2d`)."""
+    image = np.asarray(pyramid.approximation, dtype=float)
+    for details in reversed(pyramid.details):
+        image = synthesize_2d_stage(image, details, bank)
+    return image

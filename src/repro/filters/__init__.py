@@ -1,0 +1,60 @@
+"""Biorthogonal QMF filter banks of Table I (Villasenor et al. 1995).
+
+Public API
+----------
+``get_bank(name)``
+    Return the :class:`BiorthogonalBank` named ``"F1"`` .. ``"F6"``.
+``all_banks()`` / ``available_banks()``
+    Access every bank of Table I.
+``default_bank()``
+    The 13/11-tap bank (F2) used by the paper's worked examples.
+``SymmetricFilter`` / ``BiorthogonalBank``
+    Filter containers used throughout the library.
+"""
+
+from .catalog import (
+    DEFAULT_BANK_NAME,
+    all_banks,
+    available_banks,
+    default_bank,
+    get_bank,
+)
+from .coefficients import FILTER_NAMES, TABLE_I, FilterBankSpec, HalfFilterSpec
+from .properties import (
+    SubbandGains,
+    biorthogonality_error,
+    cross_orthogonality_error,
+    dynamic_range_growth,
+    perfect_reconstruction_error,
+    subband_gains,
+)
+from .qmf import (
+    BiorthogonalBank,
+    SymmetricFilter,
+    build_bank,
+    derive_highpass,
+    expand_half_filter,
+)
+
+__all__ = [
+    "DEFAULT_BANK_NAME",
+    "FILTER_NAMES",
+    "TABLE_I",
+    "FilterBankSpec",
+    "HalfFilterSpec",
+    "SymmetricFilter",
+    "BiorthogonalBank",
+    "SubbandGains",
+    "available_banks",
+    "all_banks",
+    "get_bank",
+    "default_bank",
+    "build_bank",
+    "expand_half_filter",
+    "derive_highpass",
+    "biorthogonality_error",
+    "cross_orthogonality_error",
+    "perfect_reconstruction_error",
+    "subband_gains",
+    "dynamic_range_growth",
+]

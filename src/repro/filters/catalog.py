@@ -1,0 +1,59 @@
+"""Registry of the Table I filter banks.
+
+Provides cached construction of :class:`~repro.filters.qmf.BiorthogonalBank`
+objects by name, plus convenience accessors used across the library (the
+default bank of the paper's worked examples is F2, the 13/11-tap pair, since
+the architecture is dimensioned for a 13-tap filter).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from .coefficients import FILTER_NAMES, TABLE_I
+from .qmf import BiorthogonalBank, build_bank
+
+__all__ = [
+    "available_banks",
+    "get_bank",
+    "all_banks",
+    "default_bank",
+    "DEFAULT_BANK_NAME",
+]
+
+#: The paper dimensions the architecture for 13-tap filters and uses
+#: L = 13 in all worked examples; that is filter bank F2.
+DEFAULT_BANK_NAME = "F2"
+
+
+def available_banks() -> List[str]:
+    """Names of the filter banks of Table I, in print order."""
+    return list(FILTER_NAMES)
+
+
+@lru_cache(maxsize=None)
+def get_bank(name: str) -> BiorthogonalBank:
+    """Return the (cached) :class:`BiorthogonalBank` called ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of ``"F1"`` .. ``"F6"`` (case-insensitive).
+    """
+    key = name.upper()
+    if key not in TABLE_I:
+        raise KeyError(
+            f"unknown filter bank {name!r}; available banks: {available_banks()}"
+        )
+    return build_bank(TABLE_I[key])
+
+
+def all_banks() -> Dict[str, BiorthogonalBank]:
+    """All six banks keyed by name, in Table I order."""
+    return {name: get_bank(name) for name in FILTER_NAMES}
+
+
+def default_bank() -> BiorthogonalBank:
+    """The filter bank used by the paper's worked examples (F2, 13/11 taps)."""
+    return get_bank(DEFAULT_BANK_NAME)

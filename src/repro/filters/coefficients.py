@@ -1,0 +1,184 @@
+"""Filter coefficients of Table I (Villasenor, Belzer, Liao 1995).
+
+The paper evaluates six biorthogonal filter banks, named ``F1`` .. ``F6``,
+that Villasenor et al. identified as the best suited to image compression.
+Table I of the paper lists, for each bank, the analysis low-pass filter ``H``
+and the synthesis ("inverse") low-pass filter ``Ht`` (printed as H with an
+overbar).  Only the coefficients for non-negative indices are printed; the
+origin is the leftmost printed coefficient and the coefficients for negative
+indices follow from the symmetry of the QMFs:
+
+* odd-length filters are symmetric about index 0 (whole-sample symmetry),
+* even-length filters are symmetric about index -1/2 (half-sample symmetry).
+
+This module stores the coefficients *exactly as printed* (six decimal
+digits).  Everything else in the library (full filter expansion, high-pass
+derivation, dynamic-range analysis, fixed-point quantisation) is computed
+from these printed values so that the reproduction uses the same inputs as
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "HalfFilterSpec",
+    "FilterBankSpec",
+    "TABLE_I",
+    "FILTER_NAMES",
+    "table_i_rows",
+]
+
+
+@dataclass(frozen=True)
+class HalfFilterSpec:
+    """Half of a symmetric filter, exactly as printed in Table I.
+
+    Attributes
+    ----------
+    length:
+        Number of taps of the *full* filter (the ``L`` column of Table I).
+    half_coefficients:
+        The printed coefficients.  For odd ``length`` these are the values at
+        indices ``0 .. (length - 1) // 2``; for even ``length`` the values at
+        indices ``0 .. length // 2 - 1`` (the remaining taps follow by
+        symmetry).  The single exception in the paper is the 2-tap Haar
+        filter of bank F5, for which both taps are printed; the expansion
+        code accepts either form.
+    printed_abs_sum:
+        The ``sum |cn|`` column printed in Table I (sum of absolute values of
+        the *full* filter).  Kept for verification of our expansion.
+    """
+
+    length: int
+    half_coefficients: Tuple[float, ...]
+    printed_abs_sum: float
+
+
+@dataclass(frozen=True)
+class FilterBankSpec:
+    """One row-group of Table I: an analysis/synthesis low-pass pair."""
+
+    name: str
+    analysis_lowpass: HalfFilterSpec
+    synthesis_lowpass: HalfFilterSpec
+
+    @property
+    def lengths(self) -> Tuple[int, int]:
+        """``(analysis length, synthesis length)`` e.g. ``(9, 7)`` for F1."""
+        return (self.analysis_lowpass.length, self.synthesis_lowpass.length)
+
+
+#: Table I of the paper, verbatim.
+TABLE_I: Dict[str, FilterBankSpec] = {
+    "F1": FilterBankSpec(
+        name="F1",
+        analysis_lowpass=HalfFilterSpec(
+            length=9,
+            half_coefficients=(0.852699, 0.377402, -0.110624, -0.023849, 0.037828),
+            printed_abs_sum=1.952105,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=7,
+            half_coefficients=(0.788486, 0.418092, -0.040689, -0.064539),
+            printed_abs_sum=1.835126,
+        ),
+    ),
+    "F2": FilterBankSpec(
+        name="F2",
+        analysis_lowpass=HalfFilterSpec(
+            length=13,
+            half_coefficients=(
+                0.767245,
+                0.383269,
+                -0.068878,
+                -0.033475,
+                0.047282,
+                0.003759,
+                -0.008473,
+            ),
+            printed_abs_sum=1.857495,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=11,
+            half_coefficients=(
+                0.832848,
+                0.448109,
+                -0.069163,
+                -0.108737,
+                0.006292,
+                0.014182,
+            ),
+            printed_abs_sum=2.125814,
+        ),
+    ),
+    "F3": FilterBankSpec(
+        name="F3",
+        analysis_lowpass=HalfFilterSpec(
+            length=6,
+            half_coefficients=(0.788486, 0.047699, -0.129078),
+            printed_abs_sum=1.930526,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=10,
+            half_coefficients=(0.615051, 0.133389, -0.067237, 0.006989, 0.018914),
+            printed_abs_sum=1.683160,
+        ),
+    ),
+    "F4": FilterBankSpec(
+        name="F4",
+        analysis_lowpass=HalfFilterSpec(
+            length=5,
+            half_coefficients=(1.060660, 0.353553, -0.176777),
+            printed_abs_sum=2.121320,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=3,
+            half_coefficients=(0.707107, 0.353553),
+            printed_abs_sum=1.414214,
+        ),
+    ),
+    "F5": FilterBankSpec(
+        name="F5",
+        analysis_lowpass=HalfFilterSpec(
+            length=2,
+            half_coefficients=(0.707107, 0.707107),
+            printed_abs_sum=1.414214,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=6,
+            half_coefficients=(0.707107, 0.088388, -0.088388),
+            printed_abs_sum=1.767767,
+        ),
+    ),
+    "F6": FilterBankSpec(
+        name="F6",
+        analysis_lowpass=HalfFilterSpec(
+            length=9,
+            half_coefficients=(0.994369, 0.419845, -0.176777, -0.066291, 0.033145),
+            printed_abs_sum=2.386485,
+        ),
+        synthesis_lowpass=HalfFilterSpec(
+            length=3,
+            half_coefficients=(0.707107, 0.353553),
+            printed_abs_sum=1.414213,
+        ),
+    ),
+}
+
+#: The filter-bank names in the order they appear in Table I.
+FILTER_NAMES: Tuple[str, ...] = ("F1", "F2", "F3", "F4", "F5", "F6")
+
+
+def table_i_rows():
+    """Yield ``(bank name, 'H'|'Ht', HalfFilterSpec)`` rows in print order.
+
+    Convenience iterator used by the Table I experiment and by tests that
+    compare our expanded filters with every printed row of the paper.
+    """
+    for name in FILTER_NAMES:
+        bank = TABLE_I[name]
+        yield name, "H", bank.analysis_lowpass
+        yield name, "Ht", bank.synthesis_lowpass

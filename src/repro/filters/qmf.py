@@ -1,0 +1,259 @@
+"""Quadrature-mirror filter (QMF) objects.
+
+This module turns the half-filter specifications of :mod:`.coefficients`
+into full symmetric FIR filters indexed over the integers, derives the
+high-pass analysis/synthesis filters with the alternating-flip rule, and
+groups the four filters of a biorthogonal bank into a
+:class:`BiorthogonalBank` ready for use by the transforms.
+
+Conventions
+-----------
+A filter is represented by :class:`SymmetricFilter`: a NumPy array of taps
+plus the integer index of the tap at ``n = 0``.  The analysis equations used
+throughout the library are (Mallat's convention, periodic extension):
+
+.. math::
+
+    a_{j+1}[k] = \\sum_n h[n] \\; a_j[2k + n], \\qquad
+    d_{j+1}[k] = \\sum_n g[n] \\; a_j[2k + n]
+
+and the synthesis equation
+
+.. math::
+
+    a_j[m] = \\sum_k \\tilde h[m - 2k] a_{j+1}[k]
+           + \\sum_k \\tilde g[m - 2k] d_{j+1}[k].
+
+The high-pass filters are derived from the *opposite* low-pass filter by the
+alternating flip
+
+.. math::
+
+    g[n] = (-1)^n \\tilde h[1 - n], \\qquad
+    \\tilde g[n] = (-1)^n h[1 - n],
+
+which, together with the biorthogonality of the printed low-pass pairs,
+gives perfect reconstruction (verified numerically by the test suite for all
+six banks of Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .coefficients import TABLE_I, FilterBankSpec, HalfFilterSpec
+
+__all__ = [
+    "SymmetricFilter",
+    "BiorthogonalBank",
+    "expand_half_filter",
+    "derive_highpass",
+    "build_bank",
+]
+
+
+@dataclass(frozen=True)
+class SymmetricFilter:
+    """A FIR filter indexed over the integers.
+
+    Attributes
+    ----------
+    taps:
+        Filter coefficients as a 1-D float array, in order of increasing
+        index.
+    origin:
+        Position (array index) of the coefficient at ``n = 0``.  The filter
+        support is therefore ``range(-origin, len(taps) - origin)``.  The
+        origin may lie outside the array (a purely causal or purely
+        anti-causal filter, such as the high-pass derived from a 2-tap Haar
+        low-pass).
+    name:
+        Human-readable label, e.g. ``"F1/H"``.
+    """
+
+    taps: np.ndarray
+    origin: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        taps = np.asarray(self.taps, dtype=float)
+        object.__setattr__(self, "taps", taps)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ValueError("filter taps must be a non-empty 1-D array")
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.taps.size)
+
+    def __getitem__(self, n: int) -> float:
+        """Value of the tap at integer index ``n`` (0.0 outside support)."""
+        i = n + self.origin
+        if 0 <= i < self.taps.size:
+            return float(self.taps[i])
+        return 0.0
+
+    def indices(self) -> range:
+        """The support of the filter as a ``range`` of integer indices."""
+        return range(-self.origin, len(self) - self.origin)
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate over ``(index, coefficient)`` pairs of the support."""
+        for i, c in enumerate(self.taps):
+            yield i - self.origin, float(c)
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def abs_sum(self) -> float:
+        """Sum of absolute values of the taps (the Σ|cn| column of Table I)."""
+        return float(np.abs(self.taps).sum())
+
+    @property
+    def dc_gain(self) -> float:
+        """Sum of the taps (gain at zero frequency)."""
+        return float(self.taps.sum())
+
+    @property
+    def nyquist_gain(self) -> float:
+        """Gain at the Nyquist frequency, ``sum (-1)^n h[n]``."""
+        signs = np.array([(-1.0) ** n for n in self.indices()])
+        return float((signs * self.taps).sum())
+
+    @property
+    def half_length(self) -> int:
+        """``l`` such that ``L = 2*l + 1`` (odd) or ``L = 2*l`` (even).
+
+        The paper's buffer sizing uses ``l = (L - 1) // 2`` for odd-length
+        filters; for even-length filters we return ``L // 2``.
+        """
+        return len(self) // 2
+
+    def is_symmetric(self, tol: float = 0.0) -> bool:
+        """True if the tap array is palindromic within ``tol``."""
+        return bool(np.all(np.abs(self.taps - self.taps[::-1]) <= tol))
+
+    def reversed(self) -> "SymmetricFilter":
+        """Time-reversed filter ``h[-n]``."""
+        new_origin = len(self) - 1 - self.origin
+        return SymmetricFilter(self.taps[::-1].copy(), new_origin, self.name + "~rev")
+
+    def scaled(self, factor: float) -> "SymmetricFilter":
+        """Return a copy with every tap multiplied by ``factor``."""
+        return SymmetricFilter(self.taps * factor, self.origin, self.name)
+
+    def as_map(self) -> Dict[int, float]:
+        """Return the filter as a ``{index: coefficient}`` dictionary."""
+        return dict(self.items())
+
+
+def expand_half_filter(spec: HalfFilterSpec, name: str = "") -> SymmetricFilter:
+    """Expand a printed Table I half filter to a full :class:`SymmetricFilter`.
+
+    Odd-length filters are whole-sample symmetric about index 0; even-length
+    filters are half-sample symmetric about index -1/2 (i.e.
+    ``h[-1 - n] = h[n]``).  The 2-tap Haar filter of bank F5 is printed in
+    full; both printed forms are accepted.
+    """
+    length = spec.length
+    half = list(spec.half_coefficients)
+    if length % 2 == 1:
+        expected = (length + 1) // 2
+        if len(half) != expected:
+            raise ValueError(
+                f"odd-length filter of {length} taps needs {expected} printed "
+                f"coefficients, got {len(half)}"
+            )
+        taps = half[:0:-1] + half
+        origin = (length - 1) // 2
+    else:
+        if len(half) == length:
+            # Full filter printed (the Haar filter of F5); keep the leading
+            # half, the rest is implied by symmetry and must agree.
+            implied = half[: length // 2]
+            if list(reversed(implied)) + implied != half and implied + implied != half:
+                # Accept either print order; the Haar case is trivially both.
+                raise ValueError(f"even-length filter {name} printed inconsistently")
+            half = implied
+        expected = length // 2
+        if len(half) != expected:
+            raise ValueError(
+                f"even-length filter of {length} taps needs {expected} printed "
+                f"coefficients, got {len(half)}"
+            )
+        taps = half[::-1] + half
+        origin = length // 2
+    return SymmetricFilter(np.array(taps, dtype=float), origin, name)
+
+
+def derive_highpass(opposite_lowpass: SymmetricFilter, name: str = "") -> SymmetricFilter:
+    """Derive a high-pass filter by the alternating flip of the *other*
+    branch's low-pass filter: ``g[n] = (-1)^n h_other[1 - n]``.
+
+    The analysis high-pass is derived from the synthesis low-pass and vice
+    versa; this is the standard biorthogonal construction and the one that
+    yields perfect reconstruction for the Table I pairs.
+    """
+    src = opposite_lowpass
+    # Support of g: n such that 1 - n is in the support of src.
+    lo = 1 - (len(src) - 1 - src.origin)
+    hi = 1 + src.origin
+    indices = list(range(lo, hi + 1))
+    taps = [((-1.0) ** n) * src[1 - n] for n in indices]
+    origin = -lo
+    return SymmetricFilter(np.array(taps, dtype=float), origin, name)
+
+
+@dataclass(frozen=True)
+class BiorthogonalBank:
+    """A complete biorthogonal filter bank (four filters).
+
+    ``h``/``g`` are the analysis low/high-pass filters; ``ht``/``gt`` the
+    synthesis low/high-pass filters.
+    """
+
+    name: str
+    h: SymmetricFilter
+    g: SymmetricFilter
+    ht: SymmetricFilter
+    gt: SymmetricFilter
+
+    @property
+    def analysis_lengths(self) -> Tuple[int, int]:
+        """``(len(h), len(g))`` — the L(H), L(G) of the paper's Eq. (1)."""
+        return (len(self.h), len(self.g))
+
+    @property
+    def max_analysis_length(self) -> int:
+        """Longest analysis filter; drives the buffer sizing of §4.1."""
+        return max(len(self.h), len(self.g))
+
+    @property
+    def mac_per_output_pair(self) -> int:
+        """MACs needed to produce one low-pass and one high-pass sample."""
+        return len(self.h) + len(self.g)
+
+    def all_filters(self) -> Dict[str, SymmetricFilter]:
+        """The four filters as a dictionary keyed by role."""
+        return {"h": self.h, "g": self.g, "ht": self.ht, "gt": self.gt}
+
+
+def build_bank(spec: FilterBankSpec) -> BiorthogonalBank:
+    """Build the four-filter :class:`BiorthogonalBank` for a Table I row."""
+    h = expand_half_filter(spec.analysis_lowpass, f"{spec.name}/H")
+    ht = expand_half_filter(spec.synthesis_lowpass, f"{spec.name}/Ht")
+    g = derive_highpass(ht, f"{spec.name}/G")
+    gt = derive_highpass(h, f"{spec.name}/Gt")
+    return BiorthogonalBank(name=spec.name, h=h, g=g, ht=ht, gt=gt)
+
+
+def build_bank_by_name(name: str) -> BiorthogonalBank:
+    """Build the bank for one of the Table I names (``"F1"`` .. ``"F6"``)."""
+    try:
+        spec = TABLE_I[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown filter bank {name!r}; available: {sorted(TABLE_I)}"
+        ) from exc
+    return build_bank(spec)

@@ -1,0 +1,57 @@
+"""Fixed-point two's-complement arithmetic and word-length analysis (§3, §4.3).
+
+Public API
+----------
+``QFormat``
+    A word-length / integer-part split.
+``FxArray`` and ``quantize_real``
+    Stored-integer arrays tagged with a format.
+``round_half_up_shift`` / ``truncate_shift``
+    The §4.3 rounding rule and plain truncation.
+``minimum_integer_bits`` / ``integer_bits_schedule`` / ``plan_word_lengths``
+    The dynamic-range analysis that reproduces Table II and produces the
+    per-scale format plan used by the transform and the hardware model.
+"""
+
+from .errors import DynamicRangeError, FixedPointError, OverflowPolicyError
+from .fxarray import FxArray, align_stored, product_format, quantize_real
+from .qformat import QFormat
+from .rounding import (
+    round_half_up_shift,
+    round_half_up_to_int,
+    truncate_shift,
+    wrap_twos_complement,
+)
+from .wordlength import (
+    PAPER_COEFFICIENT_FORMAT,
+    PAPER_INPUT_BITS,
+    PAPER_WORD_LENGTH,
+    WordLengthPlan,
+    coefficient_format_for,
+    integer_bits_schedule,
+    minimum_integer_bits,
+    plan_word_lengths,
+)
+
+__all__ = [
+    "DynamicRangeError",
+    "FixedPointError",
+    "OverflowPolicyError",
+    "FxArray",
+    "align_stored",
+    "product_format",
+    "quantize_real",
+    "QFormat",
+    "round_half_up_shift",
+    "round_half_up_to_int",
+    "truncate_shift",
+    "wrap_twos_complement",
+    "PAPER_COEFFICIENT_FORMAT",
+    "PAPER_INPUT_BITS",
+    "PAPER_WORD_LENGTH",
+    "WordLengthPlan",
+    "coefficient_format_for",
+    "integer_bits_schedule",
+    "minimum_integer_bits",
+    "plan_word_lengths",
+]

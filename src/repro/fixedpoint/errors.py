@@ -1,0 +1,23 @@
+"""Exceptions raised by the fixed-point subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["FixedPointError", "OverflowPolicyError", "DynamicRangeError"]
+
+
+class FixedPointError(Exception):
+    """Base class for fixed-point arithmetic errors."""
+
+
+class OverflowPolicyError(FixedPointError):
+    """A value exceeded the representable range under the 'raise' policy.
+
+    The paper's word-length analysis (§3, Table II) is designed precisely so
+    that this never happens during a transform; the error therefore signals
+    either a mis-sized format or a genuine dynamic-range violation worth
+    surfacing rather than silently wrapping.
+    """
+
+
+class DynamicRangeError(FixedPointError):
+    """The word-length analysis determined that no valid format exists."""

@@ -1,0 +1,115 @@
+"""Two's-complement fixed-point formats (Q-formats).
+
+The datapath of the paper uses a 32-bit two's-complement word whose split
+between integer and fractional bits *changes with the decomposition scale*
+(§3 and §4.3): the integer part must be wide enough for the dynamic range of
+the current scale (Table II) and the remaining bits hold the fraction.
+
+:class:`QFormat` captures such a split: ``word_length`` total bits (sign
+included), of which ``integer_bits`` are the integer part *including the
+sign bit*, and ``fractional_bits = word_length - integer_bits``.  Stored
+values are plain integers equal to ``round(real_value * 2**fractional_bits)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A two's-complement fixed-point format.
+
+    Attributes
+    ----------
+    word_length:
+        Total number of bits, sign included (32 for the paper's datapath,
+        13 for the input pixels, 64 for the accumulator).
+    integer_bits:
+        Number of bits of the integer part, *including* the sign bit
+        (the ``b_int`` of Table II).
+    """
+
+    word_length: int
+    integer_bits: int
+
+    def __post_init__(self) -> None:
+        if self.word_length < 1:
+            raise ValueError("word_length must be at least 1 bit")
+        if not 1 <= self.integer_bits <= self.word_length:
+            raise ValueError(
+                f"integer_bits must be within [1, word_length={self.word_length}], "
+                f"got {self.integer_bits}"
+            )
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def fractional_bits(self) -> int:
+        """Number of bits to the right of the binary point."""
+        return self.word_length - self.integer_bits
+
+    @property
+    def scale(self) -> int:
+        """The weight of one integer step: ``2**fractional_bits``."""
+        return 1 << self.fractional_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment (one LSB) as a real number."""
+        return 1.0 / self.scale
+
+    # -- representable range ---------------------------------------------------
+    @property
+    def min_int(self) -> int:
+        """Smallest representable stored integer."""
+        return -(1 << (self.word_length - 1))
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable stored integer."""
+        return (1 << (self.word_length - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int / self.scale
+
+    def covers_magnitude(self, magnitude: float) -> bool:
+        """True if values with ``|x| <= magnitude`` fit in this format."""
+        return magnitude <= self.max_value and -magnitude >= self.min_value
+
+    # -- conversions -------------------------------------------------------------
+    def to_stored(self, value: float) -> int:
+        """Quantise a real ``value`` to the nearest stored integer (ties up)."""
+        from math import floor
+
+        return int(floor(value * self.scale + 0.5))
+
+    def to_real(self, stored: int) -> float:
+        """Real value represented by a stored integer."""
+        return stored / self.scale
+
+    # -- derived formats -----------------------------------------------------------
+    def with_integer_bits(self, integer_bits: int) -> "QFormat":
+        """Same word length, different integer/fraction split."""
+        return QFormat(self.word_length, integer_bits)
+
+    def widened(self, extra_bits: int) -> "QFormat":
+        """Format with ``extra_bits`` more word length, same fractional bits.
+
+        This models accumulating in a wider register (the 64-bit accumulator
+        keeps the binary point of the product and adds head-room bits).
+        """
+        if extra_bits < 0:
+            raise ValueError("extra_bits must be non-negative")
+        return QFormat(self.word_length + extra_bits, self.integer_bits + extra_bits)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fractional_bits} ({self.word_length}b)"

@@ -1,0 +1,87 @@
+"""Rounding and truncation rules of the datapath (§4.3 of the paper).
+
+After the 64-bit accumulation and the scale-dependent alignment, the result
+is narrowed back to the 32-bit datapath word.  The paper's rule is:
+
+    "If the MSB of the truncated bits is 0, truncation is performed; if the
+    MSB is 1, then round-up by one is performed."
+
+For a two's-complement value this is *round-half-up* (towards +infinity on
+ties), applied to the bits that fall off the right of the word.  The
+functions here implement that rule for Python integers and NumPy integer
+arrays, together with plain truncation (round toward minus infinity, i.e.
+an arithmetic shift) for comparison experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "round_half_up_shift",
+    "truncate_shift",
+    "round_half_up_to_int",
+    "wrap_twos_complement",
+]
+
+IntOrArray = Union[int, np.ndarray]
+
+
+def round_half_up_shift(value: IntOrArray, shift: int) -> IntOrArray:
+    """Drop ``shift`` low-order bits with the paper's §4.3 rounding rule.
+
+    Equivalent to ``floor(value / 2**shift + 0.5)`` computed exactly on
+    integers: add half of the dropped weight, then arithmetic-shift right.
+    Works on Python ints (arbitrary precision) and NumPy integer arrays.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return value
+    if isinstance(value, np.ndarray):
+        half = np.int64(1) << np.int64(shift - 1)
+        return (value + half) >> np.int64(shift)
+    return (int(value) + (1 << (shift - 1))) >> shift
+
+
+def truncate_shift(value: IntOrArray, shift: int) -> IntOrArray:
+    """Drop ``shift`` low-order bits by truncation (arithmetic shift right)."""
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return value
+    if isinstance(value, np.ndarray):
+        return value >> np.int64(shift)
+    return int(value) >> shift
+
+
+def round_half_up_to_int(value: Union[float, np.ndarray]) -> IntOrArray:
+    """Round a real value to the nearest integer, ties towards +infinity.
+
+    This is the rounding applied to the final reconstructed pixels before
+    they are compared with the original image for the lossless check.
+    """
+    if isinstance(value, np.ndarray):
+        return np.floor(value + 0.5).astype(np.int64)
+    import math
+
+    return int(math.floor(value + 0.5))
+
+
+def wrap_twos_complement(value: IntOrArray, word_length: int) -> IntOrArray:
+    """Wrap a value into ``word_length``-bit two's-complement range.
+
+    Models the modular behaviour of a hardware register: bits above the word
+    length are discarded and the result is re-interpreted as a signed value.
+    """
+    if word_length < 1:
+        raise ValueError("word_length must be at least 1")
+    modulus = 1 << word_length
+    half = 1 << (word_length - 1)
+    if isinstance(value, np.ndarray):
+        wrapped = np.mod(value, modulus)
+        return np.where(wrapped >= half, wrapped - modulus, wrapped)
+    wrapped = int(value) % modulus
+    return wrapped - modulus if wrapped >= half else wrapped

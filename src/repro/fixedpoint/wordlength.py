@@ -1,0 +1,177 @@
+"""Word-length / dynamic-range analysis (§3 and Table II of the paper).
+
+For each decomposition scale the magnitude of the subimages grows with
+respect to the previous scale; the growth rate is upper-bounded by products
+of the filters' absolute-coefficient sums.  To avoid overflow while keeping
+the 32-bit word, the paper increases the *integer part* of the fixed-point
+format with the scale.  Table II gives the minimum integer part ``b_int(s)``
+per filter and scale for 12-bit input images.
+
+This module derives those minimum integer parts from the filter definitions
+(it does not hard-code Table II) and builds the per-scale
+:class:`~repro.fixedpoint.qformat.QFormat` schedules used by the fixed-point
+transform and by the alignment unit of the architecture model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..filters.properties import dynamic_range_growth, subband_gains
+from ..filters.qmf import BiorthogonalBank
+from .errors import DynamicRangeError
+from .qformat import QFormat
+
+__all__ = [
+    "PAPER_INPUT_BITS",
+    "PAPER_WORD_LENGTH",
+    "PAPER_COEFFICIENT_FORMAT",
+    "minimum_integer_bits",
+    "integer_bits_schedule",
+    "WordLengthPlan",
+    "plan_word_lengths",
+    "coefficient_format_for",
+]
+
+#: Input pixels: 12-bit resolution plus sign = 13 bits (§3, last paragraph).
+PAPER_INPUT_BITS = 13
+
+#: Datapath word length used by the paper for intermediate results and filters.
+PAPER_WORD_LENGTH = 32
+
+#: Filter coefficients are stored in 32-bit words; all Table I coefficients
+#: have magnitude below 2 (the largest is 1.060660 in bank F4), so 2 integer
+#: bits (sign included) suffice, leaving 30 fractional bits.
+PAPER_COEFFICIENT_FORMAT = QFormat(word_length=32, integer_bits=2)
+
+
+def _ceil_log2(value: float) -> int:
+    """``ceil(log2(value))`` with a guard against floating-point jitter."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return int(math.ceil(math.log2(value) - 1e-9))
+
+
+def minimum_integer_bits(
+    bank: BiorthogonalBank, scale: int, input_bits: int = PAPER_INPUT_BITS
+) -> int:
+    """Minimum integer part ``b_int(scale)`` (sign included) for one scale.
+
+    The input of scale ``s`` is the HH subimage of scale ``s - 1``, whose
+    magnitude is bounded by the original range times ``(Σ|h|²)^(s-1)``;
+    within the scale the worst subband grows by
+    ``max((Σ|h|)², Σ|h|Σ|g|, (Σ|g|)²)``.  The integer part therefore needs
+    ``input_bits + ceil(log2(growth))`` bits.  For 13 input bits this
+    reproduces Table II of the paper for all six filter banks.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    growth = dynamic_range_growth(bank, scale)[scale]
+    return input_bits + _ceil_log2(growth)
+
+
+def integer_bits_schedule(
+    bank: BiorthogonalBank, scales: int, input_bits: int = PAPER_INPUT_BITS
+) -> Dict[int, int]:
+    """``{scale: b_int(scale)}`` for scales ``1..scales`` (one row of Table II)."""
+    return {
+        s: minimum_integer_bits(bank, s, input_bits) for s in range(1, scales + 1)
+    }
+
+
+def coefficient_format_for(bank: BiorthogonalBank, word_length: int = PAPER_WORD_LENGTH) -> QFormat:
+    """Fixed-point format used to store the coefficients of ``bank``.
+
+    The integer part is the smallest that covers the largest coefficient
+    magnitude of the four filters (2 bits for every Table I bank, matching
+    :data:`PAPER_COEFFICIENT_FORMAT`).
+    """
+    max_coeff = max(
+        abs(float(c)) for f in bank.all_filters().values() for c in f.taps
+    )
+    # Smallest b (sign included, at least 2) such that 2**(b-1) > max_coeff.
+    integer_bits = 2
+    while (1 << (integer_bits - 1)) <= max_coeff:
+        integer_bits += 1
+    if integer_bits >= word_length:
+        raise DynamicRangeError(
+            f"coefficients of bank {bank.name} need {integer_bits} integer bits, "
+            f"which does not fit a {word_length}-bit word"
+        )
+    return QFormat(word_length=word_length, integer_bits=integer_bits)
+
+
+@dataclass(frozen=True)
+class WordLengthPlan:
+    """Complete fixed-point plan for a transform run.
+
+    Attributes
+    ----------
+    bank_name:
+        Filter bank the plan was derived for.
+    scales:
+        Number of decomposition scales ``S``.
+    input_format:
+        Format of the input pixels (13-bit integers in the paper).
+    data_formats:
+        Per-scale formats of the subband data produced at scale ``s``
+        (``s = 1..S``): 32-bit words whose integer part is ``b_int(s)``.
+    coefficient_format:
+        Format of the stored filter coefficients.
+    accumulator_bits:
+        Width of the MAC accumulator (64 in the paper).
+    """
+
+    bank_name: str
+    scales: int
+    input_format: QFormat
+    data_formats: Dict[int, QFormat]
+    coefficient_format: QFormat
+    accumulator_bits: int = 64
+
+    def format_for_scale(self, scale: int) -> QFormat:
+        """Format of data produced at ``scale`` (scale 0 = original image)."""
+        if scale == 0:
+            return self.input_format
+        try:
+            return self.data_formats[scale]
+        except KeyError as exc:
+            raise KeyError(f"scale {scale} outside plan (1..{self.scales})") from exc
+
+    def integer_bits(self) -> List[int]:
+        """The ``b_int`` sequence for scales ``1..S`` (a row of Table II)."""
+        return [self.data_formats[s].integer_bits for s in range(1, self.scales + 1)]
+
+
+def plan_word_lengths(
+    bank: BiorthogonalBank,
+    scales: int,
+    word_length: int = PAPER_WORD_LENGTH,
+    input_bits: int = PAPER_INPUT_BITS,
+    accumulator_bits: int = 64,
+) -> WordLengthPlan:
+    """Build the fixed-point plan the paper's datapath would be configured with.
+
+    Raises :class:`DynamicRangeError` if some scale needs more integer bits
+    than the word length allows (i.e. fewer than one fractional bit), which
+    is the condition under which the paper's 32-bit choice would fail.
+    """
+    schedule = integer_bits_schedule(bank, scales, input_bits)
+    data_formats: Dict[int, QFormat] = {}
+    for scale, bits in schedule.items():
+        if bits >= word_length:
+            raise DynamicRangeError(
+                f"scale {scale} of bank {bank.name} needs {bits} integer bits; "
+                f"a {word_length}-bit word leaves no fractional bits"
+            )
+        data_formats[scale] = QFormat(word_length=word_length, integer_bits=bits)
+    return WordLengthPlan(
+        bank_name=bank.name,
+        scales=scales,
+        input_format=QFormat(word_length=input_bits, integer_bits=input_bits),
+        data_formats=data_formats,
+        coefficient_format=coefficient_format_for(bank, word_length),
+        accumulator_bits=accumulator_bits,
+    )

@@ -1,0 +1,24 @@
+"""Bit-accurate fixed-point DWT and lossless verification.
+
+Public API
+----------
+``FixedPointDWT``
+    Forward/inverse fixed-point transform with the paper's word-length plan.
+``FixedPointPyramid``
+    Integer subband container with per-scale formats.
+``verify_lossless`` / ``lossless_word_length_search``
+    Round-trip bit-exactness checks and the word-length ablation.
+"""
+
+from .lossless import LosslessReport, lossless_word_length_search, verify_lossless
+from .transform import FixedPointDWT, FixedPointPyramid, QuantizedFilter, quantize_filter
+
+__all__ = [
+    "FixedPointDWT",
+    "FixedPointPyramid",
+    "QuantizedFilter",
+    "quantize_filter",
+    "LosslessReport",
+    "lossless_word_length_search",
+    "verify_lossless",
+]

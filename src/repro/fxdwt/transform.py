@@ -1,0 +1,315 @@
+"""Bit-accurate fixed-point 2-D DWT with scale-dependent integer part.
+
+This is the software model of the arithmetic the paper's datapath performs:
+
+* data and coefficients held in 32-bit two's-complement words,
+* every convolution output produced by exact integer multiply-accumulate
+  (the 32x32 multiplier with 64-bit accumulation),
+* the result re-aligned to the format of the destination scale (the
+  "Alignment" unit of Fig. 3, shifts stored in the configuration memory) and
+  narrowed with the §4.3 round-half-up rule,
+* the integer part of the destination format growing with the scale for the
+  forward transform and shrinking for the inverse, per Table II.
+
+The cycle-accurate architecture model of :mod:`repro.arch` is validated
+against this transform for bit-exact equality, mirroring the paper's own
+validation of the VHDL model against a software implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dwt.subbands import ScaleDetails, WaveletPyramid
+from ..dwt.transform1d import max_scales_for_length
+from ..filters.qmf import BiorthogonalBank, SymmetricFilter
+from ..fixedpoint.fxarray import FxArray
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.rounding import round_half_up_shift, truncate_shift
+from ..fixedpoint.wordlength import WordLengthPlan, plan_word_lengths
+
+__all__ = [
+    "QuantizedFilter",
+    "quantize_filter",
+    "FixedPointPyramid",
+    "FixedPointDWT",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedFilter:
+    """A filter whose taps have been quantised to stored integers."""
+
+    name: str
+    stored_taps: Tuple[int, ...]
+    indices: Tuple[int, ...]
+    fmt: QFormat
+
+    def __len__(self) -> int:
+        return len(self.stored_taps)
+
+    def items(self) -> List[Tuple[int, int]]:
+        return list(zip(self.indices, self.stored_taps))
+
+    def to_real(self) -> List[float]:
+        return [t / self.fmt.scale for t in self.stored_taps]
+
+
+def quantize_filter(filt: SymmetricFilter, fmt: QFormat) -> QuantizedFilter:
+    """Quantise filter taps to ``fmt`` (round to nearest, ties up)."""
+    indices = []
+    stored = []
+    for n, c in filt.items():
+        indices.append(n)
+        stored.append(fmt.to_stored(c))
+    return QuantizedFilter(
+        name=filt.name, stored_taps=tuple(stored), indices=tuple(indices), fmt=fmt
+    )
+
+
+@dataclass
+class FixedPointPyramid:
+    """Output of the fixed-point forward transform.
+
+    Subband arrays hold *stored integers* (``int64``); their real value is
+    obtained through the per-scale format of ``plan``.
+    """
+
+    plan: WordLengthPlan
+    approximation: np.ndarray
+    details: List[ScaleDetails] = field(default_factory=list)
+
+    @property
+    def scales(self) -> int:
+        return len(self.details)
+
+    def format_for_scale(self, scale: int) -> QFormat:
+        return self.plan.format_for_scale(scale)
+
+    def approximation_real(self) -> np.ndarray:
+        """Approximation subband converted back to real values."""
+        fmt = self.format_for_scale(self.scales)
+        return self.approximation.astype(float) / fmt.scale
+
+    def detail_real(self, scale: int) -> Dict[str, np.ndarray]:
+        """Detail subbands of ``scale`` converted back to real values."""
+        fmt = self.format_for_scale(scale)
+        entry = self.details[scale - 1]
+        return {k: v.astype(float) / fmt.scale for k, v in entry.as_dict().items()}
+
+    def to_float_pyramid(self) -> WaveletPyramid:
+        """Convert to a real-valued :class:`WaveletPyramid` (for comparison
+        against the floating-point reference transform)."""
+        details = []
+        for entry in self.details:
+            fmt = self.format_for_scale(entry.scale)
+            details.append(
+                ScaleDetails(
+                    scale=entry.scale,
+                    hg=entry.hg.astype(float) / fmt.scale,
+                    gh=entry.gh.astype(float) / fmt.scale,
+                    gg=entry.gg.astype(float) / fmt.scale,
+                )
+            )
+        return WaveletPyramid(
+            approximation=self.approximation_real(), details=details
+        )
+
+    def max_abs_stored_per_scale(self) -> Dict[int, int]:
+        """Largest stored magnitude per scale (overflow diagnostics)."""
+        out: Dict[int, int] = {}
+        for entry in self.details:
+            out[entry.scale] = int(
+                max(
+                    np.abs(entry.hg).max(),
+                    np.abs(entry.gh).max(),
+                    np.abs(entry.gg).max(),
+                )
+            )
+        out[self.scales] = max(
+            out.get(self.scales, 0), int(np.abs(self.approximation).max())
+        )
+        return out
+
+
+class FixedPointDWT:
+    """Bit-accurate fixed-point forward/inverse 2-D DWT engine.
+
+    Parameters
+    ----------
+    bank:
+        Biorthogonal filter bank (one of Table I).
+    scales:
+        Number of decomposition scales ``S``.
+    plan:
+        Optional pre-built :class:`WordLengthPlan`; by default the paper's
+        plan (32-bit words, Table II integer parts, 13-bit input) is derived
+        from the bank.
+    rounding:
+        ``"half_up"`` (the paper's §4.3 rule, default) or ``"truncate"``;
+        exposed so the ablation benchmarks can show why the rounding rule
+        matters for losslessness.
+    overflow_policy:
+        Range-check policy applied after every alignment (``"raise"``,
+        ``"saturate"`` or ``"wrap"``).  The paper's word-length plan is
+        designed so that ``"raise"`` never triggers.
+    """
+
+    def __init__(
+        self,
+        bank: BiorthogonalBank,
+        scales: int,
+        plan: Optional[WordLengthPlan] = None,
+        rounding: str = "half_up",
+        overflow_policy: str = "raise",
+    ) -> None:
+        if scales < 1:
+            raise ValueError("scales must be >= 1")
+        if rounding not in ("half_up", "truncate"):
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        self.bank = bank
+        self.scales = scales
+        self.plan = plan if plan is not None else plan_word_lengths(bank, scales)
+        if self.plan.scales < scales:
+            raise ValueError(
+                f"word-length plan covers {self.plan.scales} scales, need {scales}"
+            )
+        self.rounding = rounding
+        self.overflow_policy = overflow_policy
+        cfmt = self.plan.coefficient_format
+        self._qh = quantize_filter(bank.h, cfmt)
+        self._qg = quantize_filter(bank.g, cfmt)
+        self._qht = quantize_filter(bank.ht, cfmt)
+        self._qgt = quantize_filter(bank.gt, cfmt)
+
+    # -- helpers -----------------------------------------------------------------
+    def _shift_amount(self, source_frac: int, target_frac: int) -> int:
+        shift = source_frac - target_frac
+        if shift < 0:
+            raise ValueError(
+                f"alignment would need a left shift ({source_frac} -> {target_frac} "
+                "fractional bits); the plan is inconsistent"
+            )
+        return shift
+
+    def _narrow(self, acc: np.ndarray, shift: int, target: QFormat) -> np.ndarray:
+        if self.rounding == "half_up":
+            out = round_half_up_shift(acc, shift)
+        else:
+            out = truncate_shift(acc, shift)
+        FxArray(out, target).check_range(self.overflow_policy)
+        return np.asarray(out, dtype=np.int64)
+
+    def _analysis_1d(
+        self,
+        data: np.ndarray,
+        qfilt: QuantizedFilter,
+        source_frac: int,
+        target: QFormat,
+    ) -> np.ndarray:
+        """Decimated analysis convolution along the last axis, in integers."""
+        n = data.shape[-1]
+        if n % 2 != 0:
+            raise ValueError(f"signal length {n} must be even")
+        half = n // 2
+        base = 2 * np.arange(half)
+        acc = np.zeros(data.shape[:-1] + (half,), dtype=np.int64)
+        for idx, stored in qfilt.items():
+            acc += np.int64(stored) * data[..., np.mod(base + idx, n)]
+        shift = self._shift_amount(source_frac + qfilt.fmt.fractional_bits,
+                                   target.fractional_bits)
+        return self._narrow(acc, shift, target)
+
+    def _synthesis_1d(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        source_frac: int,
+        target: QFormat,
+    ) -> np.ndarray:
+        """One synthesis stage along the last axis, in integers."""
+        half = lo.shape[-1]
+        out_len = 2 * half
+        acc = np.zeros(lo.shape[:-1] + (out_len,), dtype=np.int64)
+        positions = 2 * np.arange(half)
+        for idx, stored in self._qht.items():
+            np.add.at(acc, (..., np.mod(positions + idx, out_len)), np.int64(stored) * lo)
+        for idx, stored in self._qgt.items():
+            np.add.at(acc, (..., np.mod(positions + idx, out_len)), np.int64(stored) * hi)
+        shift = self._shift_amount(
+            source_frac + self.plan.coefficient_format.fractional_bits,
+            target.fractional_bits,
+        )
+        return self._narrow(acc, shift, target)
+
+    # -- forward -------------------------------------------------------------------
+    def forward(self, image: np.ndarray) -> FixedPointPyramid:
+        """Fixed-point forward transform of an integer image.
+
+        ``image`` must contain integers representable in the plan's input
+        format (12-bit medical pixels in the paper).
+        """
+        image = np.asarray(image)
+        if image.ndim != 2:
+            raise ValueError("expected a 2-D image")
+        for size in image.shape:
+            if max_scales_for_length(size) < self.scales:
+                raise ValueError(
+                    f"image dimension {size} does not support {self.scales} scales"
+                )
+        if not np.issubdtype(image.dtype, np.integer):
+            if not np.all(image == np.round(image)):
+                raise ValueError("input image must contain integer pixel values")
+        data = image.astype(np.int64)
+        FxArray(data, self.plan.input_format).check_range("raise")
+
+        details: List[ScaleDetails] = []
+        source_frac = self.plan.input_format.fractional_bits
+        for scale in range(1, self.scales + 1):
+            target = self.plan.format_for_scale(scale)
+            # Rows (last axis), then columns (transpose).
+            row_lo = self._analysis_1d(data, self._qh, source_frac, target)
+            row_hi = self._analysis_1d(data, self._qg, source_frac, target)
+            frac = target.fractional_bits
+            hh = self._analysis_1d(row_lo.T, self._qh, frac, target).T
+            hg = self._analysis_1d(row_lo.T, self._qg, frac, target).T
+            gh = self._analysis_1d(row_hi.T, self._qh, frac, target).T
+            gg = self._analysis_1d(row_hi.T, self._qg, frac, target).T
+            details.append(ScaleDetails(scale=scale, hg=hg, gh=gh, gg=gg))
+            data = hh
+            source_frac = frac
+        return FixedPointPyramid(plan=self.plan, approximation=data, details=details)
+
+    # -- inverse -------------------------------------------------------------------
+    def inverse(self, pyramid: FixedPointPyramid) -> np.ndarray:
+        """Fixed-point inverse transform; returns integer pixels.
+
+        The final synthesis stage aligns directly into the input format
+        (integer pixels), which is where the lossless property is judged.
+        """
+        if pyramid.scales != self.scales:
+            raise ValueError(
+                f"pyramid has {pyramid.scales} scales, engine configured for {self.scales}"
+            )
+        data = np.asarray(pyramid.approximation, dtype=np.int64)
+        for scale in range(self.scales, 0, -1):
+            source = self.plan.format_for_scale(scale)
+            target = self.plan.format_for_scale(scale - 1)
+            entry = pyramid.details[scale - 1]
+            frac = source.fractional_bits
+            # Undo the column transform first (columns were filtered last in
+            # the forward pass); intermediates stay in the source format.
+            row_lo = self._synthesis_1d(data.T, entry.hg.T, frac, source).T
+            row_hi = self._synthesis_1d(entry.gh.T, entry.gg.T, frac, source).T
+            # Then undo the row transform, landing in the coarser format.
+            data = self._synthesis_1d(row_lo, row_hi, frac, target)
+        return data.astype(np.int64)
+
+    # -- convenience -----------------------------------------------------------------
+    def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, FixedPointPyramid]:
+        """Forward + inverse transform; returns ``(reconstructed, pyramid)``."""
+        pyramid = self.forward(image)
+        return self.inverse(pyramid), pyramid

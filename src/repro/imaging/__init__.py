@@ -1,0 +1,58 @@
+"""Synthetic 12-bit medical imaging substrate (phantoms, I/O, metrics, datasets)."""
+
+from .dataset import (
+    ImageDataset,
+    archive_dataset,
+    paper_validation_dataset,
+    standard_dataset,
+)
+from .io_pgm import read_pgm, write_pgm
+from .metrics import (
+    FidelityReport,
+    are_identical,
+    fidelity_report,
+    mae,
+    max_abs_error,
+    mse,
+    psnr,
+    snr,
+)
+from .mr import bias_field, mr_slice, rician_noise
+from .phantoms import (
+    DEFAULT_BIT_DEPTH,
+    SHEPP_LOGAN_ELLIPSES,
+    Ellipse,
+    checkerboard,
+    ct_slice_series,
+    gradient_image,
+    random_image,
+    shepp_logan,
+)
+
+__all__ = [
+    "ImageDataset",
+    "archive_dataset",
+    "paper_validation_dataset",
+    "standard_dataset",
+    "read_pgm",
+    "write_pgm",
+    "FidelityReport",
+    "are_identical",
+    "fidelity_report",
+    "mae",
+    "max_abs_error",
+    "mse",
+    "psnr",
+    "snr",
+    "bias_field",
+    "mr_slice",
+    "rician_noise",
+    "DEFAULT_BIT_DEPTH",
+    "SHEPP_LOGAN_ELLIPSES",
+    "Ellipse",
+    "checkerboard",
+    "ct_slice_series",
+    "gradient_image",
+    "random_image",
+    "shepp_logan",
+]

@@ -1,0 +1,116 @@
+"""Named phantom datasets used by examples, tests and benchmarks.
+
+A *dataset* here is just a reproducible collection of named 12-bit images.
+Keeping the construction in one place guarantees that examples, tests and
+benchmarks all exercise the same workloads and that those workloads can be
+regenerated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .mr import mr_slice
+from .phantoms import (
+    DEFAULT_BIT_DEPTH,
+    checkerboard,
+    ct_slice_series,
+    gradient_image,
+    random_image,
+    shepp_logan,
+)
+
+__all__ = ["ImageDataset", "standard_dataset", "archive_dataset", "paper_validation_dataset"]
+
+
+@dataclass
+class ImageDataset:
+    """A named, ordered collection of integer images."""
+
+    name: str
+    bit_depth: int
+    images: Dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __iter__(self) -> Iterator[Tuple[str, np.ndarray]]:
+        return iter(self.images.items())
+
+    def names(self) -> List[str]:
+        return list(self.images)
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.images[name]
+        except KeyError as exc:
+            raise KeyError(f"dataset {self.name!r} has no image {name!r}") from exc
+
+    def total_pixels(self) -> int:
+        return int(sum(img.size for img in self.images.values()))
+
+    def validate(self) -> None:
+        """Check every image is 2-D, integer and within the bit depth."""
+        limit = (1 << self.bit_depth) - 1
+        for name, image in self.images.items():
+            if image.ndim != 2:
+                raise ValueError(f"image {name!r} is not 2-D")
+            if not np.issubdtype(image.dtype, np.integer):
+                raise ValueError(f"image {name!r} is not integer typed")
+            if image.min() < 0 or image.max() > limit:
+                raise ValueError(
+                    f"image {name!r} exceeds the {self.bit_depth}-bit range"
+                )
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "ImageDataset":
+        """Apply ``fn`` to every image, returning a new dataset."""
+        return ImageDataset(
+            name=f"{self.name}+mapped",
+            bit_depth=self.bit_depth,
+            images={k: fn(v) for k, v in self.images.items()},
+        )
+
+
+def standard_dataset(size: int = 64, seed: int = 0) -> ImageDataset:
+    """The default mixed workload: CT phantom, MR slice, ramp, texture, noise."""
+    dataset = ImageDataset(
+        name=f"standard-{size}",
+        bit_depth=DEFAULT_BIT_DEPTH,
+        images={
+            "ct_phantom": shepp_logan(size),
+            "mr_slice": mr_slice(size, seed=seed),
+            "gradient": gradient_image(size),
+            "checkerboard": checkerboard(size, tile=max(2, size // 16)),
+            "random": random_image(size, seed=seed),
+        },
+    )
+    dataset.validate()
+    return dataset
+
+
+def archive_dataset(slices: int = 6, size: int = 64, seed: int = 0) -> ImageDataset:
+    """A CT archive workload: a series of consecutive slices (storage use case)."""
+    series = ct_slice_series(count=slices, size=size, seed=seed)
+    dataset = ImageDataset(
+        name=f"ct-archive-{slices}x{size}",
+        bit_depth=DEFAULT_BIT_DEPTH,
+        images={f"slice_{i:03d}": image for i, image in enumerate(series)},
+    )
+    dataset.validate()
+    return dataset
+
+
+def paper_validation_dataset(size: int = 64, count: int = 3, seed: int = 7) -> ImageDataset:
+    """Random images, matching the paper's own validation of the VHDL model."""
+    dataset = ImageDataset(
+        name=f"random-validation-{count}x{size}",
+        bit_depth=DEFAULT_BIT_DEPTH,
+        images={
+            f"random_{i}": random_image(size, seed=seed + i) for i in range(count)
+        },
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,79 @@
+"""Minimal 16-bit PGM (portable graymap) reader/writer.
+
+PGM is the simplest container able to hold 12-bit grayscale images without
+external dependencies, which makes it a convenient interchange format for
+the example applications (write a phantom to disk, compress it, read it
+back).  Both the binary (``P5``) and ASCII (``P2``) variants are supported
+for reading; writing always uses ``P5``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+__all__ = ["write_pgm", "read_pgm"]
+
+PathLike = Union[str, Path]
+
+
+def write_pgm(path: PathLike, image: np.ndarray, max_value: int = 4095) -> None:
+    """Write an integer grayscale image as binary PGM (``P5``).
+
+    ``max_value`` must cover the image's actual maximum; values above 255
+    are written big-endian 16-bit as the PGM specification requires.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError("PGM images must be 2-D")
+    if not np.issubdtype(image.dtype, np.integer):
+        raise ValueError("PGM images must have an integer dtype")
+    if image.min() < 0:
+        raise ValueError("PGM images cannot contain negative values")
+    if image.max() > max_value:
+        raise ValueError(
+            f"image maximum {int(image.max())} exceeds declared max_value {max_value}"
+        )
+    if not 1 <= max_value <= 65535:
+        raise ValueError("max_value must be in [1, 65535]")
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n{max_value}\n".encode("ascii")
+    if max_value < 256:
+        payload = image.astype(">u1").tobytes()
+    else:
+        payload = image.astype(">u2").tobytes()
+    Path(path).write_bytes(header + payload)
+
+
+def read_pgm(path: PathLike) -> np.ndarray:
+    """Read a ``P5`` (binary) or ``P2`` (ASCII) PGM file as ``int64``."""
+    raw = Path(path).read_bytes()
+    if raw[:2] not in (b"P5", b"P2"):
+        raise ValueError(f"not a PGM file: magic {raw[:2]!r}")
+    ascii_variant = raw[:2] == b"P2"
+
+    # Parse the header: magic, width, height, maxval, with '#' comments allowed.
+    tokens = []
+    pos = 2
+    while len(tokens) < 3:
+        match = re.match(rb"\s*(#[^\n]*\n|\S+)", raw[pos:])
+        if match is None:
+            raise ValueError("truncated PGM header")
+        token = match.group(1)
+        pos += match.end()
+        if not token.startswith(b"#"):
+            tokens.append(token)
+    width, height, max_value = (int(t) for t in tokens)
+    if ascii_variant:
+        values = np.array(raw[pos:].split(), dtype=np.int64)
+    else:
+        pos += 1  # single whitespace byte after maxval
+        dtype = ">u1" if max_value < 256 else ">u2"
+        values = np.frombuffer(raw[pos:], dtype=dtype).astype(np.int64)
+    if values.size < width * height:
+        raise ValueError(
+            f"PGM payload has {values.size} samples, expected {width * height}"
+        )
+    return values[: width * height].reshape(height, width)

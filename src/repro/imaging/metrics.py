@@ -1,0 +1,116 @@
+"""Image fidelity metrics.
+
+The paper's quality criterion is bit-exactness (lossless reconstruction),
+but the surrounding literature it compares against quotes SNR/PSNR figures
+(50–60 dB for the 8-bit architectures of Table III).  This module provides
+both kinds of metrics so experiments can report them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "mae",
+    "max_abs_error",
+    "psnr",
+    "snr",
+    "are_identical",
+    "FidelityReport",
+    "fidelity_report",
+]
+
+
+def _as_float_pair(reference: np.ndarray, candidate: np.ndarray):
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs candidate {candidate.shape}"
+        )
+    return reference, candidate
+
+
+def mse(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean squared error."""
+    reference, candidate = _as_float_pair(reference, candidate)
+    return float(np.mean((reference - candidate) ** 2))
+
+
+def mae(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean absolute error."""
+    reference, candidate = _as_float_pair(reference, candidate)
+    return float(np.mean(np.abs(reference - candidate)))
+
+
+def max_abs_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Largest absolute pixel difference."""
+    reference, candidate = _as_float_pair(reference, candidate)
+    return float(np.max(np.abs(reference - candidate)))
+
+
+def psnr(
+    reference: np.ndarray, candidate: np.ndarray, peak: Optional[float] = None
+) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images).
+
+    ``peak`` defaults to the maximum value of the reference image; for
+    12-bit medical images pass ``4095`` explicitly for comparable numbers.
+    """
+    error = mse(reference, candidate)
+    if error == 0.0:
+        return float("inf")
+    if peak is None:
+        peak = float(np.max(np.asarray(reference, dtype=float)))
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    return float(10.0 * np.log10(peak * peak / error))
+
+
+def snr(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB (signal power over error power)."""
+    reference, candidate = _as_float_pair(reference, candidate)
+    error_power = float(np.mean((reference - candidate) ** 2))
+    if error_power == 0.0:
+        return float("inf")
+    signal_power = float(np.mean(reference ** 2))
+    if signal_power == 0.0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal_power / error_power))
+
+
+def are_identical(reference: np.ndarray, candidate: np.ndarray) -> bool:
+    """Bit-exact equality — the paper's lossless criterion."""
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    return reference.shape == candidate.shape and bool(np.array_equal(reference, candidate))
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Bundle of fidelity metrics for one reference/candidate pair."""
+
+    identical: bool
+    max_abs_error: float
+    mean_abs_error: float
+    mse: float
+    psnr_db: float
+    snr_db: float
+
+
+def fidelity_report(
+    reference: np.ndarray, candidate: np.ndarray, peak: Optional[float] = None
+) -> FidelityReport:
+    """Compute all metrics at once."""
+    return FidelityReport(
+        identical=are_identical(reference, candidate),
+        max_abs_error=max_abs_error(reference, candidate),
+        mean_abs_error=mae(reference, candidate),
+        mse=mse(reference, candidate),
+        psnr_db=psnr(reference, candidate, peak=peak),
+        snr_db=snr(reference, candidate),
+    )

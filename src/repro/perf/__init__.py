@@ -1,0 +1,58 @@
+"""Performance models: MAC workloads, software baseline, throughput, speedup.
+
+Public API
+----------
+``WorkloadModel``
+    MAC counts of a transform (Eq. (1)/(2); the paper's 8.99e6 example).
+``PentiumBaseline`` / ``measure_reference_dwt``
+    The calibrated 133 MHz Pentium baseline (42 s) and a wall-clock
+    measurement of our own NumPy transform for context.
+``ThroughputModel`` / ``clock_sweep`` / ``image_size_sweep``
+    Accelerator throughput (3.5 images/s at 33 MHz) and design sweeps.
+``speedup_report``
+    The 154x accelerator-vs-Pentium comparison.
+"""
+
+from .opcount_model import (
+    PAPER_FILTER_LENGTH,
+    PAPER_IMAGE_SIZE,
+    PAPER_MAC_COUNT,
+    PAPER_SCALES,
+    WorkloadModel,
+)
+from .software_baseline import (
+    PAPER_PENTIUM_CLOCK_MHZ,
+    PAPER_PENTIUM_SECONDS,
+    MeasuredSoftwareRun,
+    PentiumBaseline,
+    measure_reference_dwt,
+)
+from .speedup import PAPER_SPEEDUP, SpeedupReport, speedup_report
+from .throughput import (
+    PAPER_CLOCK_MHZ,
+    PAPER_IMAGES_PER_SECOND,
+    ThroughputModel,
+    clock_sweep,
+    image_size_sweep,
+)
+
+__all__ = [
+    "PAPER_FILTER_LENGTH",
+    "PAPER_IMAGE_SIZE",
+    "PAPER_MAC_COUNT",
+    "PAPER_SCALES",
+    "WorkloadModel",
+    "PAPER_PENTIUM_CLOCK_MHZ",
+    "PAPER_PENTIUM_SECONDS",
+    "MeasuredSoftwareRun",
+    "PentiumBaseline",
+    "measure_reference_dwt",
+    "PAPER_SPEEDUP",
+    "SpeedupReport",
+    "speedup_report",
+    "PAPER_CLOCK_MHZ",
+    "PAPER_IMAGES_PER_SECOND",
+    "ThroughputModel",
+    "clock_sweep",
+    "image_size_sweep",
+]

@@ -1,0 +1,87 @@
+"""Workload model: MAC counts of the FDWT/IDWT (Eq. (1)/(2) of the paper).
+
+Thin wrapper around :mod:`repro.dwt.opcount` that bundles the paper's worked
+example (N = 512, 13-tap filters, S = 6 → 8.99·10⁶ MACs) together with the
+counts our closed form and instrumented counter produce, so the performance
+and speedup models always state explicitly which number they are using.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..dwt.opcount import mac_count_formula
+from ..filters.catalog import get_bank
+from ..filters.qmf import BiorthogonalBank
+
+__all__ = [
+    "PAPER_MAC_COUNT",
+    "PAPER_IMAGE_SIZE",
+    "PAPER_FILTER_LENGTH",
+    "PAPER_SCALES",
+    "WorkloadModel",
+]
+
+#: MAC count the paper quotes for its worked example (§2).
+PAPER_MAC_COUNT = 8.99e6
+
+#: Parameters of the worked example.
+PAPER_IMAGE_SIZE = 512
+PAPER_FILTER_LENGTH = 13
+PAPER_SCALES = 6
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """MAC workload of one forward (or inverse) transform.
+
+    Attributes
+    ----------
+    image_size:
+        Number of rows/columns ``N``.
+    scales:
+        Number of decomposition scales ``S``.
+    length_h / length_g:
+        Analysis filter lengths (both 13 in the paper's worked example,
+        13/11 for the true F2 bank).
+    """
+
+    image_size: int = PAPER_IMAGE_SIZE
+    scales: int = PAPER_SCALES
+    length_h: int = PAPER_FILTER_LENGTH
+    length_g: int = PAPER_FILTER_LENGTH
+
+    @classmethod
+    def for_bank(
+        cls, bank: Optional[BiorthogonalBank] = None,
+        image_size: int = PAPER_IMAGE_SIZE, scales: int = PAPER_SCALES,
+    ) -> "WorkloadModel":
+        """Workload using the true analysis lengths of a filter bank."""
+        bank = bank or get_bank("F2")
+        length_h, length_g = bank.analysis_lengths
+        return cls(
+            image_size=image_size,
+            scales=scales,
+            length_h=length_h,
+            length_g=length_g,
+        )
+
+    # -- counts -----------------------------------------------------------------------
+    def macs_per_scale(self) -> Dict[int, int]:
+        """Per-scale MAC counts (Eq. (1))."""
+        return mac_count_formula(
+            self.image_size, self.length_h, self.length_g, self.scales
+        )
+
+    def total_macs(self) -> int:
+        """Total MACs of the forward transform (Eq. (2)); same for the inverse."""
+        return sum(self.macs_per_scale().values())
+
+    def roundtrip_macs(self) -> int:
+        """MACs of a forward + inverse round trip."""
+        return 2 * self.total_macs()
+
+    def relative_to_paper(self) -> float:
+        """Ratio of this workload's total MACs to the paper's 8.99e6 figure."""
+        return self.total_macs() / PAPER_MAC_COUNT

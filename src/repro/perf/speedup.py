@@ -1,0 +1,77 @@
+"""Speedup of the accelerator over the software baseline (the 154x claim).
+
+§5 of the paper: "our architecture is 154 times faster than a desktop
+Pentium 133 MHz PC".  The speedup is the ratio of the baseline transform
+time (42 s calibration, scaled by MAC count for other workloads) to the
+accelerator transform time (analytic cycle model at the operating clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.config import ArchitectureConfig
+from .opcount_model import WorkloadModel
+from .software_baseline import PentiumBaseline
+from .throughput import ThroughputModel
+
+__all__ = ["PAPER_SPEEDUP", "SpeedupReport", "speedup_report"]
+
+#: Speedup over the Pentium-133 quoted in §5.
+PAPER_SPEEDUP = 154.0
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Baseline vs accelerator comparison for one workload."""
+
+    image_size: int
+    scales: int
+    baseline_seconds: float
+    accelerator_seconds: float
+    speedup: float
+    baseline_images_per_second: float
+    accelerator_images_per_second: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.image_size}x{self.image_size}/{self.scales} scales: "
+            f"Pentium {self.baseline_seconds:.1f} s vs accelerator "
+            f"{self.accelerator_seconds * 1e3:.1f} ms -> {self.speedup:.0f}x"
+        )
+
+
+def speedup_report(
+    config: Optional[ArchitectureConfig] = None,
+    baseline: Optional[PentiumBaseline] = None,
+    use_paper_filter_length: bool = True,
+) -> SpeedupReport:
+    """Compute the accelerator-vs-Pentium speedup for one operating point.
+
+    ``use_paper_filter_length`` selects whether the baseline workload counts
+    MACs with both filter lengths at 13 (the paper's own worked example) or
+    with the true 13/11 lengths of the F2 bank; the paper's 154x figure is
+    obtained with the former.
+    """
+    throughput = ThroughputModel(config=config) if config else ThroughputModel.paper()
+    baseline = baseline or PentiumBaseline()
+    cfg = throughput.config
+    if use_paper_filter_length:
+        workload = WorkloadModel(image_size=cfg.image_size, scales=cfg.scales)
+    else:
+        workload = WorkloadModel.for_bank(
+            cfg.bank, image_size=cfg.image_size, scales=cfg.scales
+        )
+    baseline_seconds = baseline.seconds_for_workload(workload)
+    estimate = throughput.estimate()
+    accelerator_seconds = estimate.transform_seconds
+    return SpeedupReport(
+        image_size=cfg.image_size,
+        scales=cfg.scales,
+        baseline_seconds=baseline_seconds,
+        accelerator_seconds=accelerator_seconds,
+        speedup=baseline_seconds / accelerator_seconds,
+        baseline_images_per_second=1.0 / baseline_seconds,
+        accelerator_images_per_second=estimate.images_per_second,
+    )

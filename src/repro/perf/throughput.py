@@ -1,0 +1,95 @@
+"""Accelerator throughput model (the 3.5 images/s headline of §5).
+
+Wraps the analytic cycle model of :mod:`repro.arch.accelerator` into the
+terms the paper's conclusion uses — transform time, images per second at a
+given clock — and provides the clock/image-size sweeps used by the
+what-if benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..arch.accelerator import PerformanceEstimate, estimate_performance
+from ..arch.config import ArchitectureConfig, paper_configuration
+
+__all__ = [
+    "PAPER_IMAGES_PER_SECOND",
+    "PAPER_CLOCK_MHZ",
+    "ThroughputModel",
+    "clock_sweep",
+    "image_size_sweep",
+]
+
+#: Throughput the paper quotes at 33 MHz for 512x512x12-bit images (§5).
+PAPER_IMAGES_PER_SECOND = 3.5
+
+#: Operating clock of the headline figure.
+PAPER_CLOCK_MHZ = 33.0
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """Throughput of the accelerator for one configuration."""
+
+    config: ArchitectureConfig
+
+    @classmethod
+    def paper(cls) -> "ThroughputModel":
+        """The paper's operating point (512x512, 13-tap, 6 scales, 33 MHz)."""
+        return cls(config=paper_configuration())
+
+    def estimate(self) -> PerformanceEstimate:
+        """Full analytic performance estimate for this configuration."""
+        return estimate_performance(self.config)
+
+    @property
+    def transform_seconds(self) -> float:
+        return self.estimate().transform_seconds
+
+    @property
+    def images_per_second(self) -> float:
+        return self.estimate().images_per_second
+
+    @property
+    def utilisation(self) -> float:
+        return self.estimate().utilisation
+
+    def at_clock(self, clock_mhz: float) -> "ThroughputModel":
+        """Same architecture retimed to another clock frequency."""
+        if clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        period = 1000.0 / clock_mhz
+        config = ArchitectureConfig(
+            image_size=self.config.image_size,
+            scales=self.config.scales,
+            bank_name=self.config.bank_name,
+            word_length=self.config.word_length,
+            accumulator_bits=self.config.accumulator_bits,
+            input_bits=self.config.input_bits,
+            clock_period_ns=period,
+            dram_refresh_interval_cycles=self.config.dram_refresh_interval_cycles,
+            refresh_stall_cycles=self.config.refresh_stall_cycles,
+        )
+        return ThroughputModel(config=config)
+
+    def for_image_size(self, image_size: int) -> "ThroughputModel":
+        """Same architecture processing a different (square) image size."""
+        return ThroughputModel(config=self.config.with_image_size(image_size))
+
+
+def clock_sweep(
+    clocks_mhz: Iterable[float], base: Optional[ThroughputModel] = None
+) -> Dict[float, PerformanceEstimate]:
+    """Performance at several clock frequencies (design-space exploration)."""
+    base = base or ThroughputModel.paper()
+    return {clock: base.at_clock(clock).estimate() for clock in clocks_mhz}
+
+
+def image_size_sweep(
+    sizes: Iterable[int], base: Optional[ThroughputModel] = None
+) -> Dict[int, PerformanceEstimate]:
+    """Performance over image sizes (64 .. 1024), at the paper's clock."""
+    base = base or ThroughputModel.paper()
+    return {size: base.for_image_size(size).estimate() for size in sizes}

@@ -1,0 +1,40 @@
+"""ES2 0.7 µm CMOS technology model (cell areas/delays, block estimators, timing).
+
+The constants are calibrated to the silicon figures the paper prints
+(Table V, Table III, the 11.2 mm² datapath); see the module docstrings and
+EXPERIMENTS.md for which numbers are calibration inputs versus model outputs.
+"""
+
+from .area import (
+    AreaBreakdown,
+    adder_area_mm2,
+    barrel_shifter_area_mm2,
+    multiplier_area_mm2,
+    ram_area_mm2,
+    register_area_mm2,
+)
+from .cells import TechnologyParameters, es2_07um, scaled_technology
+from .timing import (
+    PAPER_TABLE_V,
+    MultiplierTimingRow,
+    max_frequency_mhz,
+    meets_clock,
+    multiplier_comparison,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "adder_area_mm2",
+    "barrel_shifter_area_mm2",
+    "multiplier_area_mm2",
+    "ram_area_mm2",
+    "register_area_mm2",
+    "TechnologyParameters",
+    "es2_07um",
+    "scaled_technology",
+    "PAPER_TABLE_V",
+    "MultiplierTimingRow",
+    "max_frequency_mhz",
+    "meets_clock",
+    "multiplier_comparison",
+]

@@ -1,0 +1,113 @@
+"""Block-level area estimation on top of the cell model.
+
+These estimators turn structural quantities (numbers of multipliers, adder
+bits, register bits, RAM bits) into square millimetres using the calibrated
+:class:`~repro.technology.cells.TechnologyParameters`.  They are used by
+
+* the proposed-datapath area composition (the paper's 11.2 mm² figure),
+* the prior-architecture models of :mod:`repro.baselines` (Table III),
+* the multiplier comparison of Table V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .cells import TechnologyParameters, es2_07um
+
+__all__ = [
+    "adder_area_mm2",
+    "register_area_mm2",
+    "ram_area_mm2",
+    "barrel_shifter_area_mm2",
+    "multiplier_area_mm2",
+    "AreaBreakdown",
+]
+
+
+def adder_area_mm2(bits: int, tech: Optional[TechnologyParameters] = None) -> float:
+    """Area of a ``bits``-wide carry-propagate adder (one cell per bit)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    tech = tech or es2_07um()
+    return bits * tech.array_cell_area_mm2
+
+
+def register_area_mm2(bits: int, tech: Optional[TechnologyParameters] = None) -> float:
+    """Area of ``bits`` flip-flops."""
+    if bits < 0:
+        raise ValueError("bits must be >= 0")
+    tech = tech or es2_07um()
+    return bits * tech.register_bit_area_mm2
+
+
+def ram_area_mm2(
+    words: int, word_bits: int, tech: Optional[TechnologyParameters] = None
+) -> float:
+    """Area of a compiled on-chip RAM of ``words`` x ``word_bits``."""
+    if words < 0 or word_bits < 1:
+        raise ValueError("words must be >= 0 and word_bits >= 1")
+    tech = tech or es2_07um()
+    return words * word_bits * tech.ram_bit_area_mm2
+
+
+def barrel_shifter_area_mm2(
+    bits: int, tech: Optional[TechnologyParameters] = None
+) -> float:
+    """Area of a logarithmic barrel shifter over ``bits`` (mux cell ≈ half an adder)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    tech = tech or es2_07um()
+    levels = max(1, int(math.ceil(math.log2(bits))))
+    return bits * levels * 0.5 * tech.array_cell_area_mm2
+
+
+def multiplier_area_mm2(
+    bits: int = 32,
+    kind: str = "array",
+    pipeline_stages: int = 2,
+    tech: Optional[TechnologyParameters] = None,
+) -> float:
+    """Area of one ``bits x bits`` multiplier (``kind`` = 'array' or 'wallace')."""
+    # Imported here to avoid a circular import (arch.multiplier uses this module's
+    # sibling `cells`, not `area`).
+    from ..arch.multiplier import array_multiplier_estimate, wallace_multiplier_estimate
+
+    tech = tech or es2_07um()
+    if kind == "array":
+        return array_multiplier_estimate(bits, tech).area_mm2
+    if kind == "wallace":
+        return wallace_multiplier_estimate(bits, pipeline_stages, tech).area_mm2
+    raise ValueError(f"unknown multiplier kind {kind!r}")
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-block area report with a grand total."""
+
+    name: str
+    blocks: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, block: str, area_mm2: float) -> None:
+        if area_mm2 < 0:
+            raise ValueError("block areas must be non-negative")
+        self.blocks[block] = self.blocks.get(block, 0.0) + area_mm2
+
+    @property
+    def total_mm2(self) -> float:
+        return float(sum(self.blocks.values()))
+
+    def as_rows(self):
+        """``(block, area)`` rows plus a total row, for table rendering."""
+        rows = [(k, v) for k, v in self.blocks.items()]
+        rows.append(("TOTAL", self.total_mm2))
+        return rows
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"Area breakdown: {self.name}"]
+        for block, area in self.blocks.items():
+            lines.append(f"  {block:<32s} {area:8.3f} mm2")
+        lines.append(f"  {'TOTAL':<32s} {self.total_mm2:8.3f} mm2")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Technology parameters (cell-level areas and delays).
+
+The paper reports silicon figures obtained with the ES2 ECPD07 (0.7 µm CMOS)
+library and the ES2 megacell compiler under worst-case industrial
+conditions.  Neither the library data-book nor the compiler is available, so
+this module provides a small parametric cell model — delay per full-adder
+level, register overhead, area per adder cell / register bit / RAM bit —
+whose constants are **calibrated to the numbers printed in the paper**
+(Table V for the multipliers, §5 for the 11.2 mm² datapath, Table III for
+the memory-dominated prior architectures).
+
+Every figure derived from these constants is therefore a *model output
+anchored to the paper's published cell figures*, not an independent silicon
+measurement; EXPERIMENTS.md spells out which numbers are calibration inputs
+and which are genuine predictions of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TechnologyParameters", "es2_07um", "scaled_technology"]
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Cell-level constants of a CMOS technology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology name.
+    feature_size_um:
+        Drawn feature size in micrometres (0.7 for ES2 ECPD07).
+    full_adder_delay_ns:
+        Propagation delay of one full-adder (carry) level, worst case.
+    register_overhead_ns:
+        Clock-to-Q plus setup overhead added to every pipeline stage.
+    skip_adder_delay_per_bit_ns:
+        Effective per-bit delay of the final wide carry-propagate adder used
+        in the pipelined multiplier (a carry-skip style adder: much faster
+        per bit than a ripple chain, slower than a full lookahead).
+    and_gate_delay_ns:
+        Delay of the partial-product AND gate level.
+    array_cell_area_mm2:
+        Area of one cell (gated full adder) of a compiled array multiplier.
+    wallace_cell_area_mm2:
+        Area of one cell of the Wallace-tree multiplier (less regular layout,
+        higher routing overhead).
+    register_bit_area_mm2:
+        Area of one flip-flop.
+    ram_bit_area_mm2:
+        Area of one bit of compiled on-chip RAM.
+    dram_bit_area_mm2:
+        Area of one bit of (off-chip style) DRAM, used only when a prior
+        architecture is modelled with its image memory on chip.
+    """
+
+    name: str = "ES2 ECPD07 (0.7um CMOS)"
+    feature_size_um: float = 0.7
+    full_adder_delay_ns: float = 0.8
+    register_overhead_ns: float = 1.28
+    skip_adder_delay_per_bit_ns: float = 0.3465
+    and_gate_delay_ns: float = 0.4
+    array_cell_area_mm2: float = 0.002827
+    wallace_cell_area_mm2: float = 0.007691
+    register_bit_area_mm2: float = 0.0008
+    ram_bit_area_mm2: float = 0.00026
+    dram_bit_area_mm2: float = 0.00005
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "feature_size_um",
+            "full_adder_delay_ns",
+            "register_overhead_ns",
+            "skip_adder_delay_per_bit_ns",
+            "and_gate_delay_ns",
+            "array_cell_area_mm2",
+            "wallace_cell_area_mm2",
+            "register_bit_area_mm2",
+            "ram_bit_area_mm2",
+            "dram_bit_area_mm2",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+def es2_07um() -> TechnologyParameters:
+    """The calibrated ES2 0.7 µm parameter set used throughout the reproduction."""
+    return TechnologyParameters()
+
+
+def scaled_technology(
+    base: TechnologyParameters, feature_size_um: float, name: str = ""
+) -> TechnologyParameters:
+    """Naively scale a technology to another feature size.
+
+    Classical (Dennard-style) scaling: areas scale with the square of the
+    feature-size ratio, delays scale linearly.  This is only used by the
+    what-if benchmarks (e.g. "what would the datapath area be in 0.35 µm?")
+    and is clearly an extrapolation, not a paper result.
+    """
+    if feature_size_um <= 0:
+        raise ValueError("feature_size_um must be positive")
+    ratio = feature_size_um / base.feature_size_um
+    return replace(
+        base,
+        name=name or f"{base.name} scaled to {feature_size_um}um",
+        feature_size_um=feature_size_um,
+        full_adder_delay_ns=base.full_adder_delay_ns * ratio,
+        register_overhead_ns=base.register_overhead_ns * ratio,
+        skip_adder_delay_per_bit_ns=base.skip_adder_delay_per_bit_ns * ratio,
+        and_gate_delay_ns=base.and_gate_delay_ns * ratio,
+        array_cell_area_mm2=base.array_cell_area_mm2 * ratio * ratio,
+        wallace_cell_area_mm2=base.wallace_cell_area_mm2 * ratio * ratio,
+        register_bit_area_mm2=base.register_bit_area_mm2 * ratio * ratio,
+        ram_bit_area_mm2=base.ram_bit_area_mm2 * ratio * ratio,
+        dram_bit_area_mm2=base.dram_bit_area_mm2 * ratio * ratio,
+    )

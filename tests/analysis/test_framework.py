@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.tabulate and repro.analysis.record."""
+
+import pytest
+
+from repro.analysis.record import Comparison, ExperimentResult
+from repro.analysis.tabulate import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_bool_rendering(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_digits(self):
+        assert format_cell(3.14159, float_digits=2) == "3.14"
+
+    def test_large_float_uses_scientific(self):
+        assert "e" in format_cell(8.99e6)
+
+    def test_nan_and_inf(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+
+    def test_integers_unchanged(self):
+        assert format_cell(512) == "512"
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        table = format_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert "bb" in lines[3]
+
+    def test_title_prepended(self):
+        table = format_table(("x",), [(1,)], title="My table")
+        assert table.splitlines()[0] == "My table"
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_columns_are_aligned(self):
+        table = format_table(("col",), [(1,), (100,)])
+        lines = table.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestComparison:
+    def test_relative_error(self):
+        comparison = Comparison("x", paper_value=10.0, measured_value=11.0)
+        assert comparison.relative_error == pytest.approx(0.1)
+        assert comparison.within_tolerance  # default tolerance 10%
+
+    def test_outside_tolerance(self):
+        comparison = Comparison("x", 10.0, 12.0, tolerance=0.1)
+        assert not comparison.within_tolerance
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", 0.0, 0.0).relative_error == 0.0
+        assert Comparison("x", 0.0, 1.0).relative_error == float("inf")
+
+    def test_row_contains_status(self):
+        row = Comparison("q", 1.0, 1.0).row()
+        assert row[0] == "q"
+        assert row[-1] == "ok"
+
+
+class TestExperimentResult:
+    def test_add_row_and_comparison(self):
+        result = ExperimentResult("exp", "Title", headers=("a", "b"))
+        result.add_row((1, 2))
+        result.add_comparison("metric", 10.0, 10.5)
+        result.add_note("a note")
+        assert len(result.rows) == 1
+        assert result.all_within_tolerance
+
+    def test_render_includes_everything(self):
+        result = ExperimentResult("exp", "Title", headers=("a",))
+        result.add_row((1,))
+        result.add_comparison("metric", 1.0, 2.0, tolerance=0.05)
+        result.add_note("deviation explained")
+        text = result.render()
+        assert "Title" in text
+        assert "DEVIATES" in text
+        assert "deviation explained" in text
+
+    def test_all_within_tolerance_reflects_failures(self):
+        result = ExperimentResult("exp", "Title", headers=("a",))
+        result.add_comparison("good", 1.0, 1.0)
+        result.add_comparison("bad", 1.0, 2.0, tolerance=0.01)
+        assert not result.all_within_tolerance

@@ -1,0 +1,79 @@
+"""Tests for repro.arch.alignment (the §4.3 alignment/rounding unit)."""
+
+import pytest
+
+from repro.filters.catalog import get_bank
+from repro.fixedpoint.wordlength import plan_word_lengths
+from repro.arch.alignment import AlignmentUnit
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_word_lengths(get_bank("F2"), 3)
+
+
+@pytest.fixture(scope="module")
+def unit(plan):
+    return AlignmentUnit(plan)
+
+
+class TestConfiguration:
+    def test_entries_exist_for_every_scale_direction_pass(self, unit, plan):
+        for scale in range(1, plan.scales + 1):
+            for direction in ("forward", "inverse"):
+                for pass_name in ("rows", "columns"):
+                    assert unit.entry(direction, scale, pass_name).shift >= 0
+
+    def test_unknown_entry_rejected(self, unit):
+        with pytest.raises(KeyError):
+            unit.entry("forward", 99, "rows")
+        with pytest.raises(KeyError):
+            unit.entry("sideways", 1, "rows")
+
+    def test_configuration_rows_sorted_and_complete(self, unit, plan):
+        rows = unit.configuration_rows()
+        assert len(rows) == 4 * plan.scales
+
+    def test_unknown_rounding_rejected(self, plan):
+        with pytest.raises(ValueError):
+            AlignmentUnit(plan, rounding="ceil")
+
+
+class TestShiftValues:
+    def test_forward_row_shift_scale_one(self, unit, plan):
+        # Rows of scale 1 consume integer pixels (0 fractional bits); the
+        # product has the coefficient fraction; the target is the scale-1 format.
+        expected = plan.coefficient_format.fractional_bits - plan.format_for_scale(1).fractional_bits
+        assert unit.shift_for("forward", 1, "rows") == expected
+
+    def test_forward_column_shift_larger_than_row_shift(self, unit):
+        # Columns consume data already in the scale's format (more fractional
+        # bits than the raw pixels), so more bits must be dropped.
+        assert unit.shift_for("forward", 1, "columns") > unit.shift_for("forward", 1, "rows")
+
+    def test_inverse_rows_land_in_coarser_format(self, unit, plan):
+        entry = unit.entry("inverse", 1, "rows")
+        assert entry.target_format == plan.format_for_scale(0)
+
+    def test_shift_grows_with_scale_for_forward_rows(self, unit, plan):
+        shifts = [unit.shift_for("forward", s, "columns") for s in range(1, plan.scales + 1)]
+        # Deeper scales have fewer fractional bits, so the drop grows.
+        assert shifts == sorted(shifts)
+
+
+class TestAlignOperation:
+    def test_align_applies_round_half_up(self, unit):
+        shift = unit.shift_for("forward", 1, "rows")
+        value = (3 << shift) + (1 << (shift - 1))  # exactly x.5 in dropped bits
+        assert unit.align(value, "forward", 1, "rows") == 4
+
+    def test_align_truncate_mode(self, plan):
+        unit = AlignmentUnit(plan, rounding="truncate")
+        shift = unit.shift_for("forward", 1, "rows")
+        value = (3 << shift) + (1 << (shift - 1))
+        assert unit.align(value, "forward", 1, "rows") == 3
+
+    def test_align_negative_value(self, unit):
+        shift = unit.shift_for("forward", 1, "rows")
+        value = -(5 << shift)
+        assert unit.align(value, "forward", 1, "rows") == -5

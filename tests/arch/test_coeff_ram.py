@@ -1,0 +1,68 @@
+"""Tests for repro.arch.coeff_ram (the filter-coefficient memory)."""
+
+import pytest
+
+from repro.arch.coeff_ram import FILTER_ROLES, CoefficientRam
+from repro.filters.catalog import get_bank
+from repro.fixedpoint.wordlength import plan_word_lengths
+
+
+@pytest.fixture(scope="module")
+def ram():
+    bank = get_bank("F2")
+    plan = plan_word_lengths(bank, 6)
+    return CoefficientRam(bank, plan.coefficient_format)
+
+
+class TestStructure:
+    def test_four_filters_packed(self, ram):
+        assert FILTER_ROLES == ("h", "g", "ht", "gt")
+        # F2: 13 + 11 + 11 + 13 = 48 words.
+        assert ram.words == 48
+        assert ram.rounded_words == 64
+
+    def test_base_addresses_are_contiguous(self, ram):
+        assert ram.base_address("h") == 0
+        assert ram.base_address("g") == 13
+        assert ram.base_address("ht") == 24
+        assert ram.base_address("gt") == 35
+
+    def test_filter_lengths(self, ram):
+        assert ram.filter_length("h") == 13
+        assert ram.filter_length("g") == 11
+
+    def test_unknown_role_rejected(self, ram):
+        with pytest.raises(KeyError):
+            ram.read("hh", 0)
+
+
+class TestAccesses:
+    def test_read_returns_stored_integer(self, ram):
+        bank = get_bank("F2")
+        stored = ram.read("h", 6)  # centre tap of the 13-tap low-pass
+        expected = ram.quantized("h").fmt.to_stored(bank.h[0])
+        assert stored == expected
+
+    def test_read_out_of_range_tap(self, ram):
+        with pytest.raises(IndexError):
+            ram.read("g", 11)
+
+    def test_window_counts_one_read_per_tap(self):
+        bank = get_bank("F2")
+        plan = plan_word_lengths(bank, 6)
+        ram = CoefficientRam(bank, plan.coefficient_format)
+        ram.window("h")
+        assert ram.reads == 13
+        ram.window("g")
+        assert ram.reads == 24
+
+    def test_reset_counters(self):
+        bank = get_bank("F5")
+        plan = plan_word_lengths(bank, 3)
+        ram = CoefficientRam(bank, plan.coefficient_format)
+        ram.window("h")
+        ram.reset_counters()
+        assert ram.reads == 0
+
+    def test_window_matches_quantized_taps(self, ram):
+        assert ram.window("gt") == list(ram.quantized("gt").stored_taps)

@@ -1,0 +1,84 @@
+"""Tests for repro.arch.config (architecture parameters)."""
+
+import pytest
+
+from repro.arch.config import ArchitectureConfig, paper_configuration
+
+
+class TestValidation:
+    def test_default_is_paper_configuration(self):
+        config = ArchitectureConfig()
+        assert config.image_size == 512
+        assert config.scales == 6
+        assert config.word_length == 32
+        assert config.bank_name == "F2"
+
+    def test_image_size_must_be_dyadic_for_scales(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(image_size=96, scales=6)
+
+    def test_small_dyadic_image_allowed(self):
+        config = ArchitectureConfig(image_size=64, scales=6)
+        assert config.image_size == 64
+
+    def test_unknown_bank_rejected(self):
+        with pytest.raises(KeyError):
+            ArchitectureConfig(bank_name="F9")
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(clock_period_ns=0.0)
+
+    def test_scales_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(scales=0)
+
+
+class TestDerivedQuantities:
+    def test_filter_length_from_bank(self):
+        config = ArchitectureConfig()
+        assert config.filter_length == 13
+        assert config.half_filter_length == 6
+
+    def test_macrocycle_structure(self):
+        config = ArchitectureConfig()
+        assert config.macrocycle_cycles == 13
+        assert config.extended_macrocycle_cycles == 19
+        assert config.refresh_interval_macrocycles == 48
+
+    def test_input_buffer_sizes(self):
+        config = ArchitectureConfig()
+        assert config.input_buffer_min_size == 25
+        assert config.input_buffer_size == 32
+
+    def test_onchip_memory_words_is_half_n_plus_32(self):
+        config = ArchitectureConfig()
+        assert config.onchip_memory_words == 512 // 2 + 32
+        assert ArchitectureConfig(image_size=256, scales=6).onchip_memory_words == 160
+
+    def test_clock_frequency(self):
+        config = ArchitectureConfig(clock_period_ns=25.0)
+        assert config.clock_frequency_mhz == pytest.approx(40.0)
+
+    def test_haar_bank_macrocycle(self):
+        config = ArchitectureConfig(bank_name="F5", image_size=64, scales=3)
+        # F5's longest analysis filter is the 6-tap synthesis-derived high-pass.
+        assert config.macrocycle_cycles == config.filter_length
+
+
+class TestCopies:
+    def test_with_image_size(self):
+        config = paper_configuration().with_image_size(256)
+        assert config.image_size == 256
+        assert config.scales == 6
+        assert config.bank_name == "F2"
+
+    def test_with_scales(self):
+        config = paper_configuration().with_scales(3)
+        assert config.scales == 3
+        assert config.image_size == 512
+
+    def test_paper_configuration_defaults(self):
+        config = paper_configuration()
+        assert config.clock_frequency_mhz == pytest.approx(33.0)
+        assert config.dram_refresh_interval_cycles == 624

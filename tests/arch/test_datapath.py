@@ -1,0 +1,136 @@
+"""Tests for repro.arch.datapath (line-level MAC/alignment/buffer model)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchitectureConfig
+from repro.arch.datapath import Datapath
+from repro.filters.catalog import get_bank
+from repro.fxdwt.transform import FixedPointDWT
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ArchitectureConfig(image_size=64, scales=3)
+
+
+@pytest.fixture()
+def datapath(config):
+    return Datapath(config)
+
+
+@pytest.fixture(scope="module")
+def software(config):
+    return FixedPointDWT(get_bank(config.bank_name), config.scales)
+
+
+class TestAnalyzeLine:
+    def test_output_halves_have_half_length(self, datapath, rng):
+        line = rng.integers(0, 4096, size=64)
+        low, high = datapath.analyze_line(line, scale=1, pass_name="rows")
+        assert low.shape == (32,)
+        assert high.shape == (32,)
+
+    def test_matches_software_row_pass_bit_exactly(self, datapath, software, rng):
+        line = rng.integers(0, 4096, size=64).astype(np.int64)
+        low, high = datapath.analyze_line(line, scale=1, pass_name="rows")
+        target = software.plan.format_for_scale(1)
+        expected_low = software._analysis_1d(line, software._qh, 0, target)
+        expected_high = software._analysis_1d(line, software._qg, 0, target)
+        assert np.array_equal(low, expected_low)
+        assert np.array_equal(high, expected_high)
+
+    def test_one_macrocycle_per_output_sample(self, datapath, rng):
+        line = rng.integers(0, 4096, size=64)
+        datapath.analyze_line(line, 1, "rows")
+        assert datapath.counter.macrocycles == 64
+
+    def test_dram_traffic_one_read_one_write_per_sample(self, datapath, rng):
+        line = rng.integers(0, 4096, size=64)
+        datapath.analyze_line(line, 1, "rows")
+        assert datapath.stats.dram_reads == 64
+        assert datapath.stats.dram_writes == 64
+
+    def test_coefficient_reads_counted(self, datapath, rng):
+        line = rng.integers(0, 4096, size=32)
+        datapath.analyze_line(line, 1, "rows")
+        # 16 low-pass outputs x 13 taps + 16 high-pass outputs x 11 taps.
+        assert datapath.stats.coefficient_reads == 16 * 13 + 16 * 11
+
+    def test_odd_line_rejected(self, datapath):
+        with pytest.raises(ValueError):
+            datapath.analyze_line(np.zeros(63, dtype=np.int64), 1, "rows")
+
+    def test_2d_line_rejected(self, datapath):
+        with pytest.raises(ValueError):
+            datapath.analyze_line(np.zeros((2, 32), dtype=np.int64), 1, "rows")
+
+
+class TestSynthesizeLine:
+    def test_reconstruction_length_doubles(self, datapath, rng):
+        low = rng.integers(-1000, 1000, size=16)
+        high = rng.integers(-1000, 1000, size=16)
+        out = datapath.synthesize_line(low, high, scale=1, pass_name="columns")
+        assert out.shape == (32,)
+
+    def test_matches_software_synthesis_bit_exactly(self, config, rng):
+        software = FixedPointDWT(get_bank(config.bank_name), config.scales)
+        datapath = Datapath(config)
+        # Use genuine scale-1 column data produced by the software transform so
+        # that the fixed-point formats are the real ones.
+        image = rng.integers(0, 4096, size=(64, 64)).astype(np.int64)
+        pyramid = software.forward(image)
+        lo = pyramid.approximation  # scale-3 approximation, 8x8
+        hi = pyramid.details[-1].hg
+        column = 3
+        expected = software._synthesis_1d(
+            lo[:, column], hi[:, column],
+            software.plan.format_for_scale(3).fractional_bits,
+            software.plan.format_for_scale(3),
+        )
+        ours = datapath.synthesize_line(lo[:, column], hi[:, column], scale=3, pass_name="columns")
+        assert np.array_equal(ours, expected)
+
+    def test_mismatched_halves_rejected(self, datapath):
+        with pytest.raises(ValueError):
+            datapath.synthesize_line(np.zeros(8, dtype=np.int64), np.zeros(4, dtype=np.int64), 1, "rows")
+
+
+class TestStatsAndUtilisation:
+    def test_reset_counters(self, datapath, rng):
+        line = rng.integers(0, 4096, size=32)
+        datapath.analyze_line(line, 1, "rows")
+        datapath.reset_counters()
+        assert datapath.counter.macrocycles == 0
+        assert datapath.stats.dram_reads == 0
+        assert datapath.mac.stats.multiplies == 0
+
+    def test_utilisation_reflects_refresh_stalls(self, config, rng):
+        datapath = Datapath(config)
+        for _ in range(8):
+            datapath.analyze_line(rng.integers(0, 4096, size=64), 1, "rows")
+        utilisation = datapath.utilisation()
+        assert 0.98 < utilisation < 1.0
+
+    def test_stats_merge(self):
+        from repro.arch.datapath import DatapathStats
+
+        a = DatapathStats(line_passes=1, dram_reads=10)
+        b = DatapathStats(line_passes=2, dram_reads=5, fifo_pushes=3)
+        a.merge(b)
+        assert a.line_passes == 3
+        assert a.dram_reads == 15
+        assert a.fifo_pushes == 3
+
+
+class TestOverflowPolicies:
+    def test_invalid_policy_rejected(self, config):
+        with pytest.raises(ValueError):
+            Datapath(config, overflow_policy="ignore")
+
+    def test_saturate_policy_accepts_borderline_input(self, config):
+        datapath = Datapath(config, overflow_policy="saturate")
+        line = np.full(64, 4095, dtype=np.int64)
+        low, high = datapath.analyze_line(line, 1, "rows")
+        fmt = datapath.format_for_scale(1)
+        assert low.max() <= fmt.max_int

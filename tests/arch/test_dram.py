@@ -1,0 +1,121 @@
+"""Tests for repro.arch.dram (external memory, refresh timer, frame buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dram import ExternalDram, FrameBuffer, RefreshTimer
+
+
+class TestExternalDram:
+    def test_read_write_round_trip(self):
+        dram = ExternalDram(16)
+        dram.write(3, -12345)
+        assert dram.read(3) == -12345
+        assert dram.reads == 1
+        assert dram.writes == 1
+
+    def test_out_of_range_address_rejected(self):
+        dram = ExternalDram(8)
+        with pytest.raises(IndexError):
+            dram.read(8)
+        with pytest.raises(IndexError):
+            dram.write(-1, 0)
+
+    def test_refresh_counter(self):
+        dram = ExternalDram(8)
+        dram.refresh()
+        dram.refresh()
+        assert dram.refreshes == 2
+
+    def test_bulk_load_and_dump_not_counted(self):
+        dram = ExternalDram(16)
+        dram.load(np.arange(10), base_address=2)
+        assert dram.reads == 0 and dram.writes == 0
+        assert list(dram.dump(2, 10)) == list(range(10))
+
+    def test_bulk_load_overflow_rejected(self):
+        dram = ExternalDram(8)
+        with pytest.raises(ValueError):
+            dram.load(np.arange(10))
+
+    def test_reset_counters_keeps_contents(self):
+        dram = ExternalDram(4)
+        dram.write(0, 7)
+        dram.reset_counters()
+        assert dram.writes == 0
+        assert dram.read(0) == 7
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalDram(0)
+
+
+class TestRefreshTimer:
+    def test_requests_every_interval(self):
+        timer = RefreshTimer(interval_cycles=100)
+        assert timer.advance(99) == 0
+        assert timer.advance(1) == 1
+        assert timer.advance(250) == 2
+        assert timer.requests == 3
+
+    def test_reset(self):
+        timer = RefreshTimer(interval_cycles=10)
+        timer.advance(25)
+        timer.reset()
+        assert timer.requests == 0
+        assert timer.advance(9) == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshTimer(interval_cycles=0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshTimer(10).advance(-1)
+
+
+class TestFrameBuffer:
+    def test_raster_addressing(self):
+        dram = ExternalDram(64)
+        frame = FrameBuffer(dram, 8, 8)
+        assert frame.address(0, 0) == 0
+        assert frame.address(1, 0) == 8
+        assert frame.address(7, 7) == 63
+
+    def test_pixel_round_trip(self):
+        dram = ExternalDram(64)
+        frame = FrameBuffer(dram, 8, 8)
+        frame.write_pixel(2, 3, 999)
+        assert frame.read_pixel(2, 3) == 999
+
+    def test_row_and_column_access(self):
+        dram = ExternalDram(16)
+        frame = FrameBuffer(dram, 4, 4)
+        frame.write_row(1, np.array([1, 2, 3, 4]))
+        assert list(frame.read_row(1)) == [1, 2, 3, 4]
+        frame.write_column(2, np.array([5, 6, 7, 8]))
+        assert list(frame.read_column(2)) == [5, 6, 7, 8]
+
+    def test_load_and_dump_image(self):
+        dram = ExternalDram(16)
+        frame = FrameBuffer(dram, 4, 4)
+        image = np.arange(16).reshape(4, 4)
+        frame.load_image(image)
+        assert np.array_equal(frame.dump_image(), image)
+
+    def test_frame_must_fit_dram(self):
+        dram = ExternalDram(15)
+        with pytest.raises(ValueError):
+            FrameBuffer(dram, 4, 4)
+
+    def test_out_of_frame_pixel_rejected(self):
+        dram = ExternalDram(16)
+        frame = FrameBuffer(dram, 4, 4)
+        with pytest.raises(IndexError):
+            frame.read_pixel(4, 0)
+
+    def test_load_image_shape_checked(self):
+        dram = ExternalDram(16)
+        frame = FrameBuffer(dram, 4, 4)
+        with pytest.raises(ValueError):
+            frame.load_image(np.zeros((2, 2)))

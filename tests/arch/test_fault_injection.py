@@ -1,0 +1,106 @@
+"""Fault-injection tests: the lossless property must *fail visibly* when the
+datapath is perturbed.
+
+These tests corrupt one element of the architecture at a time — a stored
+filter coefficient, an alignment shift, a subband coefficient in the external
+memory, the accumulator width — and assert that the bit-exactness checks
+catch the fault.  This protects the test suite itself: a verification
+harness that stays green under injected faults would prove nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchitectureConfig
+from repro.arch.datapath import Datapath
+from repro.filters.catalog import get_bank
+from repro.fxdwt.transform import FixedPointDWT
+from repro.imaging.phantoms import random_image
+
+
+@pytest.fixture()
+def image_32():
+    return random_image(32, seed=21)
+
+
+class TestCoefficientFaults:
+    def test_single_coefficient_bit_flip_breaks_bit_exactness(self, image_32):
+        reference = FixedPointDWT(get_bank("F2"), 2)
+        faulty = FixedPointDWT(get_bank("F2"), 2)
+        # Flip one low-order bit of the centre tap of the analysis low-pass.
+        taps = list(faulty._qh.stored_taps)
+        taps[len(taps) // 2] ^= 1
+        object.__setattr__(faulty._qh, "stored_taps", tuple(taps))
+
+        clean = reference.forward(image_32)
+        corrupted = faulty.forward(image_32)
+        assert not np.array_equal(clean.approximation, corrupted.approximation)
+
+    def test_coefficient_fault_in_datapath_detected_against_software(self, image_32):
+        config = ArchitectureConfig(image_size=32, scales=2)
+        datapath = Datapath(config)
+        software = FixedPointDWT(get_bank("F2"), 2)
+        quantized = datapath.coeff_ram.quantized("h")
+        taps = list(quantized.stored_taps)
+        taps[0] += 1
+        object.__setattr__(quantized, "stored_taps", tuple(taps))
+
+        hardware_low, _ = datapath.analyze_line(image_32[0], 1, "rows")
+        target = software.plan.format_for_scale(1)
+        software_low = software._analysis_1d(
+            image_32[0].astype(np.int64), software._qh, 0, target
+        )
+        assert not np.array_equal(hardware_low, software_low)
+
+
+class TestAlignmentFaults:
+    def test_wrong_alignment_shift_breaks_losslessness(self, image_32):
+        engine = FixedPointDWT(get_bank("F2"), 2)
+        pyramid = engine.forward(image_32)
+        # Corrupt the stored approximation as if the alignment dropped one
+        # extra bit at the deepest scale.
+        pyramid.approximation >>= 1
+        reconstructed = engine.inverse(pyramid)
+        assert not np.array_equal(reconstructed, image_32)
+
+    def test_mismatched_plans_between_forward_and_inverse_detected(self, image_32):
+        from repro.fixedpoint.wordlength import plan_word_lengths
+
+        bank = get_bank("F2")
+        forward_engine = FixedPointDWT(bank, 2)
+        # An inverse engine whose alignment configuration memory was written
+        # for a different fractional split mis-aligns every synthesis output
+        # (saturation keeps the run alive so the corruption reaches the
+        # output, where the bit-exactness check must catch it).
+        other_plan = plan_word_lengths(bank, 2, word_length=28)
+        inverse_engine = FixedPointDWT(bank, 2, plan=other_plan, overflow_policy="saturate")
+        pyramid = forward_engine.forward(image_32)
+        reconstructed = inverse_engine.inverse(pyramid)
+        assert not np.array_equal(reconstructed, image_32)
+
+
+class TestMemoryFaults:
+    def test_single_subband_bit_upset_is_visible_and_local(self, image_32):
+        engine = FixedPointDWT(get_bank("F2"), 2)
+        pyramid = engine.forward(image_32)
+        # Flip a significant bit of one stored GG coefficient, as a memory
+        # upset in the external DRAM would.  (Sub-LSB perturbations are
+        # absorbed by the final rounding — that robustness is by design —
+        # so the injected fault targets a bit above the pixel weight.)
+        fmt = pyramid.format_for_scale(1)
+        pyramid.details[0].gg[3, 3] += np.int64(1) << (fmt.fractional_bits + 4)
+        reconstructed = engine.inverse(pyramid)
+        assert not np.array_equal(reconstructed, image_32)
+        # The damage stays local to the synthesis footprint of one coefficient.
+        assert np.count_nonzero(reconstructed - image_32) < 500
+
+    def test_truncated_accumulator_breaks_losslessness(self, image_32):
+        # A 32-bit accumulator overflows the 45-bit products the 32x32
+        # multiplier feeds it, wrapping intermediate sums.
+        from repro.arch.mac import MacUnit
+
+        narrow = MacUnit(operand_bits=32, accumulator_bits=40)
+        wide = MacUnit(operand_bits=32, accumulator_bits=64)
+        window = [2 ** 20] * 13
+        coefficients = [2 ** 27] * 13
+        assert narrow.convolve(window, coefficients) != wide.convolve(window, coefficients)

@@ -1,0 +1,79 @@
+"""Tests for repro.arch.host_interface (the PCI-board follow-on model)."""
+
+import pytest
+
+from repro.arch.config import paper_configuration
+from repro.arch.host_interface import (
+    HostTransferModel,
+    PciBoardModel,
+    PciBusParameters,
+)
+
+
+class TestBusParameters:
+    def test_defaults_are_classic_pci(self):
+        bus = PciBusParameters()
+        assert "PCI" in bus.name
+        assert bus.write_bandwidth_mb_s <= 132.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            PciBusParameters(write_bandwidth_mb_s=0.0)
+        with pytest.raises(ValueError):
+            PciBusParameters(read_bandwidth_mb_s=-1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            PciBusParameters(transaction_overhead_us=-1.0)
+
+
+class TestTransferModel:
+    def test_upload_is_two_bytes_per_12bit_pixel(self):
+        transfers = HostTransferModel(image_size=512, input_bits=13, word_length=32)
+        assert transfers.upload_bytes == 512 * 512 * 2
+
+    def test_download_is_four_bytes_per_coefficient(self):
+        transfers = HostTransferModel(image_size=512, input_bits=13, word_length=32)
+        assert transfers.download_bytes == 512 * 512 * 4
+
+    def test_download_exceeds_upload_for_32bit_words(self):
+        transfers = HostTransferModel(image_size=256, input_bits=13, word_length=32)
+        assert transfers.download_bytes > transfers.upload_bytes
+
+
+class TestBoardThroughput:
+    def test_paper_operating_point_is_compute_bound_when_overlapped(self):
+        report = PciBoardModel(paper_configuration()).report()
+        # Upload (0.5 MB) and download (1 MB) take a few ms each on sustained
+        # PCI; the 278 ms transform dominates, so the board keeps ~3.5 images/s.
+        assert not report.transfer_bound
+        assert report.images_per_second == pytest.approx(
+            report.transform.images_per_second, rel=0.01
+        )
+
+    def test_non_overlapped_transfers_cost_a_little(self):
+        overlapped = PciBoardModel(paper_configuration(), overlap_transfers=True).report()
+        sequential = PciBoardModel(paper_configuration(), overlap_transfers=False).report()
+        assert sequential.images_per_second < overlapped.images_per_second
+        # ... but the transform still dominates end to end.
+        assert sequential.images_per_second > 0.9 * overlapped.images_per_second
+
+    def test_slow_bus_becomes_the_bottleneck(self):
+        slow_bus = PciBusParameters(
+            name="severely contended bus", write_bandwidth_mb_s=2.0, read_bandwidth_mb_s=2.0
+        )
+        report = PciBoardModel(paper_configuration(), bus=slow_bus).report()
+        assert report.transfer_bound
+        assert report.images_per_second < report.transform.images_per_second
+
+    def test_effective_speedup_still_two_orders_of_magnitude(self):
+        speedup = PciBoardModel(paper_configuration()).effective_speedup_vs_pentium()
+        assert 100.0 < speedup < 160.0
+
+    def test_total_seconds_per_image_is_reciprocal(self):
+        report = PciBoardModel(paper_configuration()).report()
+        assert report.total_seconds_per_image == pytest.approx(1.0 / report.images_per_second)
+
+    def test_string_rendering_mentions_regime(self):
+        report = PciBoardModel(paper_configuration()).report()
+        assert "compute-bound" in str(report) or "transfer-bound" in str(report)

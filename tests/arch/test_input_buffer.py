@@ -1,0 +1,105 @@
+"""Tests for repro.arch.input_buffer (§4.1, Fig. 4, Table IV)."""
+
+import pytest
+
+from repro.arch.input_buffer import (
+    bank2_rounds,
+    bank2_rounds_table,
+    bank_layout,
+    bank_size,
+    minimum_buffer_size,
+    rounded_buffer_size,
+    simulate_line_occupancy,
+)
+
+PAPER_TABLE_IV = {1: 31, 2: 15, 3: 7, 4: 3, 5: 1, 6: 0}
+
+
+class TestSizing:
+    def test_minimum_size_for_13_taps(self):
+        assert minimum_buffer_size(6) == 25
+
+    def test_rounded_size_is_next_power_of_two(self):
+        assert rounded_buffer_size(6) == 32
+        assert rounded_buffer_size(4) == 32  # 17 -> 32
+        assert rounded_buffer_size(3) == 16  # 13 -> 16
+
+    def test_bank_is_half_of_buffer(self):
+        assert bank_size(6) == 16
+
+    def test_invalid_half_length_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_buffer_size(0)
+
+
+class TestBank2Rounds:
+    def test_paper_table_iv(self):
+        table = bank2_rounds_table(512, 6, 6)
+        assert {scale: entry["rounds"] for scale, entry in table.items()} == PAPER_TABLE_IV
+
+    def test_line_lengths_halve_per_scale(self):
+        table = bank2_rounds_table(512, 6, 6)
+        assert [entry["line_length"] for entry in table.values()] == [512, 256, 128, 64, 32, 16]
+
+    def test_short_line_needs_no_rounds(self):
+        assert bank2_rounds(16, 6) == 0
+
+    def test_rounds_grow_with_line_length(self):
+        assert bank2_rounds(1024, 6) > bank2_rounds(512, 6)
+
+    def test_invalid_line_rejected(self):
+        with pytest.raises(ValueError):
+            bank2_rounds(1, 6)
+
+
+class TestBankLayout:
+    def test_even_layout_border_at_bank1_top(self):
+        layout = bank_layout(6, "even")
+        assert layout.border_range == range(0, 12)
+        assert layout.streaming_range == range(16, 32)
+        assert layout.remainder_range == range(12, 16)
+
+    def test_odd_layout_swaps_banks(self):
+        layout = bank_layout(6, "odd")
+        assert layout.border_range == range(16, 28)
+        assert layout.streaming_range == range(0, 16)
+
+    def test_layouts_cover_whole_buffer(self):
+        for parity in ("even", "odd"):
+            layout = bank_layout(6, parity)
+            covered = set(layout.border_range) | set(layout.streaming_range) | set(layout.remainder_range)
+            assert covered == set(range(32))
+            assert layout.total_words == 32
+
+    def test_unknown_parity_rejected(self):
+        with pytest.raises(ValueError):
+            bank_layout(6, "both")
+
+
+class TestLineOccupancy:
+    @pytest.mark.parametrize("line", [32, 64, 128, 256, 512])
+    def test_peak_occupancy_fits_minimum_buffer(self, line):
+        report = simulate_line_occupancy(line, 6)
+        assert report.fits_minimum_buffer
+        assert report.max_live_words <= 25
+
+    def test_every_sample_read_once(self):
+        report = simulate_line_occupancy(64, 6)
+        assert report.dram_reads == 64
+
+    def test_output_count_equals_line_length(self):
+        report = simulate_line_occupancy(64, 6)
+        assert report.outputs == 64  # 32 low-pass + 32 high-pass
+
+    def test_shorter_filters_need_less_buffer(self):
+        wide = simulate_line_occupancy(64, 6).max_live_words
+        narrow = simulate_line_occupancy(64, 2).max_live_words
+        assert narrow < wide
+
+    def test_line_shorter_than_filter_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_line_occupancy(12, 6)
+
+    def test_odd_line_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_line_occupancy(63, 6)

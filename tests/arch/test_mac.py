@@ -1,0 +1,95 @@
+"""Tests for repro.arch.mac (the MAC unit and its statistics)."""
+
+import pytest
+
+from repro.arch.mac import MacUnit
+
+
+class TestAccumulatorControl:
+    def test_load_then_accumulate(self):
+        mac = MacUnit()
+        mac.load(3, 4)
+        mac.accumulate(5, 6)
+        assert mac.value() == 3 * 4 + 5 * 6
+
+    def test_load_restarts_accumulation(self):
+        mac = MacUnit()
+        mac.load(10, 10)
+        mac.load(2, 3)
+        assert mac.value() == 6
+
+    def test_hold_preserves_value(self):
+        mac = MacUnit()
+        mac.load(7, 8)
+        mac.hold()
+        mac.hold()
+        assert mac.value() == 56
+
+    def test_negative_operands(self):
+        mac = MacUnit()
+        mac.load(-3, 5)
+        mac.accumulate(-2, -4)
+        assert mac.value() == -15 + 8
+
+    def test_operands_wrap_to_word_length(self):
+        mac = MacUnit(operand_bits=8)
+        mac.load(200, 1)  # 200 -> -56 in 8-bit two's complement
+        assert mac.value() == -56
+
+    def test_accumulator_wraps_at_64_bits(self):
+        mac = MacUnit()
+        huge = (1 << 31) - 1
+        mac.load(huge, huge)
+        for _ in range(3):
+            mac.accumulate(huge, huge)
+        assert -(1 << 63) <= mac.value() < (1 << 63)
+
+    def test_accumulator_narrower_than_operands_rejected(self):
+        with pytest.raises(ValueError):
+            MacUnit(operand_bits=32, accumulator_bits=16)
+
+
+class TestConvolve:
+    def test_dot_product(self):
+        mac = MacUnit()
+        value = mac.convolve([1, 2, 3], [4, 5, 6])
+        assert value == 1 * 4 + 2 * 5 + 3 * 6
+
+    def test_single_tap(self):
+        assert MacUnit().convolve([7], [9]) == 63
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MacUnit().convolve([1, 2], [1])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            MacUnit().convolve([], [])
+
+    def test_convolve_counts_one_load_rest_accumulate(self):
+        mac = MacUnit()
+        mac.convolve(list(range(13)), list(range(13)))
+        assert mac.stats.load_cycles == 1
+        assert mac.stats.accumulate_cycles == 12
+        assert mac.stats.multiplies == 13
+
+
+class TestStats:
+    def test_utilisation_counts_holds(self):
+        mac = MacUnit()
+        mac.convolve([1] * 13, [1] * 13)
+        for _ in range(6):
+            mac.hold()
+        assert mac.stats.busy_cycles == 13
+        assert mac.stats.total_cycles == 19
+        assert mac.stats.utilisation() == pytest.approx(13 / 19)
+
+    def test_utilisation_zero_when_idle(self):
+        assert MacUnit().stats.utilisation() == 0.0
+
+    def test_reset_clears_everything(self):
+        mac = MacUnit()
+        mac.convolve([1, 2], [3, 4])
+        mac.reset()
+        assert mac.value() == 0
+        assert mac.stats.multiplies == 0

@@ -1,0 +1,139 @@
+"""Tests for repro.arch.multiplier (behavioural and structural models)."""
+
+import pytest
+
+from repro.arch.multiplier import (
+    PipelinedMultiplier,
+    array_multiplier_estimate,
+    wallace_multiplier_estimate,
+    wallace_tree_depth,
+)
+
+
+class TestStructuralEstimates:
+    def test_array_matches_table_v_access_time(self):
+        estimate = array_multiplier_estimate(32)
+        assert estimate.critical_path_ns == pytest.approx(50.88, rel=0.01)
+
+    def test_array_matches_table_v_area(self):
+        estimate = array_multiplier_estimate(32)
+        assert estimate.area_mm2 == pytest.approx(2.92, rel=0.01)
+
+    def test_wallace_matches_table_v_access_time(self):
+        estimate = wallace_multiplier_estimate(32, 2)
+        assert estimate.critical_path_ns == pytest.approx(23.45, rel=0.01)
+
+    def test_wallace_matches_table_v_area(self):
+        estimate = wallace_multiplier_estimate(32, 2)
+        assert estimate.area_mm2 == pytest.approx(8.03, rel=0.01)
+
+    def test_only_pipelined_design_meets_25ns_clock(self):
+        assert array_multiplier_estimate(32).critical_path_ns > 25.0
+        assert wallace_multiplier_estimate(32, 2).critical_path_ns < 25.0
+
+    def test_wallace_is_larger_but_faster_than_array(self):
+        array = array_multiplier_estimate(32)
+        wallace = wallace_multiplier_estimate(32, 2)
+        assert wallace.area_mm2 > array.area_mm2
+        assert wallace.critical_path_ns < array.critical_path_ns
+
+    def test_single_stage_wallace_is_slower_than_two_stage(self):
+        one = wallace_multiplier_estimate(32, 1)
+        two = wallace_multiplier_estimate(32, 2)
+        assert one.critical_path_ns > two.critical_path_ns
+
+    def test_smaller_operands_are_faster(self):
+        assert (
+            array_multiplier_estimate(16).critical_path_ns
+            < array_multiplier_estimate(32).critical_path_ns
+        )
+
+    def test_max_clock_property(self):
+        estimate = wallace_multiplier_estimate(32, 2)
+        assert estimate.max_clock_mhz == pytest.approx(1000.0 / estimate.critical_path_ns)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            array_multiplier_estimate(1)
+        with pytest.raises(ValueError):
+            wallace_multiplier_estimate(1)
+
+
+class TestWallaceTreeDepth:
+    @pytest.mark.parametrize(
+        "operands,expected",
+        [(1, 0), (2, 0), (3, 1), (4, 2), (6, 3), (9, 4), (13, 5), (32, 8)],
+    )
+    def test_classical_recurrence(self, operands, expected):
+        assert wallace_tree_depth(operands) == expected
+
+    def test_invalid_operands_rejected(self):
+        with pytest.raises(ValueError):
+            wallace_tree_depth(0)
+
+
+class TestPipelinedMultiplier:
+    def test_product_emerges_after_latency(self):
+        mult = PipelinedMultiplier(operand_bits=32, stages=2)
+        mult.issue(3, 7)
+        assert mult.tick() is None  # still in stage 1
+        mult.issue_bubble()
+        assert mult.tick() is None  # product reaches the output register
+        mult.issue_bubble()
+        assert mult.tick() == 21
+
+    def test_back_to_back_issues(self):
+        mult = PipelinedMultiplier(stages=2)
+        results = []
+        pairs = [(2, 3), (4, 5), (-6, 7)]
+        for a, b in pairs:
+            mult.issue(a, b)
+            results.append(mult.tick())
+        for _ in range(2):
+            mult.issue_bubble()
+            results.append(mult.tick())
+        assert [r for r in results if r is not None] == [6, 20, -42]
+
+    def test_operands_wrap_to_word_length(self):
+        # 200 wraps to -56 in 8-bit two's complement before multiplying.
+        mult = PipelinedMultiplier(operand_bits=8, stages=1)
+        mult.issue(200, 1)
+        assert mult.tick() is None  # entering the single pipeline stage
+        mult.issue_bubble()
+        assert mult.tick() == -56
+
+    def test_wrapped_product_value_two_stage(self):
+        mult = PipelinedMultiplier(operand_bits=8, stages=2)
+        mult.issue(200, 2)
+        results = [mult.tick()]
+        for _ in range(2):
+            mult.issue_bubble()
+            results.append(mult.tick())
+        assert [r for r in results if r is not None] == [-112]
+
+    def test_counters(self):
+        mult = PipelinedMultiplier(stages=2)
+        mult.issue(1, 1)
+        mult.tick()
+        mult.issue(2, 2)
+        mult.tick()
+        mult.issue_bubble()
+        mult.tick()
+        mult.issue_bubble()
+        mult.tick()
+        assert mult.issued == 2
+        assert mult.completed == 2
+
+    def test_reset_flushes_pipeline(self):
+        mult = PipelinedMultiplier(stages=3)
+        mult.issue(5, 5)
+        mult.tick()
+        mult.reset()
+        assert mult.issued == 0
+        assert all(item is None for item in mult.drain())
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedMultiplier(operand_bits=1)
+        with pytest.raises(ValueError):
+            PipelinedMultiplier(stages=0)

@@ -1,0 +1,130 @@
+"""Tests for repro.arch.output_fifo (§4.4, Table VI)."""
+
+import pytest
+
+from repro.arch.output_fifo import (
+    VariableDepthFifo,
+    choose_fifo_depth,
+    dependence_distances,
+    fifo_bounds_table,
+    fifo_depth_bounds,
+    max_fifo_depth,
+    min_fifo_depth,
+    next_pass_read_cycle,
+    read_cycle,
+    write_available_cycle,
+)
+
+PAPER_TABLE_VI = {
+    1: (250, 504),
+    2: (122, 248),
+    3: (58, 120),
+    4: (26, 56),
+    5: (10, 24),
+    6: (2, 8),
+}
+
+
+class TestCycleSchedules:
+    def test_read_cycle_is_position_plus_prologue(self):
+        assert read_cycle(0, 6) == 7
+        assert read_cycle(10, 6) == 17
+
+    def test_write_cycle_low_pass_half(self):
+        # Low-pass output k is available once its window has been read.
+        assert write_available_cycle(0, 64, 6) == 13
+        assert write_available_cycle(1, 64, 6) == 15
+
+    def test_write_cycle_high_pass_half_one_later(self):
+        assert write_available_cycle(32, 64, 6) == write_available_cycle(0, 64, 6) + 1
+
+    def test_next_pass_read_follows_current_pass(self):
+        assert next_pass_read_cycle(0, 64, 6) == 64 + 6
+
+    def test_position_bounds_checked(self):
+        with pytest.raises(ValueError):
+            write_available_cycle(64, 64, 6)
+        with pytest.raises(ValueError):
+            next_pass_read_cycle(-1, 64, 6)
+        with pytest.raises(ValueError):
+            read_cycle(-1, 6)
+
+
+class TestDepthBounds:
+    def test_paper_table_vi(self):
+        table = fifo_bounds_table(512, 6, 6)
+        ours = {scale: (b.min_depth, b.max_depth) for scale, b in table.items()}
+        assert ours == PAPER_TABLE_VI
+
+    def test_min_depth_closed_form(self):
+        # MIN(D) = M/2 - l for every Table VI configuration.
+        for line in (512, 256, 128, 64, 32, 16):
+            assert min_fifo_depth(line, 6) == line // 2 - 6
+
+    def test_max_depth_closed_form(self):
+        # MAX(D) = M - l - 2 for every Table VI configuration.
+        for line in (512, 256, 128, 64, 32, 16):
+            assert max_fifo_depth(line, 6) == line - 6 - 2
+
+    def test_bounds_feasible_at_every_scale(self):
+        for bounds in fifo_bounds_table(512, 6, 6).values():
+            assert bounds.feasible
+
+    def test_negative_distances_exist_without_delay(self):
+        # The write-after-read hazard is real: some positions would be
+        # overwritten before being read if no delay were inserted.
+        assert min(dependence_distances(64, 6)) < 0
+
+    def test_choose_depth_picks_minimum(self):
+        assert choose_fifo_depth(512, 6) == 250
+
+    def test_fifo_depth_bounds_carries_scale_label(self):
+        bounds = fifo_depth_bounds(128, 6, scale=3)
+        assert bounds.scale == 3
+        assert bounds.line_length == 128
+
+
+class TestVariableDepthFifo:
+    def test_delays_by_exactly_depth_items(self):
+        fifo = VariableDepthFifo(depth=3)
+        outputs = [fifo.push(i) for i in range(6)]
+        assert outputs == [None, None, None, 0, 1, 2]
+
+    def test_zero_depth_passes_through(self):
+        fifo = VariableDepthFifo(depth=0)
+        assert fifo.push("x") == "x"
+
+    def test_drain_returns_remaining_in_order(self):
+        fifo = VariableDepthFifo(depth=4)
+        for i in range(3):
+            fifo.push(i)
+        assert fifo.drain() == [0, 1, 2]
+        assert len(fifo) == 0
+
+    def test_resize_requires_empty(self):
+        fifo = VariableDepthFifo(depth=2)
+        fifo.push(1)
+        with pytest.raises(RuntimeError):
+            fifo.resize(4)
+        fifo.drain()
+        fifo.resize(4)
+        assert fifo.depth == 4
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            VariableDepthFifo(depth=10, capacity=4)
+        fifo = VariableDepthFifo(depth=2, capacity=4)
+        with pytest.raises(ValueError):
+            fifo.resize(8)
+
+    def test_counters(self):
+        fifo = VariableDepthFifo(depth=1)
+        fifo.push("a")
+        fifo.push("b")
+        fifo.drain()
+        assert fifo.pushes == 2
+        assert fifo.pops == 2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            VariableDepthFifo(depth=-1)

@@ -1,0 +1,56 @@
+"""Tests for repro.arch.report (area composition and hardware requirements)."""
+
+import pytest
+
+from repro.arch.config import paper_configuration
+from repro.arch.report import (
+    PAPER_PROPOSED_AREA_MM2,
+    hardware_requirements,
+    proposed_area_breakdown,
+)
+
+
+class TestHardwareRequirements:
+    def test_single_multiplier_and_adder(self):
+        requirements = hardware_requirements()
+        assert requirements.multipliers == 1
+        assert requirements.adders == 1
+
+    def test_memory_words_follow_n(self):
+        assert hardware_requirements(paper_configuration()).memory_words == 288
+        assert hardware_requirements(paper_configuration(image_size=256)).memory_words == 160
+
+    def test_memory_bits(self):
+        requirements = hardware_requirements()
+        assert requirements.memory_bits == 288 * 32
+
+
+class TestAreaBreakdown:
+    def test_total_close_to_paper_value(self):
+        breakdown = proposed_area_breakdown()
+        assert breakdown.total_mm2 == pytest.approx(PAPER_PROPOSED_AREA_MM2, rel=0.10)
+
+    def test_multiplier_dominates(self):
+        breakdown = proposed_area_breakdown()
+        multiplier = breakdown.blocks["32x32 pipelined Wallace multiplier"]
+        assert multiplier > 0.5 * breakdown.total_mm2
+
+    def test_all_blocks_positive(self):
+        breakdown = proposed_area_breakdown()
+        assert all(area > 0 for area in breakdown.blocks.values())
+
+    def test_smaller_image_needs_less_ram(self):
+        small = proposed_area_breakdown(paper_configuration(image_size=128))
+        big = proposed_area_breakdown(paper_configuration(image_size=512))
+        assert small.total_mm2 < big.total_mm2
+
+    def test_rows_include_total(self):
+        breakdown = proposed_area_breakdown()
+        rows = breakdown.as_rows()
+        assert rows[-1][0] == "TOTAL"
+        assert rows[-1][1] == pytest.approx(breakdown.total_mm2)
+
+    def test_area_far_below_prior_architectures(self):
+        # The headline comparison: an order of magnitude below the ~170-260 mm2
+        # of Table III's prior architectures.
+        assert proposed_area_breakdown().total_mm2 < 20.0

@@ -1,0 +1,120 @@
+"""Tests for repro.arch.scheduler (Fig. 2 schedule and utilisation)."""
+
+import pytest
+
+from repro.arch.config import ArchitectureConfig, paper_configuration
+from repro.arch.scheduler import (
+    MacrocycleCounter,
+    operation_schedule,
+    refresh_schedule_cycles,
+    simulate_utilisation,
+    utilisation_formula,
+)
+
+
+class TestOperationSchedule:
+    def test_normal_macrocycle_has_filter_length_cycles(self):
+        assert len(operation_schedule(13)) == 13
+        assert len(operation_schedule(9)) == 9
+
+    def test_extended_macrocycle_adds_stall_cycles(self):
+        assert len(operation_schedule(13, refresh=True)) == 19
+        assert len(operation_schedule(13, refresh=True, refresh_stall_cycles=4)) == 17
+
+    def test_exactly_one_dram_read_and_write(self):
+        slots = operation_schedule(13)
+        assert sum(1 for s in slots if s.dram_op == "rd") == 1
+        assert sum(1 for s in slots if s.dram_op == "wr") == 1
+
+    def test_one_coefficient_read_per_cycle(self):
+        slots = operation_schedule(13)
+        assert all(s.input_buffer_op.startswith("rd_cf") for s in slots)
+        read_ids = {s.input_buffer_op for s in slots}
+        assert len(read_ids) == 13  # all thirteen coefficients are read
+
+    def test_accumulator_load_then_accumulate(self):
+        slots = operation_schedule(13)
+        assert slots[0].acc_ctl == "load"
+        assert all(s.acc_ctl == "acc" for s in slots[1:])
+
+    def test_refresh_extension_holds_accumulator(self):
+        slots = operation_schedule(13, refresh=True)
+        assert all(s.acc_ctl == "hold" for s in slots[13:])
+
+    def test_fifo_written_and_read_once(self):
+        slots = operation_schedule(13)
+        assert sum(1 for s in slots if s.output_fifo_op == "wr") == 1
+        assert sum(1 for s in slots if s.output_fifo_op == "rd") == 1
+
+    def test_too_short_filter_rejected(self):
+        with pytest.raises(ValueError):
+            operation_schedule(1)
+
+
+class TestRefreshSchedule:
+    def test_paper_configuration_cadence(self):
+        summary = refresh_schedule_cycles(paper_configuration())
+        assert summary["macrocycle_cycles"] == 13
+        assert summary["extended_macrocycle_cycles"] == 19
+        assert summary["macrocycles_between_refreshes"] == 48
+
+
+class TestMacrocycleCounter:
+    def test_counts_refresh_every_interval(self):
+        counter = MacrocycleCounter(
+            filter_length=13, refresh_stall_cycles=6, refresh_interval_macrocycles=48
+        )
+        extended = counter.step(48)
+        assert extended == 1
+        assert counter.refreshes == 1
+        assert counter.busy_cycles == 48 * 13
+        assert counter.stall_cycles == 6
+
+    def test_utilisation_matches_formula(self):
+        counter = MacrocycleCounter(13, 6, 48)
+        counter.step(480)
+        assert counter.utilisation() == pytest.approx(utilisation_formula(13, 48, 6))
+
+    def test_zero_macrocycles_means_zero_utilisation(self):
+        counter = MacrocycleCounter(13, 6, 48)
+        assert counter.utilisation() == 0.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MacrocycleCounter(0, 6, 48)
+        with pytest.raises(ValueError):
+            MacrocycleCounter(13, -1, 48)
+        with pytest.raises(ValueError):
+            MacrocycleCounter(13, 6, 0)
+
+
+class TestUtilisation:
+    def test_paper_value(self):
+        assert 100.0 * utilisation_formula(13, 48, 6) == pytest.approx(99.04, abs=0.02)
+
+    def test_no_refresh_means_full_utilisation(self):
+        assert utilisation_formula(13, 48, 0) == 1.0
+
+    def test_simulate_matches_closed_form_for_large_counts(self):
+        config = paper_configuration()
+        small = simulate_utilisation(48 * 100, config)
+        assert small.utilisation == pytest.approx(utilisation_formula(13, 48, 6))
+
+    def test_simulate_closed_form_branch(self):
+        # Counts above one million take the closed-form branch.
+        config = paper_configuration()
+        report = simulate_utilisation(2_000_000, config)
+        assert report.macrocycles == 2_000_000
+        assert report.refreshes == 2_000_000 // 48
+        assert report.utilisation == pytest.approx(utilisation_formula(13, 48, 6), rel=1e-6)
+
+    def test_scalar_overrides(self):
+        report = simulate_utilisation(
+            100, filter_length=9, refresh_interval_macrocycles=10, refresh_stall_cycles=3
+        )
+        assert report.busy_cycles == 900
+        assert report.refreshes == 10
+
+    def test_negative_macrocycles_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_utilisation(-1)

@@ -1,0 +1,90 @@
+"""Tests for the prior-architecture models (Table III rows)."""
+
+import pytest
+
+from repro.baselines import (
+    BlockFilteringArchitecture,
+    ParallelArchitecture,
+    ProposedArchitecture,
+    Recursive1DArchitecture,
+    SerialParallelArchitecture,
+)
+
+
+class TestStructuralCounts:
+    def test_serial_parallel_counts(self):
+        model = SerialParallelArchitecture(filter_length=13, image_size=512)
+        assert model.multiplier_count() == 52
+        assert model.memory_words() == 2 * 13 * 512 + 512
+
+    def test_parallel_counts_match_serial_parallel(self):
+        a = SerialParallelArchitecture()
+        b = ParallelArchitecture()
+        assert a.multiplier_count() == b.multiplier_count()
+        assert a.memory_words() == b.memory_words()
+
+    def test_block_filtering_saves_line_memory(self):
+        block = BlockFilteringArchitecture()
+        parallel = ParallelArchitecture()
+        assert block.memory_words() < parallel.memory_words()
+
+    def test_recursive_1d_uses_fewest_multipliers_of_priors(self):
+        priors = [
+            SerialParallelArchitecture(),
+            ParallelArchitecture(),
+            BlockFilteringArchitecture(),
+            Recursive1DArchitecture(),
+        ]
+        counts = [p.multiplier_count() for p in priors]
+        assert min(counts) == Recursive1DArchitecture().multiplier_count()
+
+    def test_proposed_uses_single_multiplier(self):
+        model = ProposedArchitecture()
+        assert model.multiplier_count() == 1
+        assert model.memory_words() == 288
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SerialParallelArchitecture(filter_length=0)
+        with pytest.raises(ValueError):
+            ParallelArchitecture(word_length=4)
+
+
+class TestAreaEstimates:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            SerialParallelArchitecture,
+            ParallelArchitecture,
+            BlockFilteringArchitecture,
+            Recursive1DArchitecture,
+        ],
+    )
+    def test_modelled_area_near_paper_value(self, cls):
+        estimate = cls().estimate()
+        assert estimate.paper_area_mm2 is not None
+        assert estimate.total_area_mm2 == pytest.approx(estimate.paper_area_mm2, rel=0.10)
+
+    def test_proposed_area_near_paper_value(self):
+        estimate = ProposedArchitecture().estimate()
+        assert estimate.total_area_mm2 == pytest.approx(11.2, rel=0.10)
+
+    def test_estimate_decomposes_into_multiplier_and_memory(self):
+        estimate = SerialParallelArchitecture().estimate()
+        assert estimate.total_area_mm2 == pytest.approx(
+            estimate.multiplier_area_mm2 + estimate.memory_area_mm2
+        )
+
+    def test_memory_bits_property(self):
+        estimate = Recursive1DArchitecture().estimate()
+        assert estimate.memory_bits == estimate.memory_words * 32
+
+    def test_areas_shrink_with_narrower_words(self):
+        wide = SerialParallelArchitecture(word_length=32).estimate()
+        narrow = SerialParallelArchitecture(word_length=16).estimate()
+        assert narrow.memory_area_mm2 < wide.memory_area_mm2
+
+    def test_smaller_image_needs_less_memory(self):
+        small = ParallelArchitecture(image_size=256).estimate()
+        big = ParallelArchitecture(image_size=512).estimate()
+        assert small.memory_words < big.memory_words

@@ -1,0 +1,57 @@
+"""Tests for repro.baselines.comparison (the full Table III comparison)."""
+
+import pytest
+
+from repro.baselines.comparison import (
+    ALL_ARCHITECTURES,
+    PRIOR_ARCHITECTURES,
+    area_ratios,
+    table_iii_comparison,
+)
+
+
+class TestComparisonTable:
+    def test_five_rows_with_proposed(self):
+        rows = table_iii_comparison()
+        assert len(rows) == 5
+        assert rows[-1].name.startswith("Proposed")
+
+    def test_four_rows_without_proposed(self):
+        rows = table_iii_comparison(include_proposed=False)
+        assert len(rows) == 4
+
+    def test_order_matches_paper(self):
+        names = [row.name for row in table_iii_comparison()]
+        assert names[0].startswith("A.")
+        assert names[1].startswith("B.")
+        assert names[2].startswith("C.")
+        assert names[3].startswith("D.")
+
+    def test_registry_lists(self):
+        assert len(PRIOR_ARCHITECTURES) == 4
+        assert len(ALL_ARCHITECTURES) == 5
+
+    def test_proposed_is_smallest(self):
+        rows = table_iii_comparison()
+        proposed = rows[-1]
+        assert all(row.total_area_mm2 > proposed.total_area_mm2 for row in rows[:-1])
+
+    def test_every_prior_at_least_order_of_magnitude_larger(self):
+        ratios = area_ratios()
+        assert all(ratio > 10.0 for ratio in ratios.values())
+
+    def test_ratios_computed_from_given_rows(self):
+        rows = table_iii_comparison(image_size=256)
+        ratios = area_ratios(rows)
+        assert set(ratios) == {row.name for row in rows[:-1]}
+
+    def test_ratios_require_proposed_row(self):
+        rows = table_iii_comparison(include_proposed=False)
+        with pytest.raises(ValueError):
+            area_ratios(rows)
+
+    def test_custom_operating_point(self):
+        rows = table_iii_comparison(filter_length=9, image_size=256, scales=4)
+        serial = rows[0]
+        assert serial.multipliers == 36
+        assert serial.memory_words == 2 * 9 * 256 + 256

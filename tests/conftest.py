@@ -1,0 +1,45 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters import FILTER_NAMES, get_bank
+from repro.imaging import random_image, shepp_logan
+
+
+@pytest.fixture(scope="session")
+def bank_f2():
+    """The default 13/11-tap bank the paper's worked examples use."""
+    return get_bank("F2")
+
+
+@pytest.fixture(scope="session", params=FILTER_NAMES)
+def any_bank(request):
+    """Parametrised over all six Table I banks."""
+    return get_bank(request.param)
+
+
+@pytest.fixture(scope="session")
+def ct_image_64():
+    """A 64x64 12-bit CT-like phantom."""
+    return shepp_logan(64)
+
+
+@pytest.fixture(scope="session")
+def random_image_64():
+    """A 64x64 12-bit random image (the paper's own validation input)."""
+    return random_image(64, seed=0)
+
+
+@pytest.fixture(scope="session")
+def random_image_32():
+    """A 32x32 12-bit random image for the slower cycle-accurate tests."""
+    return random_image(32, seed=1)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy random generator for per-test noise."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,110 @@
+"""Tests for repro.dwt.convolution (periodic analysis/synthesis primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.dwt.convolution import (
+    analysis_convolve,
+    analysis_convolve_scalar,
+    analysis_pair,
+    periodic_gather,
+    synthesis_accumulate,
+    synthesis_accumulate_scalar,
+)
+from repro.filters.qmf import SymmetricFilter
+
+
+@pytest.fixture
+def simple_filter():
+    return SymmetricFilter(np.array([0.25, 0.5, 0.25]), origin=1, name="test")
+
+
+class TestPeriodicGather:
+    def test_wraps_negative_and_large_indices(self):
+        signal = np.array([10.0, 20.0, 30.0, 40.0])
+        gathered = periodic_gather(signal, np.array([-1, 0, 4, 5]))
+        assert list(gathered) == [40.0, 10.0, 10.0, 20.0]
+
+    def test_gathers_along_last_axis_of_2d(self):
+        signal = np.arange(8.0).reshape(2, 4)
+        gathered = periodic_gather(signal, np.array([0, -1]))
+        assert gathered.shape == (2, 2)
+        assert list(gathered[0]) == [0.0, 3.0]
+        assert list(gathered[1]) == [4.0, 7.0]
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_gather(np.array([]), np.array([0]))
+
+
+class TestAnalysisConvolve:
+    def test_output_is_half_length(self, simple_filter):
+        out = analysis_convolve(np.ones(8), simple_filter)
+        assert out.shape == (4,)
+
+    def test_constant_signal_yields_dc_gain(self, simple_filter):
+        out = analysis_convolve(np.ones(8) * 3.0, simple_filter)
+        assert np.allclose(out, 3.0 * simple_filter.dc_gain)
+
+    def test_odd_length_rejected(self, simple_filter):
+        with pytest.raises(ValueError):
+            analysis_convolve(np.ones(7), simple_filter)
+
+    def test_matches_scalar_reference(self, simple_filter, rng):
+        signal = rng.uniform(-10, 10, size=16)
+        fast = analysis_convolve(signal, simple_filter)
+        slow = analysis_convolve_scalar(signal, simple_filter)
+        assert np.allclose(fast, slow)
+
+    def test_matches_scalar_reference_real_bank(self, bank_f2, rng):
+        signal = rng.uniform(0, 4095, size=32)
+        assert np.allclose(
+            analysis_convolve(signal, bank_f2.h),
+            analysis_convolve_scalar(signal, bank_f2.h),
+        )
+
+    def test_2d_rows_processed_independently(self, simple_filter, rng):
+        image = rng.uniform(-1, 1, size=(3, 8))
+        out = analysis_convolve(image, simple_filter)
+        for row in range(3):
+            assert np.allclose(out[row], analysis_convolve(image[row], simple_filter))
+
+    def test_scalar_requires_1d(self, simple_filter):
+        with pytest.raises(ValueError):
+            analysis_convolve_scalar(np.ones((2, 8)), simple_filter)
+
+
+class TestSynthesisAccumulate:
+    def test_output_is_double_length(self, simple_filter):
+        out = synthesis_accumulate(np.ones(4), simple_filter, 8)
+        assert out.shape == (8,)
+
+    def test_wrong_output_length_rejected(self, simple_filter):
+        with pytest.raises(ValueError):
+            synthesis_accumulate(np.ones(4), simple_filter, 10)
+
+    def test_matches_scalar_reference(self, simple_filter, rng):
+        coeffs = rng.uniform(-5, 5, size=8)
+        fast = synthesis_accumulate(coeffs, simple_filter, 16)
+        slow = synthesis_accumulate_scalar(coeffs, simple_filter, 16)
+        assert np.allclose(fast, slow)
+
+    def test_single_impulse_places_filter(self):
+        filt = SymmetricFilter(np.array([1.0, 2.0, 3.0]), origin=1)
+        coeffs = np.zeros(4)
+        coeffs[1] = 1.0  # contributes to outputs 2 + idx for idx in [-1, 0, 1]
+        out = synthesis_accumulate(coeffs, filt, 8)
+        assert list(out[1:4]) == [1.0, 2.0, 3.0]
+        assert out[0] == 0.0 and np.all(out[4:] == 0.0)
+
+    def test_scalar_requires_1d(self, simple_filter):
+        with pytest.raises(ValueError):
+            synthesis_accumulate_scalar(np.ones((2, 4)), simple_filter, 8)
+
+
+class TestAnalysisPair:
+    def test_returns_low_and_high(self, bank_f2, rng):
+        signal = rng.uniform(0, 100, size=16)
+        lo, hi = analysis_pair(signal, bank_f2.h, bank_f2.g)
+        assert np.allclose(lo, analysis_convolve(signal, bank_f2.h))
+        assert np.allclose(hi, analysis_convolve(signal, bank_f2.g))

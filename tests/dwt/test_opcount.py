@@ -1,0 +1,70 @@
+"""Tests for repro.dwt.opcount (Eq. (1)/(2) MAC counting)."""
+
+import numpy as np
+import pytest
+
+from repro.dwt.opcount import (
+    MacCounter,
+    count_macs_instrumented,
+    mac_count_formula,
+    mac_count_paper_example,
+    mac_count_per_scale,
+)
+from repro.filters.catalog import get_bank
+
+
+class TestClosedForm:
+    def test_scale_one_count(self):
+        # 4 * (N/2)^2 * (LH + LG)
+        assert mac_count_per_scale(512, 13, 13, 1) == 4 * 256 * 256 * 26
+
+    def test_counts_decrease_by_factor_four(self):
+        counts = mac_count_formula(512, 13, 13, 6)
+        for scale in range(2, 7):
+            assert counts[scale] * 4 == counts[scale - 1]
+
+    def test_paper_example_close_to_quoted_value(self):
+        assert mac_count_paper_example() == pytest.approx(8.99e6, rel=0.02)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            mac_count_per_scale(512, 13, 13, 0)
+
+    def test_too_many_scales_rejected(self):
+        with pytest.raises(ValueError):
+            mac_count_formula(48, 13, 13, 5)
+
+
+class TestMacCounter:
+    def test_accumulates(self):
+        counter = MacCounter()
+        counter.add(5)
+        counter.add(7)
+        assert counter.macs == 12
+
+    def test_reset(self):
+        counter = MacCounter(macs=9)
+        counter.reset()
+        assert counter.macs == 0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            MacCounter().add(-1)
+
+
+class TestInstrumentedCount:
+    def test_matches_closed_form_for_f2(self):
+        bank = get_bank("F2")
+        instrumented = count_macs_instrumented(np.zeros((64, 64)), bank, 3)
+        closed = mac_count_formula(64, len(bank.h), len(bank.g), 3)
+        assert instrumented == closed
+
+    def test_matches_closed_form_for_haar(self):
+        bank = get_bank("F5")
+        instrumented = count_macs_instrumented(np.zeros((32, 32)), bank, 2)
+        closed = mac_count_formula(32, len(bank.h), len(bank.g), 2)
+        assert instrumented == closed
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            count_macs_instrumented(np.zeros(16), get_bank("F2"), 1)

@@ -1,0 +1,104 @@
+"""Tests for repro.dwt.subbands (pyramid containers and mosaic packing)."""
+
+import numpy as np
+import pytest
+
+from repro.dwt.subbands import ScaleDetails, WaveletPyramid
+from repro.dwt.transform2d import fdwt_2d
+
+
+class TestScaleDetails:
+    def test_shapes_must_agree(self):
+        with pytest.raises(ValueError):
+            ScaleDetails(scale=1, hg=np.zeros((4, 4)), gh=np.zeros((4, 4)), gg=np.zeros((2, 2)))
+
+    def test_subbands_must_be_2d(self):
+        with pytest.raises(ValueError):
+            ScaleDetails(scale=1, hg=np.zeros(4), gh=np.zeros(4), gg=np.zeros(4))
+
+    def test_as_dict_keys(self):
+        details = ScaleDetails(scale=1, hg=np.zeros((2, 2)), gh=np.zeros((2, 2)), gg=np.zeros((2, 2)))
+        assert set(details.as_dict()) == {"HG", "GH", "GG"}
+
+    def test_max_abs(self):
+        details = ScaleDetails(
+            scale=1,
+            hg=np.array([[1.0, -7.0], [0.0, 0.0]]),
+            gh=np.zeros((2, 2)),
+            gg=np.full((2, 2), 3.0),
+        )
+        assert details.max_abs() == 7.0
+
+
+class TestWaveletPyramid:
+    @pytest.fixture
+    def pyramid(self, bank_f2, ct_image_64):
+        return fdwt_2d(ct_image_64.astype(float), bank_f2, 3)
+
+    def test_image_shape_recovered(self, pyramid):
+        assert pyramid.image_shape == (64, 64)
+
+    def test_coefficient_count_conserved(self, pyramid):
+        assert pyramid.coefficient_count() == 64 * 64
+
+    def test_detail_accessor_bounds(self, pyramid):
+        with pytest.raises(IndexError):
+            pyramid.detail(0)
+        with pytest.raises(IndexError):
+            pyramid.detail(4)
+
+    def test_iter_subbands_count_and_order(self, pyramid):
+        subbands = list(pyramid.iter_subbands())
+        assert len(subbands) == 1 + 3 * 3
+        assert subbands[0][0] == "HH"
+        # Coarse scales come first.
+        scales = [scale for _, scale, _ in subbands]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_inconsistent_shapes_rejected(self):
+        # Approximation of a 2-scale pyramid of an 8x8 image must be 2x2, not 4x4.
+        with pytest.raises(ValueError):
+            WaveletPyramid(
+                approximation=np.zeros((4, 4)),
+                details=[
+                    ScaleDetails(scale=1, hg=np.zeros((4, 4)), gh=np.zeros((4, 4)), gg=np.zeros((4, 4))),
+                    ScaleDetails(scale=2, hg=np.zeros((4, 4)), gh=np.zeros((4, 4)), gg=np.zeros((4, 4))),
+                ],
+            )
+
+    def test_max_abs_per_scale_keys(self, pyramid):
+        per_scale = pyramid.max_abs_per_scale()
+        assert set(per_scale) == {1, 2, 3}
+
+    def test_energy_per_scale_nonnegative(self, pyramid):
+        assert all(v >= 0 for v in pyramid.energy_per_scale().values())
+
+
+class TestMosaic:
+    @pytest.fixture
+    def pyramid(self, bank_f2, ct_image_64):
+        return fdwt_2d(ct_image_64.astype(float), bank_f2, 3)
+
+    def test_mosaic_shape(self, pyramid):
+        assert pyramid.to_mosaic().shape == (64, 64)
+
+    def test_mosaic_round_trip(self, pyramid):
+        mosaic = pyramid.to_mosaic()
+        back = WaveletPyramid.from_mosaic(mosaic, pyramid.scales)
+        assert np.array_equal(back.approximation, pyramid.approximation)
+        for original, restored in zip(pyramid.details, back.details):
+            assert np.array_equal(original.hg, restored.hg)
+            assert np.array_equal(original.gh, restored.gh)
+            assert np.array_equal(original.gg, restored.gg)
+
+    def test_mosaic_top_left_is_approximation(self, pyramid):
+        mosaic = pyramid.to_mosaic()
+        assert np.array_equal(mosaic[:8, :8], pyramid.approximation)
+
+    def test_from_mosaic_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            WaveletPyramid.from_mosaic(np.zeros((12, 12)), 3)
+
+    def test_from_mosaic_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            WaveletPyramid.from_mosaic(np.zeros(16), 1)

@@ -1,0 +1,71 @@
+"""Tests for repro.dwt.transform1d (1-D multi-scale transforms)."""
+
+import numpy as np
+import pytest
+
+from repro.dwt.transform1d import (
+    analyze_1d,
+    fdwt_1d,
+    idwt_1d,
+    max_scales_for_length,
+    synthesize_1d,
+)
+
+
+class TestMaxScales:
+    @pytest.mark.parametrize(
+        "length,expected",
+        [(1, 0), (2, 1), (6, 1), (8, 3), (12, 2), (512, 9), (0, 0)],
+    )
+    def test_counts_powers_of_two(self, length, expected):
+        assert max_scales_for_length(length) == expected
+
+
+class TestSingleStage:
+    def test_analyze_halves_length(self, bank_f2, rng):
+        signal = rng.uniform(0, 4095, size=64)
+        lo, hi = analyze_1d(signal, bank_f2)
+        assert lo.shape == hi.shape == (32,)
+
+    def test_stage_round_trip_close(self, any_bank, rng):
+        signal = rng.uniform(0, 4095, size=64)
+        lo, hi = analyze_1d(signal, any_bank)
+        back = synthesize_1d(lo, hi, any_bank)
+        assert np.max(np.abs(back - signal)) < 0.5
+
+    def test_synthesize_shape_mismatch_rejected(self, bank_f2):
+        with pytest.raises(ValueError):
+            synthesize_1d(np.ones(4), np.ones(8), bank_f2)
+
+
+class TestMultiScale:
+    def test_detail_lengths_follow_dyadic_ladder(self, bank_f2, rng):
+        signal = rng.uniform(0, 100, size=64)
+        average, details = fdwt_1d(signal, bank_f2, 3)
+        assert [d.size for d in details] == [32, 16, 8]
+        assert average.size == 8
+
+    def test_round_trip_multi_scale(self, bank_f2, rng):
+        signal = rng.uniform(0, 4095, size=128)
+        average, details = fdwt_1d(signal, bank_f2, 4)
+        back = idwt_1d(average, details, bank_f2)
+        assert np.max(np.abs(back - signal)) < 0.5
+
+    def test_too_many_scales_rejected(self, bank_f2):
+        with pytest.raises(ValueError):
+            fdwt_1d(np.ones(12), bank_f2, 3)
+
+    def test_zero_scales_rejected(self, bank_f2):
+        with pytest.raises(ValueError):
+            fdwt_1d(np.ones(16), bank_f2, 0)
+
+    def test_2d_input_rejected(self, bank_f2):
+        with pytest.raises(ValueError):
+            fdwt_1d(np.ones((4, 4)), bank_f2, 1)
+
+    def test_single_scale_matches_analyze(self, bank_f2, rng):
+        signal = rng.uniform(-1, 1, size=32)
+        average, details = fdwt_1d(signal, bank_f2, 1)
+        lo, hi = analyze_1d(signal, bank_f2)
+        assert np.allclose(average, lo)
+        assert np.allclose(details[0], hi)

@@ -1,0 +1,92 @@
+"""Tests for repro.dwt.transform2d (2-D Mallat pyramid, Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.dwt.transform2d import (
+    analyze_2d_stage,
+    fdwt_2d,
+    idwt_2d,
+    synthesize_2d_stage,
+    validate_image_for_transform,
+)
+
+
+class TestValidation:
+    def test_accepts_square_power_of_two(self):
+        validate_image_for_transform(np.zeros((64, 64)), 4)
+
+    def test_accepts_rectangular_dyadic(self):
+        validate_image_for_transform(np.zeros((32, 64)), 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            validate_image_for_transform(np.zeros(64), 1)
+
+    def test_rejects_insufficient_scales(self):
+        with pytest.raises(ValueError):
+            validate_image_for_transform(np.zeros((24, 24)), 4)
+
+    def test_rejects_zero_scales(self):
+        with pytest.raises(ValueError):
+            validate_image_for_transform(np.zeros((16, 16)), 0)
+
+
+class TestSingleStage:
+    def test_subband_shapes(self, bank_f2, ct_image_64):
+        hh, details = analyze_2d_stage(ct_image_64.astype(float), bank_f2)
+        assert hh.shape == (32, 32)
+        assert details.shape == (32, 32)
+
+    def test_stage_round_trip(self, any_bank, ct_image_64):
+        image = ct_image_64.astype(float)
+        hh, details = analyze_2d_stage(image, any_bank)
+        back = synthesize_2d_stage(hh, details, any_bank)
+        assert np.max(np.abs(back - image)) < 0.5
+
+    def test_synthesize_shape_mismatch_rejected(self, bank_f2, ct_image_64):
+        hh, details = analyze_2d_stage(ct_image_64.astype(float), bank_f2)
+        with pytest.raises(ValueError):
+            synthesize_2d_stage(hh[:16, :16], details, bank_f2)
+
+    def test_constant_image_concentrates_in_hh(self, bank_f2):
+        # The printed 6-decimal coefficients give the high-pass a residual DC
+        # gain of ~3e-6, so the details are only near-zero, not exactly zero.
+        image = np.full((32, 32), 100.0)
+        hh, details = analyze_2d_stage(image, bank_f2)
+        assert np.allclose(details.hg, 0.0, atol=1e-2)
+        assert np.allclose(details.gh, 0.0, atol=1e-2)
+        assert np.allclose(details.gg, 0.0, atol=1e-2)
+        assert np.allclose(hh, 100.0 * bank_f2.h.dc_gain ** 2)
+
+
+class TestMultiScale:
+    def test_pyramid_structure(self, bank_f2, ct_image_64):
+        pyramid = fdwt_2d(ct_image_64.astype(float), bank_f2, 3)
+        assert pyramid.scales == 3
+        assert pyramid.approximation.shape == (8, 8)
+        assert pyramid.detail(1).shape == (32, 32)
+        assert pyramid.detail(3).shape == (8, 8)
+
+    def test_round_trip_all_banks(self, any_bank, ct_image_64):
+        image = ct_image_64.astype(float)
+        pyramid = fdwt_2d(image, any_bank, 3)
+        back = idwt_2d(pyramid, any_bank)
+        assert np.max(np.abs(back - image)) < 0.5
+
+    def test_round_trip_random_image(self, bank_f2, random_image_64):
+        image = random_image_64.astype(float)
+        pyramid = fdwt_2d(image, bank_f2, 6)
+        back = idwt_2d(pyramid, bank_f2)
+        assert np.max(np.abs(back - image)) < 0.5
+
+    def test_rectangular_image_supported(self, bank_f2, rng):
+        image = rng.uniform(0, 4095, size=(32, 64))
+        pyramid = fdwt_2d(image, bank_f2, 3)
+        assert pyramid.approximation.shape == (4, 8)
+        back = idwt_2d(pyramid, bank_f2)
+        assert np.max(np.abs(back - image)) < 0.5
+
+    def test_scale_numbering_starts_at_one(self, bank_f2, ct_image_64):
+        pyramid = fdwt_2d(ct_image_64.astype(float), bank_f2, 2)
+        assert [d.scale for d in pyramid.details] == [1, 2]

@@ -1,0 +1,35 @@
+"""Tests for repro.filters.catalog (bank registry)."""
+
+import pytest
+
+from repro.filters.catalog import (
+    DEFAULT_BANK_NAME,
+    all_banks,
+    available_banks,
+    default_bank,
+    get_bank,
+)
+
+
+class TestCatalog:
+    def test_available_banks_order(self):
+        assert available_banks() == ["F1", "F2", "F3", "F4", "F5", "F6"]
+
+    def test_default_bank_is_f2(self):
+        assert DEFAULT_BANK_NAME == "F2"
+        assert default_bank().name == "F2"
+
+    def test_get_bank_is_case_insensitive(self):
+        assert get_bank("f3").name == "F3"
+
+    def test_get_bank_caches_instances(self):
+        assert get_bank("F1") is get_bank("F1")
+
+    def test_get_bank_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_bank("F7")
+
+    def test_all_banks_returns_all_six(self):
+        banks = all_banks()
+        assert list(banks) == available_banks()
+        assert all(banks[name].name == name for name in banks)

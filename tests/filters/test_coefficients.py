@@ -1,0 +1,72 @@
+"""Tests for repro.filters.coefficients (Table I as printed)."""
+
+import pytest
+
+from repro.filters.coefficients import (
+    FILTER_NAMES,
+    TABLE_I,
+    FilterBankSpec,
+    HalfFilterSpec,
+    table_i_rows,
+)
+
+
+class TestTableStructure:
+    def test_six_banks_present(self):
+        assert len(TABLE_I) == 6
+        assert set(TABLE_I) == set(FILTER_NAMES)
+
+    def test_names_in_print_order(self):
+        assert FILTER_NAMES == ("F1", "F2", "F3", "F4", "F5", "F6")
+
+    def test_every_entry_is_a_bank_spec(self):
+        for name, bank in TABLE_I.items():
+            assert isinstance(bank, FilterBankSpec)
+            assert bank.name == name
+            assert isinstance(bank.analysis_lowpass, HalfFilterSpec)
+            assert isinstance(bank.synthesis_lowpass, HalfFilterSpec)
+
+    def test_lengths_property(self):
+        assert TABLE_I["F1"].lengths == (9, 7)
+        assert TABLE_I["F2"].lengths == (13, 11)
+        assert TABLE_I["F3"].lengths == (6, 10)
+        assert TABLE_I["F4"].lengths == (5, 3)
+        assert TABLE_I["F5"].lengths == (2, 6)
+        assert TABLE_I["F6"].lengths == (9, 3)
+
+
+class TestPrintedCoefficients:
+    def test_f2_analysis_leading_coefficient(self):
+        assert TABLE_I["F2"].analysis_lowpass.half_coefficients[0] == pytest.approx(0.767245)
+
+    def test_f5_haar_filter_printed_in_full(self):
+        spec = TABLE_I["F5"].analysis_lowpass
+        assert spec.length == 2
+        assert spec.half_coefficients == (0.707107, 0.707107)
+
+    def test_half_coefficient_counts_match_lengths(self):
+        for _, _, spec in table_i_rows():
+            if spec.length % 2 == 1:
+                assert len(spec.half_coefficients) == (spec.length + 1) // 2
+            else:
+                # Even filters print length/2 coefficients, except the 2-tap
+                # Haar of F5 which is printed in full.
+                assert len(spec.half_coefficients) in (spec.length // 2, spec.length)
+
+    def test_printed_abs_sums_are_positive(self):
+        for _, _, spec in table_i_rows():
+            assert spec.printed_abs_sum > 1.0
+
+
+class TestTableIterator:
+    def test_row_count(self):
+        rows = list(table_i_rows())
+        assert len(rows) == 12  # six banks x (H, Ht)
+
+    def test_roles_alternate(self):
+        roles = [role for _, role, _ in table_i_rows()]
+        assert roles == ["H", "Ht"] * 6
+
+    def test_rows_follow_print_order(self):
+        names = [name for name, _, _ in table_i_rows()]
+        assert names == [n for n in FILTER_NAMES for _ in range(2)]

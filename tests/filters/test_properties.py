@@ -1,0 +1,82 @@
+"""Tests for repro.filters.properties (biorthogonality, PR, dynamic range)."""
+
+import pytest
+
+from repro.filters.catalog import get_bank
+from repro.filters.coefficients import FILTER_NAMES
+from repro.filters.properties import (
+    biorthogonality_error,
+    cross_orthogonality_error,
+    dynamic_range_growth,
+    perfect_reconstruction_error,
+    subband_gains,
+)
+
+
+class TestBiorthogonality:
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_biorthogonality_error_is_small(self, name):
+        # The printed 6-decimal coefficients are biorthogonal to ~1e-3.
+        assert biorthogonality_error(get_bank(name)) < 5e-3
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_cross_terms_vanish(self, name):
+        # The alternating-flip construction makes the cross inner products
+        # exactly zero up to floating-point rounding.
+        assert cross_orthogonality_error(get_bank(name)) < 1e-9
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_pr_error_below_half_lsb(self, name):
+        error = perfect_reconstruction_error(get_bank(name), length=128, seed=3)
+        assert error < 0.5
+
+    def test_pr_error_scales_with_amplitude(self, bank_f2):
+        small = perfect_reconstruction_error(bank_f2, amplitude=1.0, seed=0)
+        large = perfect_reconstruction_error(bank_f2, amplitude=4095.0, seed=0)
+        assert large > small
+
+    def test_pr_error_deterministic_for_seed(self, bank_f2):
+        a = perfect_reconstruction_error(bank_f2, seed=11)
+        b = perfect_reconstruction_error(bank_f2, seed=11)
+        assert a == b
+
+
+class TestSubbandGains:
+    def test_gains_are_products_of_abs_sums(self, bank_f2):
+        gains = subband_gains(bank_f2)
+        sh, sg = bank_f2.h.abs_sum, bank_f2.g.abs_sum
+        assert gains.hh == pytest.approx(sh * sh)
+        assert gains.hg == pytest.approx(sh * sg)
+        assert gains.gg == pytest.approx(sg * sg)
+
+    def test_maximum_gain_selects_largest(self, bank_f2):
+        gains = subband_gains(bank_f2)
+        assert gains.maximum == max(gains.hh, gains.hg, gains.gh, gains.gg)
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_gains_exceed_unity(self, name):
+        # Table I notes sum|cn| > 1 for every filter, so every 2-D gain > 1.
+        gains = subband_gains(get_bank(name))
+        assert gains.maximum > 1.0
+
+
+class TestDynamicRangeGrowth:
+    def test_growth_is_monotone_in_scale(self, bank_f2):
+        growth = dynamic_range_growth(bank_f2, 6)
+        values = [growth[s] for s in range(1, 7)]
+        assert values == sorted(values)
+
+    def test_growth_first_scale_equals_max_gain(self, bank_f2):
+        growth = dynamic_range_growth(bank_f2, 1)
+        assert growth[1] == pytest.approx(subband_gains(bank_f2).maximum)
+
+    def test_growth_recurrence(self, bank_f2):
+        growth = dynamic_range_growth(bank_f2, 4)
+        gains = subband_gains(bank_f2)
+        assert growth[3] == pytest.approx(growth[2] * gains.hh)
+
+    @pytest.mark.parametrize("scales", [1, 2, 4, 6])
+    def test_growth_has_requested_number_of_scales(self, bank_f2, scales):
+        assert set(dynamic_range_growth(bank_f2, scales)) == set(range(1, scales + 1))

@@ -1,0 +1,153 @@
+"""Tests for repro.filters.qmf (filter expansion, high-pass derivation, banks)."""
+
+import numpy as np
+import pytest
+
+from repro.filters.coefficients import FILTER_NAMES, TABLE_I
+from repro.filters.qmf import (
+    BiorthogonalBank,
+    SymmetricFilter,
+    build_bank,
+    build_bank_by_name,
+    derive_highpass,
+    expand_half_filter,
+)
+
+
+class TestSymmetricFilter:
+    def test_indexing_inside_and_outside_support(self):
+        filt = SymmetricFilter(np.array([1.0, 2.0, 3.0]), origin=1)
+        assert filt[-1] == 1.0
+        assert filt[0] == 2.0
+        assert filt[1] == 3.0
+        assert filt[2] == 0.0
+        assert filt[-5] == 0.0
+
+    def test_indices_reflect_origin(self):
+        filt = SymmetricFilter(np.array([1.0, 2.0, 3.0]), origin=1)
+        assert list(filt.indices()) == [-1, 0, 1]
+
+    def test_items_yields_index_value_pairs(self):
+        filt = SymmetricFilter(np.array([5.0, 7.0]), origin=0)
+        assert list(filt.items()) == [(0, 5.0), (1, 7.0)]
+
+    def test_abs_sum_and_dc_gain(self):
+        filt = SymmetricFilter(np.array([-1.0, 2.0, -3.0]), origin=1)
+        assert filt.abs_sum == pytest.approx(6.0)
+        assert filt.dc_gain == pytest.approx(-2.0)
+
+    def test_nyquist_gain_alternates_signs(self):
+        filt = SymmetricFilter(np.array([1.0, 1.0]), origin=0)
+        assert filt.nyquist_gain == pytest.approx(0.0)
+
+    def test_reversed_swaps_origin(self):
+        filt = SymmetricFilter(np.array([1.0, 2.0, 3.0]), origin=0)
+        rev = filt.reversed()
+        assert list(rev.taps) == [3.0, 2.0, 1.0]
+        assert rev.origin == 2
+        # h[-n] evaluated at n = -2 equals h[2].
+        assert rev[-2] == filt[2]
+
+    def test_scaled_multiplies_taps(self):
+        filt = SymmetricFilter(np.array([1.0, -2.0]), origin=0)
+        assert list(filt.scaled(0.5).taps) == [0.5, -1.0]
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricFilter(np.array([]), origin=0)
+
+    def test_two_dimensional_taps_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricFilter(np.zeros((2, 2)), origin=0)
+
+    def test_as_map_round_trip(self):
+        filt = SymmetricFilter(np.array([1.0, 2.0, 3.0]), origin=1)
+        mapping = filt.as_map()
+        assert mapping == {-1: 1.0, 0: 2.0, 1: 3.0}
+
+
+class TestExpandHalfFilter:
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_expanded_length_matches_spec(self, name):
+        for spec in (TABLE_I[name].analysis_lowpass, TABLE_I[name].synthesis_lowpass):
+            full = expand_half_filter(spec)
+            assert len(full) == spec.length
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_expanded_filters_are_symmetric(self, name):
+        for spec in (TABLE_I[name].analysis_lowpass, TABLE_I[name].synthesis_lowpass):
+            full = expand_half_filter(spec)
+            assert full.is_symmetric(tol=1e-12)
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_abs_sum_matches_printed_column(self, name):
+        for spec in (TABLE_I[name].analysis_lowpass, TABLE_I[name].synthesis_lowpass):
+            full = expand_half_filter(spec)
+            # The printed sum|cn| column itself is rounded to 6 decimals, so the
+            # recomputed sum can differ in the last digit (F2/H: 1.857517 vs 1.857495).
+            assert full.abs_sum == pytest.approx(spec.printed_abs_sum, abs=5e-5)
+
+    def test_odd_filter_centre_is_first_printed_coefficient(self):
+        spec = TABLE_I["F1"].analysis_lowpass
+        full = expand_half_filter(spec)
+        assert full[0] == pytest.approx(spec.half_coefficients[0])
+        assert full[1] == full[-1]
+
+    def test_even_filter_half_sample_symmetry(self):
+        spec = TABLE_I["F3"].analysis_lowpass  # 6 taps
+        full = expand_half_filter(spec)
+        # h[n] == h[-1 - n]
+        for n in range(3):
+            assert full[n] == pytest.approx(full[-1 - n])
+
+    def test_wrong_coefficient_count_rejected(self):
+        from repro.filters.coefficients import HalfFilterSpec
+
+        bad = HalfFilterSpec(length=9, half_coefficients=(1.0, 2.0), printed_abs_sum=3.0)
+        with pytest.raises(ValueError):
+            expand_half_filter(bad)
+
+
+class TestDeriveHighpass:
+    def test_haar_highpass_from_lowpass(self):
+        # Half-sample symmetric 2-tap Haar low-pass: taps at n = -1 and n = 0.
+        low = SymmetricFilter(np.array([0.707107, 0.707107]), origin=1)
+        high = derive_highpass(low)
+        values = {n: high[n] for n in high.indices()}
+        # g[n] = (-1)^n h[1 - n]: support n in {1, 2}, alternating signs.
+        assert values[1] == pytest.approx(-0.707107)
+        assert values[2] == pytest.approx(0.707107)
+        assert sum(values.values()) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_highpass_has_zero_dc_gain(self, name):
+        bank = build_bank_by_name(name)
+        assert bank.g.dc_gain == pytest.approx(0.0, abs=5e-3)
+        assert bank.gt.dc_gain == pytest.approx(0.0, abs=5e-3)
+
+    @pytest.mark.parametrize("name", FILTER_NAMES)
+    def test_highpass_length_matches_source_lowpass(self, name):
+        bank = build_bank_by_name(name)
+        assert len(bank.g) == len(bank.ht)
+        assert len(bank.gt) == len(bank.h)
+
+
+class TestBiorthogonalBank:
+    def test_build_bank_returns_four_filters(self, bank_f2):
+        assert isinstance(bank_f2, BiorthogonalBank)
+        assert set(bank_f2.all_filters()) == {"h", "g", "ht", "gt"}
+
+    def test_analysis_lengths_of_f2(self, bank_f2):
+        assert bank_f2.analysis_lengths == (13, 11)
+        assert bank_f2.max_analysis_length == 13
+        assert bank_f2.mac_per_output_pair == 24
+
+    def test_build_bank_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            build_bank_by_name("F9")
+
+    def test_build_bank_matches_by_name(self):
+        direct = build_bank(TABLE_I["F4"])
+        by_name = build_bank_by_name("F4")
+        assert np.allclose(direct.h.taps, by_name.h.taps)
+        assert np.allclose(direct.gt.taps, by_name.gt.taps)

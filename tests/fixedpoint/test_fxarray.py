@@ -1,0 +1,129 @@
+"""Tests for repro.fixedpoint.fxarray (stored-integer arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.errors import OverflowPolicyError
+from repro.fixedpoint.fxarray import FxArray, align_stored, product_format, quantize_real
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestQuantizeReal:
+    def test_integer_format_round_trip(self):
+        fmt = QFormat(13, 13)
+        fx = quantize_real(np.array([0.0, 100.0, 4095.0]), fmt)
+        assert list(fx.stored) == [0, 100, 4095]
+        assert np.allclose(fx.to_real(), [0.0, 100.0, 4095.0])
+
+    def test_fractional_quantisation_error_bounded(self):
+        fmt = QFormat(32, 16)
+        values = np.linspace(-100, 100, 257)
+        fx = quantize_real(values, fmt)
+        assert fx.quantization_error(values) <= fmt.resolution / 2 + 1e-12
+
+    def test_raise_policy_detects_overflow(self):
+        fmt = QFormat(8, 8)
+        with pytest.raises(OverflowPolicyError):
+            quantize_real(np.array([1000.0]), fmt)
+
+    def test_saturate_policy_clips(self):
+        fmt = QFormat(8, 8)
+        fx = quantize_real(np.array([1000.0, -1000.0]), fmt, policy="saturate")
+        assert list(fx.stored) == [127, -128]
+
+    def test_wrap_policy_wraps(self):
+        fmt = QFormat(8, 8)
+        fx = quantize_real(np.array([128.0]), fmt, policy="wrap")
+        assert list(fx.stored) == [-128]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_real(np.array([1.0]), QFormat(8, 8), policy="ignore")
+
+
+class TestProductFormat:
+    def test_fraction_bits_add(self):
+        a = QFormat(32, 16)  # 16 fractional
+        b = QFormat(32, 3)   # 29 fractional
+        prod = product_format(a, b, 64)
+        assert prod.fractional_bits == 45
+        assert prod.word_length == 64
+
+    def test_overflowing_fraction_rejected(self):
+        a = QFormat(40, 1)
+        b = QFormat(40, 1)
+        with pytest.raises(ValueError):
+            product_format(a, b, 64)
+
+
+class TestAlignStored:
+    def test_narrowing_with_rounding(self):
+        src = QFormat(64, 32)  # 32 fractional
+        dst = QFormat(32, 16)  # 16 fractional
+        stored = (3 << 32) + (1 << 31)  # 3.5 in the source format
+        aligned = align_stored(stored, src, dst)
+        assert aligned == (3 << 16) + (1 << 15) + 0  # still 3.5, no precision lost
+        # Dropping below the target resolution rounds half-up.
+        stored = (1 << 15)  # 2^-17 in source units -> rounds to 1 LSB? no: 0.5 LSB exactly
+        assert align_stored(stored, src, dst, rounding="half_up") == 1
+        assert align_stored(stored, src, dst, rounding="truncate") == 0
+
+    def test_widening_rejected(self):
+        src = QFormat(32, 16)
+        dst = QFormat(64, 16)
+        with pytest.raises(ValueError):
+            align_stored(1, src, dst)
+
+    def test_unknown_rounding_rejected(self):
+        fmt = QFormat(32, 16)
+        with pytest.raises(ValueError):
+            align_stored(1, fmt, fmt, rounding="stochastic")
+
+
+class TestFxArray:
+    def test_fits_and_check_range(self):
+        fmt = QFormat(8, 8)
+        fx = FxArray(np.array([127, -128]), fmt)
+        assert fx.fits()
+        fx.check_range("raise")
+
+    def test_check_range_raise(self):
+        fx = FxArray(np.array([200]), QFormat(8, 8))
+        with pytest.raises(OverflowPolicyError):
+            fx.check_range("raise")
+
+    def test_check_range_saturate_in_place(self):
+        fx = FxArray(np.array([200, -200]), QFormat(8, 8))
+        fx.check_range("saturate")
+        assert list(fx.stored) == [127, -128]
+
+    def test_check_range_wrap(self):
+        fx = FxArray(np.array([130]), QFormat(8, 8))
+        fx.check_range("wrap")
+        assert list(fx.stored) == [-126]
+
+    def test_realign_changes_format(self):
+        src = QFormat(32, 16)
+        dst = QFormat(32, 20)
+        fx = FxArray(np.array([1 << 16]), src)  # value 1.0
+        out = fx.realign(dst)
+        assert out.fmt == dst
+        assert out.to_real()[0] == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        fx = FxArray(np.array([1, 2, 3]), QFormat(8, 8))
+        other = fx.copy()
+        other.stored[0] = 9
+        assert fx.stored[0] == 1
+
+    def test_from_real_alias(self):
+        fmt = QFormat(16, 8)
+        a = FxArray.from_real(np.array([1.5]), fmt)
+        b = quantize_real(np.array([1.5]), fmt)
+        assert np.array_equal(a.stored, b.stored)
+
+    def test_shape_and_len(self):
+        fx = FxArray(np.zeros((3, 4)), QFormat(8, 8))
+        assert fx.shape == (3, 4)
+        assert fx.size == 12
+        assert len(fx) == 3

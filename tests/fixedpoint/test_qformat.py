@@ -1,0 +1,86 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+import pytest
+
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestConstruction:
+    def test_basic_split(self):
+        fmt = QFormat(word_length=32, integer_bits=16)
+        assert fmt.fractional_bits == 16
+        assert fmt.scale == 1 << 16
+
+    def test_integer_bits_must_fit_word(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=16, integer_bits=17)
+
+    def test_integer_bits_at_least_one(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=16, integer_bits=0)
+
+    def test_word_length_positive(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=0, integer_bits=0)
+
+    def test_pure_integer_format(self):
+        fmt = QFormat(word_length=13, integer_bits=13)
+        assert fmt.fractional_bits == 0
+        assert fmt.scale == 1
+        assert fmt.resolution == 1.0
+
+
+class TestRange:
+    def test_twos_complement_range(self):
+        fmt = QFormat(word_length=8, integer_bits=8)
+        assert fmt.min_int == -128
+        assert fmt.max_int == 127
+        assert fmt.min_value == -128.0
+        assert fmt.max_value == 127.0
+
+    def test_fractional_range(self):
+        fmt = QFormat(word_length=4, integer_bits=2)  # Q2.2
+        assert fmt.max_value == pytest.approx(1.75)
+        assert fmt.min_value == pytest.approx(-2.0)
+        assert fmt.resolution == pytest.approx(0.25)
+
+    def test_covers_magnitude(self):
+        fmt = QFormat(word_length=13, integer_bits=13)
+        assert fmt.covers_magnitude(4095)
+        assert not fmt.covers_magnitude(5000)
+
+
+class TestConversions:
+    def test_round_trip_integers(self):
+        fmt = QFormat(word_length=16, integer_bits=16)
+        assert fmt.to_stored(100) == 100
+        assert fmt.to_real(100) == 100.0
+
+    def test_rounding_is_half_up(self):
+        fmt = QFormat(word_length=16, integer_bits=16)
+        assert fmt.to_stored(2.5) == 3
+        assert fmt.to_stored(-2.5) == -2
+        assert fmt.to_stored(2.4) == 2
+
+    def test_fractional_quantisation(self):
+        fmt = QFormat(word_length=8, integer_bits=4)  # Q4.4
+        assert fmt.to_stored(1.5) == 24
+        assert fmt.to_real(24) == pytest.approx(1.5)
+
+
+class TestDerivedFormats:
+    def test_with_integer_bits(self):
+        fmt = QFormat(word_length=32, integer_bits=16)
+        other = fmt.with_integer_bits(20)
+        assert other.word_length == 32
+        assert other.integer_bits == 20
+
+    def test_widened_preserves_fraction(self):
+        fmt = QFormat(word_length=32, integer_bits=16)
+        wide = fmt.widened(32)
+        assert wide.word_length == 64
+        assert wide.fractional_bits == fmt.fractional_bits
+
+    def test_widened_rejects_negative(self):
+        with pytest.raises(ValueError):
+            QFormat(32, 16).widened(-1)

@@ -1,0 +1,103 @@
+"""Tests for repro.fixedpoint.wordlength (Table II and the format plan)."""
+
+import pytest
+
+from repro.filters.catalog import get_bank
+from repro.fixedpoint.errors import DynamicRangeError
+from repro.fixedpoint.wordlength import (
+    PAPER_COEFFICIENT_FORMAT,
+    PAPER_INPUT_BITS,
+    PAPER_WORD_LENGTH,
+    coefficient_format_for,
+    integer_bits_schedule,
+    minimum_integer_bits,
+    plan_word_lengths,
+)
+
+#: Table II of the paper, used as the reference for the derivation.
+PAPER_TABLE_II = {
+    "F1": [15, 17, 19, 21, 23, 25],
+    "F2": [16, 17, 19, 21, 23, 25],
+    "F3": [15, 17, 19, 21, 23, 25],
+    "F4": [16, 18, 20, 22, 24, 27],
+    "F5": [15, 16, 17, 18, 19, 20],
+    "F6": [16, 19, 21, 24, 26, 29],
+}
+
+
+class TestPaperConstants:
+    def test_input_bits_is_13(self):
+        assert PAPER_INPUT_BITS == 13
+
+    def test_word_length_is_32(self):
+        assert PAPER_WORD_LENGTH == 32
+
+    def test_coefficient_format_has_two_integer_bits(self):
+        # The largest Table I coefficient is 1.060660, so sign + 1 integer bit.
+        assert PAPER_COEFFICIENT_FORMAT.integer_bits == 2
+        assert PAPER_COEFFICIENT_FORMAT.word_length == 32
+
+
+class TestTableII:
+    @pytest.mark.parametrize("name,expected", sorted(PAPER_TABLE_II.items()))
+    def test_integer_bits_schedule_matches_paper(self, name, expected):
+        bank = get_bank(name)
+        ours = list(integer_bits_schedule(bank, 6).values())
+        assert ours == expected
+
+    def test_minimum_integer_bits_monotone_in_scale(self, any_bank):
+        bits = [minimum_integer_bits(any_bank, s) for s in range(1, 7)]
+        assert bits == sorted(bits)
+
+    def test_scale_must_be_positive(self, bank_f2):
+        with pytest.raises(ValueError):
+            minimum_integer_bits(bank_f2, 0)
+
+    def test_more_input_bits_need_more_integer_bits(self, bank_f2):
+        assert minimum_integer_bits(bank_f2, 1, input_bits=16) == (
+            minimum_integer_bits(bank_f2, 1, input_bits=13) + 3
+        )
+
+
+class TestCoefficientFormat:
+    def test_f2_coefficients_fit_two_integer_bits(self, bank_f2):
+        fmt = coefficient_format_for(bank_f2)
+        assert fmt.integer_bits == 2
+
+    def test_all_banks_match_paper_format(self, any_bank):
+        assert coefficient_format_for(any_bank) == PAPER_COEFFICIENT_FORMAT
+
+    def test_too_short_word_rejected(self, bank_f2):
+        # A 2-bit word leaves no room beyond the 2 integer bits the
+        # coefficients need, so no valid format exists.
+        with pytest.raises(DynamicRangeError):
+            coefficient_format_for(bank_f2, word_length=2)
+
+
+class TestWordLengthPlan:
+    def test_paper_plan_structure(self, bank_f2):
+        plan = plan_word_lengths(bank_f2, 6)
+        assert plan.scales == 6
+        assert plan.input_format.word_length == 13
+        assert plan.coefficient_format == PAPER_COEFFICIENT_FORMAT
+        assert plan.accumulator_bits == 64
+        assert plan.integer_bits() == PAPER_TABLE_II["F2"]
+
+    def test_format_for_scale_zero_is_input(self, bank_f2):
+        plan = plan_word_lengths(bank_f2, 3)
+        assert plan.format_for_scale(0) == plan.input_format
+
+    def test_format_for_scale_out_of_range(self, bank_f2):
+        plan = plan_word_lengths(bank_f2, 3)
+        with pytest.raises(KeyError):
+            plan.format_for_scale(4)
+
+    def test_word_too_short_for_deep_scales_rejected(self):
+        bank = get_bank("F6")  # needs 29 integer bits at scale 6
+        with pytest.raises(DynamicRangeError):
+            plan_word_lengths(bank, 6, word_length=29)
+
+    def test_fractional_bits_shrink_with_scale(self, bank_f2):
+        plan = plan_word_lengths(bank_f2, 6)
+        fracs = [plan.format_for_scale(s).fractional_bits for s in range(1, 7)]
+        assert fracs == sorted(fracs, reverse=True)

@@ -1,0 +1,61 @@
+"""Tests for repro.fxdwt.lossless (the §3 verification helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.filters.catalog import get_bank
+from repro.fxdwt.lossless import lossless_word_length_search, verify_lossless
+from repro.imaging.phantoms import shepp_logan
+
+
+class TestVerifyLossless:
+    def test_lossless_report_for_paper_plan(self, bank_f2, ct_image_64):
+        report = verify_lossless(ct_image_64, bank_f2, 4)
+        assert report.lossless
+        assert report.max_abs_error == 0
+        assert report.mismatched_pixels == 0
+        assert report.word_length == 32
+        assert report.image_shape == (64, 64)
+
+    def test_report_for_all_banks(self, any_bank, random_image_64):
+        report = verify_lossless(random_image_64, any_bank, 3)
+        assert report.lossless
+        assert report.bank_name == any_bank.name
+
+    def test_mean_error_zero_when_lossless(self, bank_f2, ct_image_64):
+        report = verify_lossless(ct_image_64, bank_f2, 2)
+        assert report.mean_abs_error == 0.0
+
+    def test_string_rendering_mentions_status(self, bank_f2, ct_image_64):
+        report = verify_lossless(ct_image_64, bank_f2, 2)
+        assert "LOSSLESS" in str(report)
+
+
+class TestWordLengthSearch:
+    def test_sweep_contains_requested_word_lengths(self):
+        image = shepp_logan(32)
+        sweep = lossless_word_length_search(image, "F2", 3, word_lengths=range(24, 34, 4))
+        assert set(sweep) == {24, 28, 32}
+
+    def test_32_bits_is_lossless_and_transition_exists(self):
+        image = shepp_logan(32)
+        sweep = lossless_word_length_search(image, "F2", 4, word_lengths=range(18, 34, 2))
+        assert sweep[32].lossless
+        # Some word length in the sweep fails (otherwise the ablation is vacuous).
+        assert any(not report.lossless for report in sweep.values())
+
+    def test_word_too_short_for_integer_part_is_flagged(self):
+        image = shepp_logan(32)
+        # F6 needs 24 integer bits at scale 4; an 18-bit word cannot even hold it.
+        sweep = lossless_word_length_search(image, "F6", 4, word_lengths=range(18, 20, 2))
+        report = sweep[18]
+        assert not report.lossless
+        assert report.mismatched_pixels == -1  # sentinel for "plan infeasible"
+
+    def test_losslessness_is_monotone_in_word_length(self):
+        image = shepp_logan(32)
+        sweep = lossless_word_length_search(image, "F2", 3, word_lengths=range(20, 34, 2))
+        statuses = [sweep[w].lossless for w in sorted(sweep)]
+        # Once lossless, longer words stay lossless.
+        first_true = statuses.index(True) if True in statuses else len(statuses)
+        assert all(statuses[first_true:])

@@ -1,0 +1,132 @@
+"""Tests for repro.imaging.metrics, io_pgm and dataset."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.dataset import archive_dataset, paper_validation_dataset, standard_dataset
+from repro.imaging.io_pgm import read_pgm, write_pgm
+from repro.imaging.metrics import (
+    are_identical,
+    fidelity_report,
+    mae,
+    max_abs_error,
+    mse,
+    psnr,
+    snr,
+)
+
+
+class TestMetrics:
+    def test_identical_images(self):
+        image = np.arange(16).reshape(4, 4)
+        assert are_identical(image, image.copy())
+        assert mse(image, image) == 0.0
+        assert psnr(image, image) == float("inf")
+        assert snr(image, image) == float("inf")
+
+    def test_known_error_values(self):
+        reference = np.zeros((2, 2))
+        candidate = np.array([[1.0, 0.0], [0.0, -1.0]])
+        assert mse(reference, candidate) == pytest.approx(0.5)
+        assert mae(reference, candidate) == pytest.approx(0.5)
+        assert max_abs_error(reference, candidate) == 1.0
+
+    def test_psnr_uses_explicit_peak(self):
+        reference = np.full((4, 4), 100.0)
+        candidate = reference + 1.0
+        assert psnr(reference, candidate, peak=4095) > psnr(reference, candidate, peak=100)
+
+    def test_psnr_invalid_peak(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.ones((2, 2)), peak=0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_fidelity_report_bundles_everything(self):
+        reference = np.arange(16).reshape(4, 4).astype(float)
+        report = fidelity_report(reference, reference + 1.0, peak=4095)
+        assert not report.identical
+        assert report.max_abs_error == 1.0
+        assert report.psnr_db > 60.0
+
+
+class TestPgmIo:
+    def test_round_trip_12bit(self, tmp_path):
+        image = np.arange(64, dtype=np.int64).reshape(8, 8) * 60
+        path = tmp_path / "test.pgm"
+        write_pgm(path, image, max_value=4095)
+        back = read_pgm(path)
+        assert np.array_equal(back, image)
+
+    def test_round_trip_8bit(self, tmp_path):
+        image = np.arange(64, dtype=np.int64).reshape(8, 8) % 256
+        path = tmp_path / "test8.pgm"
+        write_pgm(path, image, max_value=255)
+        assert np.array_equal(read_pgm(path), image)
+
+    def test_ascii_variant_read(self, tmp_path):
+        path = tmp_path / "ascii.pgm"
+        path.write_bytes(b"P2\n# comment\n2 2\n255\n0 10\n20 30\n")
+        assert np.array_equal(read_pgm(path), np.array([[0, 10], [20, 30]]))
+
+    def test_rejects_negative_values(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "bad.pgm", np.array([[-1]]), max_value=255)
+
+    def test_rejects_values_above_maxval(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "bad.pgm", np.array([[300]]), max_value=255)
+
+    def test_rejects_non_pgm_file(self, tmp_path):
+        path = tmp_path / "not.pgm"
+        path.write_bytes(b"GIF89a")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_rejects_truncated_payload(self, tmp_path):
+        path = tmp_path / "short.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x01")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+
+class TestDatasets:
+    def test_standard_dataset_contents(self):
+        dataset = standard_dataset(size=32)
+        assert set(dataset.names()) == {
+            "ct_phantom", "mr_slice", "gradient", "checkerboard", "random",
+        }
+        assert dataset.total_pixels() == 5 * 32 * 32
+
+    def test_dataset_validation_passes(self):
+        standard_dataset(size=32).validate()
+        archive_dataset(slices=3, size=32).validate()
+        paper_validation_dataset(size=32).validate()
+
+    def test_archive_dataset_slice_count(self):
+        dataset = archive_dataset(slices=4, size=32)
+        assert len(dataset) == 4
+
+    def test_get_unknown_image(self):
+        dataset = standard_dataset(size=32)
+        with pytest.raises(KeyError):
+            dataset.get("missing")
+
+    def test_map_produces_new_dataset(self):
+        dataset = standard_dataset(size=32)
+        doubled = dataset.map(lambda image: np.clip(image * 2, 0, 4095))
+        assert doubled.get("gradient").max() == 4095
+        assert dataset.get("gradient").max() == 4095  # original untouched
+
+    def test_validation_catches_out_of_range(self):
+        dataset = standard_dataset(size=32)
+        broken = dataset.map(lambda image: image + 100000)
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_iteration_yields_name_image_pairs(self):
+        for name, image in standard_dataset(size=32):
+            assert isinstance(name, str)
+            assert image.shape == (32, 32)

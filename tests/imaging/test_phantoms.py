@@ -1,0 +1,108 @@
+"""Tests for repro.imaging.phantoms and repro.imaging.mr (synthetic workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.mr import bias_field, mr_slice, rician_noise
+from repro.imaging.phantoms import (
+    DEFAULT_BIT_DEPTH,
+    checkerboard,
+    ct_slice_series,
+    gradient_image,
+    random_image,
+    shepp_logan,
+)
+
+
+class TestBasicGenerators:
+    def test_random_image_range_and_dtype(self):
+        image = random_image(32, bit_depth=12, seed=0)
+        assert image.shape == (32, 32)
+        assert image.dtype == np.int64
+        assert image.min() >= 0
+        assert image.max() <= 4095
+
+    def test_random_image_deterministic_per_seed(self):
+        assert np.array_equal(random_image(16, seed=3), random_image(16, seed=3))
+        assert not np.array_equal(random_image(16, seed=3), random_image(16, seed=4))
+
+    def test_gradient_spans_full_range(self):
+        image = gradient_image(64)
+        assert image.min() == 0
+        assert image.max() == 4095
+
+    def test_checkerboard_has_two_levels(self):
+        image = checkerboard(32, tile=4)
+        assert set(np.unique(image)) == {0, 4095}
+
+    def test_checkerboard_tile_validation(self):
+        with pytest.raises(ValueError):
+            checkerboard(32, tile=0)
+
+    def test_default_bit_depth_is_12(self):
+        assert DEFAULT_BIT_DEPTH == 12
+
+    def test_custom_bit_depth(self):
+        image = random_image(16, bit_depth=8, seed=0)
+        assert image.max() <= 255
+
+
+class TestSheppLogan:
+    def test_shape_and_range(self):
+        image = shepp_logan(64)
+        assert image.shape == (64, 64)
+        assert image.min() >= 0
+        assert image.max() == 4095
+
+    def test_has_smooth_interior_structure(self):
+        image = shepp_logan(128).astype(float)
+        # The skull ring is the brightest structure and the background is dark.
+        assert image[0, 0] == 0
+        assert image[64, 64] > 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            shepp_logan(1)
+
+    def test_ct_series_varies_between_slices(self):
+        series = ct_slice_series(count=3, size=32, seed=1)
+        assert len(series) == 3
+        assert not np.array_equal(series[0], series[2])
+
+    def test_ct_series_within_range(self):
+        for slice_image in ct_slice_series(count=2, size=32):
+            assert slice_image.min() >= 0
+            assert slice_image.max() <= 4095
+
+    def test_ct_series_count_validation(self):
+        with pytest.raises(ValueError):
+            ct_slice_series(count=0)
+
+
+class TestMrGenerators:
+    def test_bias_field_range(self):
+        field = bias_field(32, strength=0.3, seed=0)
+        assert field.shape == (32, 32)
+        assert field.min() >= 0.7 - 1e-9
+        assert field.max() <= 1.3 + 1e-9
+
+    def test_bias_field_strength_validation(self):
+        with pytest.raises(ValueError):
+            bias_field(32, strength=1.5)
+
+    def test_rician_noise_non_negative(self):
+        noisy = rician_noise(np.zeros((16, 16)), sigma=5.0, seed=0)
+        assert np.all(noisy >= 0)
+
+    def test_rician_noise_sigma_validation(self):
+        with pytest.raises(ValueError):
+            rician_noise(np.zeros((4, 4)), sigma=-1.0)
+
+    def test_mr_slice_is_valid_12bit_image(self):
+        image = mr_slice(32, seed=2)
+        assert image.dtype == np.int64
+        assert image.min() >= 0
+        assert image.max() <= 4095
+
+    def test_mr_slice_differs_from_clean_phantom(self):
+        assert not np.array_equal(mr_slice(32, seed=0), shepp_logan(32))

@@ -1,0 +1,101 @@
+"""Integration tests spanning several subsystems.
+
+These exercise the paths a downstream user actually runs: phantom ->
+fixed-point transform -> codec -> file, hardware model vs software model,
+and the analytic performance model vs the cycle-accurate simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchitectureConfig, DwtAccelerator, estimate_performance
+from repro.coding import LosslessWaveletCodec, STransformCodec
+from repro.filters import get_bank
+from repro.fxdwt import FixedPointDWT, verify_lossless
+from repro.imaging import archive_dataset, read_pgm, standard_dataset, write_pgm
+from repro.perf import PentiumBaseline, WorkloadModel, speedup_report
+
+
+class TestMedicalArchivePipeline:
+    def test_archive_compresses_and_restores_every_slice(self, tmp_path):
+        dataset = archive_dataset(slices=3, size=32)
+        codec = STransformCodec(scales=3)
+        total_original = 0
+        total_compressed = 0
+        for name, image in dataset:
+            reconstructed, stream = codec.roundtrip(image)
+            assert np.array_equal(reconstructed, image)
+            total_original += stream.original_bytes
+            total_compressed += stream.compressed_bytes
+            # Round-trip through the PGM container as the archive would.
+            path = tmp_path / f"{name}.pgm"
+            write_pgm(path, reconstructed, max_value=4095)
+            assert np.array_equal(read_pgm(path), image)
+        assert total_compressed < 2 * total_original  # sanity on accounting
+
+    def test_coefficient_exact_codec_round_trips_phantoms(self):
+        dataset = standard_dataset(size=32)
+        codec = LosslessWaveletCodec("F2", scales=2)
+        for _, image in dataset:
+            reconstructed, _ = codec.roundtrip(image)
+            assert np.array_equal(reconstructed, image)
+
+
+class TestHardwareSoftwareEquivalence:
+    @pytest.mark.parametrize("bank_name", ["F2", "F5"])
+    def test_accelerator_equals_software_for_multiple_banks(self, bank_name, random_image_32):
+        config = ArchitectureConfig(image_size=32, scales=2, bank_name=bank_name)
+        accelerator = DwtAccelerator(config)
+        pyramid, _ = accelerator.forward(random_image_32)
+        software = FixedPointDWT(get_bank(bank_name), 2).forward(random_image_32)
+        assert np.array_equal(pyramid.approximation, software.approximation)
+        for ours, reference in zip(pyramid.details, software.details):
+            for key in ("hg", "gh", "gg"):
+                assert np.array_equal(getattr(ours, key), getattr(reference, key))
+
+    def test_hardware_roundtrip_matches_lossless_report(self, random_image_32):
+        config = ArchitectureConfig(image_size=32, scales=2)
+        accelerator = DwtAccelerator(config)
+        reconstructed, _, _, _ = accelerator.roundtrip(random_image_32)
+        report = verify_lossless(random_image_32, get_bank("F2"), 2)
+        assert report.lossless
+        assert np.array_equal(reconstructed, random_image_32)
+
+
+class TestPerformanceConsistency:
+    def test_simulator_and_analytic_model_agree_on_cycles(self, random_image_32):
+        config = ArchitectureConfig(image_size=32, scales=2)
+        accelerator = DwtAccelerator(config)
+        _, report = accelerator.forward(random_image_32)
+        estimate = estimate_performance(config)
+        assert report.macrocycles == estimate.macrocycles
+        assert report.total_cycles == estimate.total_cycles
+
+    def test_speedup_report_consistent_with_its_parts(self):
+        report = speedup_report()
+        baseline = PentiumBaseline()
+        workload = WorkloadModel()
+        assert report.baseline_seconds == pytest.approx(
+            baseline.seconds_for_workload(workload)
+        )
+        assert report.speedup == pytest.approx(
+            report.baseline_seconds / report.accelerator_seconds
+        )
+
+
+class TestPublicApi:
+    def test_top_level_exports_work_together(self, random_image_32):
+        import repro
+
+        bank = repro.get_bank("F2")
+        engine = repro.FixedPointDWT(bank, 2)
+        reconstructed, _ = engine.roundtrip(random_image_32)
+        assert np.array_equal(reconstructed, random_image_32)
+        assert repro.available_banks() == ["F1", "F2", "F3", "F4", "F5", "F6"]
+        assert repro.__version__
+
+    def test_paper_configuration_accessible_from_top_level(self):
+        import repro
+
+        estimate = repro.estimate_performance(repro.paper_configuration())
+        assert estimate.images_per_second == pytest.approx(3.5, rel=0.05)

@@ -1,0 +1,37 @@
+"""Tests for repro.perf.opcount_model (MAC workload model)."""
+
+import pytest
+
+from repro.filters.catalog import get_bank
+from repro.perf.opcount_model import PAPER_MAC_COUNT, WorkloadModel
+
+
+class TestWorkloadModel:
+    def test_paper_example_within_two_percent(self):
+        workload = WorkloadModel()  # N=512, both lengths 13, S=6
+        assert workload.total_macs() == pytest.approx(PAPER_MAC_COUNT, rel=0.02)
+
+    def test_relative_to_paper(self):
+        workload = WorkloadModel()
+        assert workload.relative_to_paper() == pytest.approx(
+            workload.total_macs() / PAPER_MAC_COUNT
+        )
+
+    def test_roundtrip_doubles_macs(self):
+        workload = WorkloadModel(image_size=128, scales=3)
+        assert workload.roundtrip_macs() == 2 * workload.total_macs()
+
+    def test_per_scale_counts_sum_to_total(self):
+        workload = WorkloadModel(image_size=256, scales=4)
+        assert sum(workload.macs_per_scale().values()) == workload.total_macs()
+
+    def test_for_bank_uses_true_lengths(self):
+        workload = WorkloadModel.for_bank(get_bank("F2"))
+        assert workload.length_h == 13
+        assert workload.length_g == 11
+        assert workload.total_macs() < WorkloadModel().total_macs()
+
+    def test_haar_bank_is_much_cheaper(self):
+        haar = WorkloadModel.for_bank(get_bank("F5"), image_size=512, scales=6)
+        f2 = WorkloadModel.for_bank(get_bank("F2"), image_size=512, scales=6)
+        assert haar.total_macs() < f2.total_macs() / 2

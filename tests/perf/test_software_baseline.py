@@ -1,0 +1,60 @@
+"""Tests for repro.perf.software_baseline (the calibrated Pentium model)."""
+
+import pytest
+
+from repro.perf.opcount_model import WorkloadModel
+from repro.perf.software_baseline import (
+    PAPER_PENTIUM_SECONDS,
+    PentiumBaseline,
+    measure_reference_dwt,
+)
+
+
+class TestPentiumBaseline:
+    def test_calibration_point_is_exactly_reproduced(self):
+        baseline = PentiumBaseline()
+        assert baseline.seconds_for_macs(8.99e6) == pytest.approx(PAPER_PENTIUM_SECONDS)
+
+    def test_mac_rate(self):
+        baseline = PentiumBaseline()
+        assert baseline.macs_per_second == pytest.approx(8.99e6 / 42.0)
+
+    def test_cycles_per_mac_is_plausible_for_a_pentium(self):
+        baseline = PentiumBaseline()
+        # A software MAC with memory traffic on a 1996 Pentium took hundreds
+        # of cycles the way the paper's reference code was written.
+        assert 100 < baseline.cycles_per_mac < 2000
+
+    def test_time_scales_linearly_with_macs(self):
+        baseline = PentiumBaseline()
+        assert baseline.seconds_for_macs(2e6) == pytest.approx(
+            2 * baseline.seconds_for_macs(1e6)
+        )
+
+    def test_workload_helper(self):
+        baseline = PentiumBaseline()
+        workload = WorkloadModel(image_size=256, scales=4)
+        assert baseline.seconds_for_workload(workload) == pytest.approx(
+            baseline.seconds_for_macs(workload.total_macs())
+        )
+
+    def test_images_per_second_default_workload(self):
+        baseline = PentiumBaseline()
+        assert baseline.images_per_second() == pytest.approx(1.0 / 42.4, rel=0.02)
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ValueError):
+            PentiumBaseline().seconds_for_macs(-1)
+
+
+class TestMeasuredRun:
+    def test_measurement_returns_positive_time(self):
+        run = measure_reference_dwt(image_size=64, scales=3, repeats=1)
+        assert run.seconds > 0
+        assert run.image_size == 64
+        assert run.macs > 0
+        assert run.macs_per_second > 0
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            measure_reference_dwt(repeats=0)

@@ -1,0 +1,73 @@
+"""Tests for repro.perf.throughput and repro.perf.speedup."""
+
+import pytest
+
+from repro.arch.config import paper_configuration
+from repro.perf.speedup import PAPER_SPEEDUP, speedup_report
+from repro.perf.throughput import (
+    PAPER_CLOCK_MHZ,
+    PAPER_IMAGES_PER_SECOND,
+    ThroughputModel,
+    clock_sweep,
+    image_size_sweep,
+)
+
+
+class TestThroughputModel:
+    def test_paper_operating_point(self):
+        model = ThroughputModel.paper()
+        assert model.images_per_second == pytest.approx(PAPER_IMAGES_PER_SECOND, rel=0.05)
+        assert model.config.clock_frequency_mhz == pytest.approx(PAPER_CLOCK_MHZ)
+
+    def test_utilisation_property(self):
+        assert 100.0 * ThroughputModel.paper().utilisation == pytest.approx(99.04, abs=0.02)
+
+    def test_at_clock_scales_throughput(self):
+        base = ThroughputModel.paper()
+        doubled = base.at_clock(66.0)
+        assert doubled.images_per_second == pytest.approx(2 * base.images_per_second, rel=0.01)
+
+    def test_at_clock_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ThroughputModel.paper().at_clock(0.0)
+
+    def test_for_image_size(self):
+        model = ThroughputModel.paper().for_image_size(256)
+        assert model.config.image_size == 256
+        assert model.images_per_second > ThroughputModel.paper().images_per_second
+
+    def test_clock_sweep_keys(self):
+        sweep = clock_sweep([20.0, 33.0, 40.0])
+        assert set(sweep) == {20.0, 33.0, 40.0}
+        assert sweep[40.0].images_per_second > sweep[20.0].images_per_second
+
+    def test_image_size_sweep_monotone(self):
+        sweep = image_size_sweep([128, 256, 512])
+        times = [sweep[size].transform_seconds for size in (128, 256, 512)]
+        assert times == sorted(times)
+
+
+class TestSpeedup:
+    def test_paper_speedup_within_five_percent(self):
+        report = speedup_report()
+        assert report.speedup == pytest.approx(PAPER_SPEEDUP, rel=0.05)
+
+    def test_speedup_is_ratio_of_times(self):
+        report = speedup_report()
+        assert report.speedup == pytest.approx(
+            report.baseline_seconds / report.accelerator_seconds
+        )
+
+    def test_true_filter_lengths_give_slightly_lower_speedup(self):
+        paper_style = speedup_report(use_paper_filter_length=True)
+        true_lengths = speedup_report(use_paper_filter_length=False)
+        assert true_lengths.speedup < paper_style.speedup
+
+    def test_custom_configuration(self):
+        report = speedup_report(paper_configuration(image_size=256))
+        assert report.image_size == 256
+        # The speedup is roughly size-independent (both sides scale with MACs).
+        assert report.speedup == pytest.approx(PAPER_SPEEDUP, rel=0.15)
+
+    def test_string_rendering(self):
+        assert "x" in str(speedup_report())

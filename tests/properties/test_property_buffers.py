@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the buffer/FIFO sizing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.input_buffer import (
+    bank2_rounds,
+    minimum_buffer_size,
+    rounded_buffer_size,
+    simulate_line_occupancy,
+)
+from repro.arch.output_fifo import (
+    VariableDepthFifo,
+    fifo_depth_bounds,
+    max_fifo_depth,
+    min_fifo_depth,
+)
+from repro.arch.scheduler import MacrocycleCounter, utilisation_formula
+
+#: Line lengths are powers of two (dyadic image sizes), filters have l in 1..8.
+line_lengths = st.sampled_from([16, 32, 64, 128, 256, 512])
+half_lengths = st.integers(1, 7)
+
+
+class TestInputBufferProperties:
+    @given(l=half_lengths)
+    def test_rounded_size_is_power_of_two_and_covers_minimum(self, l):
+        rounded = rounded_buffer_size(l)
+        assert rounded >= minimum_buffer_size(l)
+        assert rounded & (rounded - 1) == 0
+
+    @given(line=line_lengths, l=half_lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_minimum_buffer(self, line, l):
+        """The §4.1 sizing claim: 4l+1 words always suffice for one line."""
+        if line <= 2 * l:
+            return
+        report = simulate_line_occupancy(line, l)
+        assert report.max_live_words <= minimum_buffer_size(l)
+        assert report.dram_reads == line
+        assert report.outputs == line
+
+    @given(line=line_lengths, l=half_lengths)
+    def test_bank2_rounds_consistent_with_bank_size(self, line, l):
+        rounds = bank2_rounds(line, l)
+        bank = rounded_buffer_size(l) // 2
+        # The streaming bank plus its refills must cover at least the line.
+        assert (rounds + 1) * bank + bank >= line
+
+
+class TestFifoProperties:
+    @given(line=line_lengths, l=half_lengths)
+    def test_depth_bounds_are_feasible(self, line, l):
+        if line <= 2 * l + 2:
+            return
+        bounds = fifo_depth_bounds(line, l)
+        assert 0 <= bounds.min_depth <= bounds.max_depth
+
+    @given(line=line_lengths, l=half_lengths)
+    def test_min_depth_removes_every_hazard(self, line, l):
+        if line <= 2 * l + 2:
+            return
+        from repro.arch.output_fifo import dependence_distances
+
+        depth = min_fifo_depth(line, l)
+        assert all(distance + depth > 0 for distance in dependence_distances(line, l))
+
+    @given(line=line_lengths, l=half_lengths)
+    def test_larger_lines_need_deeper_fifos(self, line, l):
+        if line <= 2 * l + 2 or 2 * line > 512:
+            return
+        assert min_fifo_depth(2 * line, l) > min_fifo_depth(line, l)
+        assert max_fifo_depth(2 * line, l) > max_fifo_depth(line, l)
+
+    @given(depth=st.integers(0, 64), items=st.lists(st.integers(), max_size=200))
+    def test_fifo_preserves_order_and_delays_by_depth(self, depth, items):
+        fifo = VariableDepthFifo(depth=depth)
+        out = [fifo.push(item) for item in items]
+        out = [item for item in out if item is not None] + fifo.drain()
+        assert out == items
+
+
+class TestSchedulerProperties:
+    @given(
+        filter_length=st.integers(2, 16),
+        interval=st.integers(1, 256),
+        stall=st.integers(0, 8),
+        macrocycles=st.integers(0, 3000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counter_cycle_accounting_is_consistent(
+        self, filter_length, interval, stall, macrocycles
+    ):
+        counter = MacrocycleCounter(filter_length, stall, interval)
+        counter.step(macrocycles)
+        assert counter.total_cycles == counter.busy_cycles + counter.stall_cycles
+        assert counter.busy_cycles == macrocycles * filter_length
+        assert counter.refreshes == macrocycles // interval
+
+    @given(filter_length=st.integers(2, 16), interval=st.integers(1, 256), stall=st.integers(0, 8))
+    def test_utilisation_formula_bounds(self, filter_length, interval, stall):
+        utilisation = utilisation_formula(filter_length, interval, stall)
+        assert 0.0 < utilisation <= 1.0
+        if stall == 0:
+            assert utilisation == 1.0

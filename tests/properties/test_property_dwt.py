@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the transforms and the lossless claim."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dwt.transform1d import analyze_1d, fdwt_1d, idwt_1d, synthesize_1d
+from repro.dwt.transform2d import fdwt_2d, idwt_2d
+from repro.filters.catalog import get_bank
+from repro.fxdwt.transform import FixedPointDWT
+
+BANK_NAMES = st.sampled_from(["F1", "F2", "F3", "F4", "F5", "F6"])
+
+signals_1d = hnp.arrays(
+    dtype=np.float64,
+    shape=st.sampled_from([16, 32, 64]),
+    elements=st.floats(0.0, 4095.0, allow_nan=False, width=32),
+)
+
+images_12bit = hnp.arrays(
+    dtype=np.int64,
+    shape=st.sampled_from([(16, 16), (32, 32)]),
+    elements=st.integers(0, 4095),
+)
+
+
+class TestFloatTransformProperties:
+    @given(bank_name=BANK_NAMES, signal=signals_1d)
+    @settings(max_examples=60, deadline=None)
+    def test_one_stage_reconstruction_below_half_lsb(self, bank_name, signal):
+        bank = get_bank(bank_name)
+        lo, hi = analyze_1d(signal, bank)
+        back = synthesize_1d(lo, hi, bank)
+        assert np.max(np.abs(back - signal)) < 0.5
+
+    @given(bank_name=BANK_NAMES, signal=signals_1d, scales=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_multiscale_round_trip(self, bank_name, signal, scales):
+        bank = get_bank(bank_name)
+        average, details = fdwt_1d(signal, bank, scales)
+        back = idwt_1d(average, details, bank)
+        assert np.max(np.abs(back - signal)) < 0.5
+
+    @given(bank_name=BANK_NAMES, signal=signals_1d)
+    @settings(max_examples=40, deadline=None)
+    def test_coefficient_count_preserved(self, bank_name, signal):
+        bank = get_bank(bank_name)
+        average, details = fdwt_1d(signal, bank, 2)
+        assert average.size + sum(d.size for d in details) == signal.size
+
+    @given(
+        bank_name=BANK_NAMES,
+        signal=signals_1d,
+        scale_factor=st.floats(0.25, 4.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_of_analysis(self, bank_name, signal, scale_factor):
+        bank = get_bank(bank_name)
+        lo_a, _ = analyze_1d(signal, bank)
+        lo_b, _ = analyze_1d(signal * scale_factor, bank)
+        assert np.allclose(lo_b, lo_a * scale_factor, rtol=1e-9, atol=1e-6)
+
+    @given(image=images_12bit)
+    @settings(max_examples=20, deadline=None)
+    def test_2d_round_trip_property(self, image):
+        bank = get_bank("F2")
+        pyramid = fdwt_2d(image.astype(float), bank, 2)
+        back = idwt_2d(pyramid, bank)
+        assert np.max(np.abs(back - image)) < 0.5
+
+
+class TestLosslessProperty:
+    @given(bank_name=BANK_NAMES, image=images_12bit, scales=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_point_round_trip_is_bit_exact(self, bank_name, image, scales):
+        """The paper's central claim as a property over random 12-bit images."""
+        engine = FixedPointDWT(get_bank(bank_name), scales)
+        reconstructed, _ = engine.roundtrip(image)
+        assert np.array_equal(reconstructed, image)
+
+    @given(image=images_12bit)
+    @settings(max_examples=15, deadline=None)
+    def test_forward_is_deterministic(self, image):
+        engine = FixedPointDWT(get_bank("F2"), 2)
+        first = engine.forward(image)
+        second = engine.forward(image)
+        assert np.array_equal(first.approximation, second.approximation)

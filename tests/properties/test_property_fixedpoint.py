@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for the fixed-point number system."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import (
+    round_half_up_shift,
+    round_half_up_to_int,
+    truncate_shift,
+    wrap_twos_complement,
+)
+
+@st.composite
+def formats(draw):
+    """Valid QFormats: integer_bits is always within the word length."""
+    word_length = draw(st.integers(min_value=2, max_value=64))
+    integer_bits = draw(st.integers(min_value=1, max_value=word_length))
+    return QFormat(word_length=word_length, integer_bits=integer_bits)
+
+
+class TestRoundingProperties:
+    @given(value=st.integers(-(2 ** 62), 2 ** 62), shift=st.integers(0, 40))
+    def test_round_half_up_matches_floor_definition(self, value, shift):
+        expected = (value + (1 << (shift - 1)) >> shift) if shift else value
+        assert round_half_up_shift(value, shift) == expected
+
+    @given(value=st.integers(-(2 ** 62), 2 ** 62), shift=st.integers(0, 40))
+    def test_rounding_error_bounded_by_half_lsb(self, value, shift):
+        rounded = round_half_up_shift(value, shift)
+        assert abs(rounded * (1 << shift) - value) <= (1 << shift) // 2
+
+    @given(value=st.integers(-(2 ** 62), 2 ** 62), shift=st.integers(0, 40))
+    def test_truncation_never_exceeds_rounding(self, value, shift):
+        assert truncate_shift(value, shift) <= round_half_up_shift(value, shift)
+
+    @given(value=st.integers(-(2 ** 62), 2 ** 62), shift=st.integers(1, 40))
+    def test_rounding_is_monotone(self, value, shift):
+        assert round_half_up_shift(value, shift) <= round_half_up_shift(value + 1, shift)
+
+    @given(value=st.floats(-1e12, 1e12, allow_nan=False))
+    def test_round_half_up_to_int_within_half(self, value):
+        rounded = round_half_up_to_int(value)
+        assert abs(rounded - value) <= 0.5 + 1e-9
+
+
+class TestWrapProperties:
+    @given(value=st.integers(-(2 ** 70), 2 ** 70), bits=st.integers(1, 64))
+    def test_wrap_lands_in_range(self, value, bits):
+        wrapped = wrap_twos_complement(value, bits)
+        assert -(1 << (bits - 1)) <= wrapped < (1 << (bits - 1))
+
+    @given(value=st.integers(-(2 ** 70), 2 ** 70), bits=st.integers(1, 64))
+    def test_wrap_preserves_value_modulo_2_to_bits(self, value, bits):
+        wrapped = wrap_twos_complement(value, bits)
+        assert (wrapped - value) % (1 << bits) == 0
+
+    @given(value=st.integers(-(2 ** 30), 2 ** 30), bits=st.integers(32, 64))
+    def test_wrap_is_identity_inside_range(self, value, bits):
+        assert wrap_twos_complement(value, bits) == value
+
+    @given(value=st.integers(-(2 ** 70), 2 ** 70), bits=st.integers(1, 64))
+    def test_wrap_is_idempotent(self, value, bits):
+        once = wrap_twos_complement(value, bits)
+        assert wrap_twos_complement(once, bits) == once
+
+
+class TestQFormatProperties:
+    @given(fmt=formats(), value=st.floats(-1e6, 1e6, allow_nan=False))
+    @settings(max_examples=200)
+    def test_quantisation_error_bounded(self, fmt, value):
+        stored = fmt.to_stored(value)
+        if fmt.min_int <= stored <= fmt.max_int:
+            assert abs(fmt.to_real(stored) - value) <= fmt.resolution / 2 + 1e-12
+
+    @given(fmt=formats())
+    def test_range_is_consistent(self, fmt):
+        assert fmt.min_int < 0 < fmt.max_int or fmt.word_length == 1
+        assert fmt.min_value < fmt.max_value
+        assert fmt.fractional_bits + fmt.integer_bits == fmt.word_length
+
+    @given(fmt=formats(), stored=st.integers(-(2 ** 40), 2 ** 40))
+    def test_to_real_to_stored_round_trip(self, fmt, stored):
+        # Converting a representable value back and forth is exact.
+        assert fmt.to_stored(fmt.to_real(stored)) == stored

@@ -1,0 +1,71 @@
+"""Tests for repro.technology.area (block-level area estimators)."""
+
+import pytest
+
+from repro.technology.area import (
+    AreaBreakdown,
+    adder_area_mm2,
+    barrel_shifter_area_mm2,
+    multiplier_area_mm2,
+    ram_area_mm2,
+    register_area_mm2,
+)
+from repro.technology.cells import es2_07um
+
+
+class TestBlockEstimators:
+    def test_adder_area_linear_in_bits(self):
+        assert adder_area_mm2(64) == pytest.approx(2 * adder_area_mm2(32))
+
+    def test_register_area_linear_in_bits(self):
+        assert register_area_mm2(128) == pytest.approx(2 * register_area_mm2(64))
+
+    def test_register_area_zero_bits_allowed(self):
+        assert register_area_mm2(0) == 0.0
+
+    def test_ram_area_matches_bit_count(self):
+        tech = es2_07um()
+        assert ram_area_mm2(288, 32) == pytest.approx(288 * 32 * tech.ram_bit_area_mm2)
+
+    def test_ram_area_zero_words(self):
+        assert ram_area_mm2(0, 32) == 0.0
+
+    def test_barrel_shifter_grows_with_log_levels(self):
+        assert barrel_shifter_area_mm2(64) > barrel_shifter_area_mm2(32)
+
+    def test_multiplier_kinds(self):
+        assert multiplier_area_mm2(32, "array") == pytest.approx(2.92, rel=0.01)
+        assert multiplier_area_mm2(32, "wallace") == pytest.approx(8.03, rel=0.01)
+
+    def test_unknown_multiplier_kind_rejected(self):
+        with pytest.raises(ValueError):
+            multiplier_area_mm2(32, "booth")
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            adder_area_mm2(0)
+        with pytest.raises(ValueError):
+            ram_area_mm2(-1, 32)
+        with pytest.raises(ValueError):
+            barrel_shifter_area_mm2(0)
+
+
+class TestAreaBreakdown:
+    def test_accumulates_blocks(self):
+        breakdown = AreaBreakdown("test")
+        breakdown.add("a", 1.5)
+        breakdown.add("b", 2.5)
+        breakdown.add("a", 0.5)
+        assert breakdown.blocks["a"] == pytest.approx(2.0)
+        assert breakdown.total_mm2 == pytest.approx(4.5)
+
+    def test_negative_block_rejected(self):
+        breakdown = AreaBreakdown("test")
+        with pytest.raises(ValueError):
+            breakdown.add("bad", -1.0)
+
+    def test_rows_end_with_total(self):
+        breakdown = AreaBreakdown("test")
+        breakdown.add("x", 1.0)
+        rows = breakdown.as_rows()
+        assert rows[-1] == ("TOTAL", pytest.approx(1.0))

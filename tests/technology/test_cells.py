@@ -1,0 +1,50 @@
+"""Tests for repro.technology.cells (technology parameter sets)."""
+
+import pytest
+
+from repro.technology.cells import TechnologyParameters, es2_07um, scaled_technology
+
+
+class TestParameters:
+    def test_default_is_es2_07um(self):
+        tech = es2_07um()
+        assert tech.feature_size_um == pytest.approx(0.7)
+        assert "ES2" in tech.name
+
+    def test_all_constants_positive(self):
+        tech = es2_07um()
+        assert tech.full_adder_delay_ns > 0
+        assert tech.ram_bit_area_mm2 > 0
+        assert tech.wallace_cell_area_mm2 > tech.array_cell_area_mm2
+
+    def test_invalid_constant_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(full_adder_delay_ns=0.0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(ram_bit_area_mm2=-1.0)
+
+
+class TestScaling:
+    def test_areas_scale_quadratically(self):
+        base = es2_07um()
+        scaled = scaled_technology(base, 0.35)
+        assert scaled.array_cell_area_mm2 == pytest.approx(base.array_cell_area_mm2 / 4)
+        assert scaled.ram_bit_area_mm2 == pytest.approx(base.ram_bit_area_mm2 / 4)
+
+    def test_delays_scale_linearly(self):
+        base = es2_07um()
+        scaled = scaled_technology(base, 0.35)
+        assert scaled.full_adder_delay_ns == pytest.approx(base.full_adder_delay_ns / 2)
+
+    def test_scaling_to_same_size_is_identity(self):
+        base = es2_07um()
+        same = scaled_technology(base, 0.7)
+        assert same.array_cell_area_mm2 == pytest.approx(base.array_cell_area_mm2)
+
+    def test_name_records_target_size(self):
+        scaled = scaled_technology(es2_07um(), 0.5)
+        assert "0.5" in scaled.name
+
+    def test_invalid_feature_size_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_technology(es2_07um(), 0.0)

@@ -1,0 +1,54 @@
+"""Tests for repro.technology.timing (Table V comparison and clock checks)."""
+
+import pytest
+
+from repro.technology.timing import (
+    PAPER_TABLE_V,
+    max_frequency_mhz,
+    meets_clock,
+    multiplier_comparison,
+)
+
+
+class TestPaperTableV:
+    def test_two_rows(self):
+        assert len(PAPER_TABLE_V) == 2
+
+    def test_printed_values(self):
+        compiled, pipelined = PAPER_TABLE_V
+        assert compiled.access_time_ns == pytest.approx(50.88)
+        assert compiled.area_mm2 == pytest.approx(2.92)
+        assert pipelined.access_time_ns == pytest.approx(23.45)
+        assert pipelined.area_mm2 == pytest.approx(8.03)
+
+    def test_max_frequency_property(self):
+        compiled = PAPER_TABLE_V[0]
+        assert compiled.max_frequency_mhz == pytest.approx(1000.0 / 50.88)
+
+
+class TestModelComparison:
+    def test_model_reproduces_paper_rows(self):
+        rows = multiplier_comparison()
+        for model_row, paper_row in zip(rows, PAPER_TABLE_V):
+            assert model_row.access_time_ns == pytest.approx(paper_row.access_time_ns, rel=0.02)
+            assert model_row.area_mm2 == pytest.approx(paper_row.area_mm2, rel=0.02)
+
+    def test_only_pipelined_meets_design_clock(self):
+        compiled, pipelined = multiplier_comparison()
+        assert not meets_clock(compiled.access_time_ns, 25.0)
+        assert meets_clock(pipelined.access_time_ns, 25.0)
+
+
+class TestClockHelpers:
+    def test_meets_clock_boundary(self):
+        assert meets_clock(25.0, 25.0)
+        assert not meets_clock(25.1, 25.0)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            meets_clock(0.0, 25.0)
+        with pytest.raises(ValueError):
+            max_frequency_mhz(0.0)
+
+    def test_max_frequency(self):
+        assert max_frequency_mhz(25.0) == pytest.approx(40.0)
