@@ -9,6 +9,7 @@ inspected next to the paper.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -31,6 +32,25 @@ def save_report(report_dir):
     def _save(result: ExperimentResult) -> Path:
         path = report_dir / f"{result.experiment_id}.txt"
         path.write_text(result.render() + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json_record(report_dir):
+    """Write a machine-readable benchmark record to ``reports/<name>.json``.
+
+    Used by the perf-tracking benches (coding engine, codec speedup) so the
+    throughput trajectory can be diffed across PRs, next to the rendered
+    paper tables.
+    """
+
+    def _save(name: str, record: dict) -> Path:
+        path = report_dir / f"{name}.json"
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         return path
 
     return _save

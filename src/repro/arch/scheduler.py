@@ -166,18 +166,37 @@ class MacrocycleCounter:
         if self.refresh_interval_macrocycles < 1:
             raise ValueError("refresh_interval_macrocycles must be >= 1")
 
+    #: Step counts up to this bound use the exact cycle-by-cycle loop; larger
+    #: counts use the (equally exact) closed form.  Kept small enough that
+    #: tests can cross-check both paths cheaply.
+    LOOP_THRESHOLD = 4096
+
     def step(self, count: int = 1) -> int:
-        """Execute ``count`` macro-cycles; return how many were extended."""
+        """Execute ``count`` macro-cycles; return how many were extended.
+
+        Small counts mirror the hardware stepping one macro-cycle at a time;
+        large counts take the closed form (``_since_refresh`` starts below
+        the interval, so the number of boundary crossings in ``count`` steps
+        is ``(_since_refresh + count) // interval``), which keeps full-image
+        runs — hundreds of thousands of macro-cycles — O(1).
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        extended = 0
-        for _ in range(count):
-            self.macrocycles += 1
-            self._since_refresh += 1
-            if self._since_refresh >= self.refresh_interval_macrocycles:
-                self._since_refresh = 0
-                self.refreshes += 1
-                extended += 1
+        if count <= self.LOOP_THRESHOLD:
+            extended = 0
+            for _ in range(count):
+                self.macrocycles += 1
+                self._since_refresh += 1
+                if self._since_refresh >= self.refresh_interval_macrocycles:
+                    self._since_refresh = 0
+                    self.refreshes += 1
+                    extended += 1
+            return extended
+        interval = self.refresh_interval_macrocycles
+        extended = (self._since_refresh + count) // interval
+        self._since_refresh = (self._since_refresh + count) % interval
+        self.macrocycles += count
+        self.refreshes += extended
         return extended
 
     # -- derived cycle counts -----------------------------------------------------------
@@ -248,30 +267,16 @@ def simulate_utilisation(
             refresh_interval_macrocycles or config.refresh_interval_macrocycles
         ),
     )
-    # Counting one step at a time is exact but O(macrocycles); for the large
-    # analytic cases (a full 512x512 run is ~700k macro-cycles) the closed
-    # form below is used instead, so keep this loop for modest counts only.
-    if macrocycles <= 1_000_000:
-        counter.step(macrocycles)
-        return UtilisationReport(
-            macrocycles=counter.macrocycles,
-            refreshes=counter.refreshes,
-            busy_cycles=counter.busy_cycles,
-            stall_cycles=counter.stall_cycles,
-            total_cycles=counter.total_cycles,
-            utilisation=counter.utilisation(),
-        )
-    refreshes = macrocycles // counter.refresh_interval_macrocycles
-    busy = macrocycles * counter.filter_length
-    stall = refreshes * counter.refresh_stall_cycles
-    total = busy + stall
+    # The counter itself switches to an exact closed form above its loop
+    # threshold, so even a full 512x512 run (~700k macro-cycles) is O(1) here.
+    counter.step(macrocycles)
     return UtilisationReport(
-        macrocycles=macrocycles,
-        refreshes=refreshes,
-        busy_cycles=busy,
-        stall_cycles=stall,
-        total_cycles=total,
-        utilisation=busy / total if total else 0.0,
+        macrocycles=counter.macrocycles,
+        refreshes=counter.refreshes,
+        busy_cycles=counter.busy_cycles,
+        stall_cycles=counter.stall_cycles,
+        total_cycles=counter.total_cycles,
+        utilisation=counter.utilisation(),
     )
 
 

@@ -7,14 +7,25 @@ Public API
     round trip; models the hardware-to-coder hand-off, does not shrink).
 ``STransformCodec``
     Compressive lossless codec based on the reversible integer S-transform.
+``compress_frames`` / ``decompress_frames``
+    Batched end-to-end pipeline over many frames with per-stage timing.
 ``CompressedImage`` / ``CompressedSImage`` / ``SubbandChunk``
     Compressed-stream containers with size/ratio accounting.
 ``rice_encode`` / ``huffman_encode`` / ``rle_encode`` and friends
-    The underlying entropy-coding primitives.
+    The underlying entropy-coding primitives.  Every block coder ships a
+    vectorised implementation (built on :mod:`repro.coding.fastbits`) and a
+    bit-by-bit ``*_scalar`` reference producing byte-identical streams.
 """
 
 from .bitstream import BitReader, BitWriter
 from .codec import CompressedImage, LosslessWaveletCodec, SubbandChunk
+from .pipeline import (
+    CompressedBatch,
+    PipelineStats,
+    compress_frames,
+    decompress_frames,
+    max_dyadic_scales,
+)
 from .s_transform import (
     CompressedSImage,
     STransformCodec,
@@ -29,18 +40,33 @@ from .huffman import (
     build_code_lengths,
     canonical_codes,
     huffman_decode,
+    huffman_decode_scalar,
     huffman_encode,
+    huffman_encode_scalar,
 )
 from .mapper import flatten_pyramid, pyramid_scan, zigzag_decode, zigzag_encode
 from .rice import (
     optimal_rice_parameter,
     rice_code_length,
+    rice_cost_matrix,
     rice_decode,
+    rice_decode_array,
+    rice_decode_scalar,
     rice_decode_value,
     rice_encode,
+    rice_encode_scalar,
     rice_encode_value,
 )
-from .rle import LITERAL, ZERO_RUN, RleEvent, rle_decode, rle_encode, zero_fraction
+from .rle import (
+    LITERAL,
+    ZERO_RUN,
+    RleEvent,
+    rle_decode,
+    rle_decode_arrays,
+    rle_encode,
+    rle_encode_arrays,
+    zero_fraction,
+)
 
 __all__ = [
     "BitReader",
@@ -48,6 +74,11 @@ __all__ = [
     "CompressedImage",
     "LosslessWaveletCodec",
     "SubbandChunk",
+    "CompressedBatch",
+    "PipelineStats",
+    "compress_frames",
+    "decompress_frames",
+    "max_dyadic_scales",
     "CompressedSImage",
     "STransformCodec",
     "STransformPyramid",
@@ -59,21 +90,29 @@ __all__ = [
     "build_code_lengths",
     "canonical_codes",
     "huffman_decode",
+    "huffman_decode_scalar",
     "huffman_encode",
+    "huffman_encode_scalar",
     "flatten_pyramid",
     "pyramid_scan",
     "zigzag_decode",
     "zigzag_encode",
     "optimal_rice_parameter",
     "rice_code_length",
+    "rice_cost_matrix",
     "rice_decode",
+    "rice_decode_array",
+    "rice_decode_scalar",
     "rice_decode_value",
     "rice_encode",
+    "rice_encode_scalar",
     "rice_encode_value",
     "LITERAL",
     "ZERO_RUN",
     "RleEvent",
     "rle_decode",
+    "rle_decode_arrays",
     "rle_encode",
+    "rle_encode_arrays",
     "zero_fraction",
 ]

@@ -38,12 +38,28 @@ class BitWriter:
         for bit in bits:
             self.write_bit(bit)
 
+    def write_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit``, filling whole bytes in bulk."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while self._filled and count:
+            self.write_bit(bit)
+            count -= 1
+        whole_bytes, rest = divmod(count, 8)
+        if whole_bytes:
+            self._bytes.extend((0xFF if bit else 0x00,) * whole_bytes)
+            self.bits_written += 8 * whole_bytes
+        for _ in range(rest):
+            self.write_bit(bit)
+
     def write_unary(self, value: int) -> None:
         """Write ``value`` as a unary code: ``value`` ones followed by a zero."""
         if value < 0:
             raise ValueError("unary codes encode non-negative integers")
-        for _ in range(value):
-            self.write_bit(1)
+        if value:
+            self.write_run(1, value)
         self.write_bit(0)
 
     def write_uint(self, value: int, width: int) -> None:

@@ -39,8 +39,17 @@ from ..filters.qmf import BiorthogonalBank
 from ..fixedpoint.wordlength import WordLengthPlan, plan_word_lengths
 from ..fxdwt.transform import FixedPointDWT, FixedPointPyramid
 from .mapper import zigzag_decode, zigzag_encode
-from .rice import rice_decode, rice_encode
-from .rle import LITERAL, ZERO_RUN, RleEvent, rle_decode, rle_encode
+from .rice import rice_decode_array, rice_decode_scalar, rice_encode, rice_encode_scalar
+from .rle import (
+    LITERAL,
+    ZERO_RUN,
+    RleEvent,
+    events_to_arrays,
+    rle_decode,
+    rle_decode_arrays,
+    rle_encode,
+    rle_encode_arrays,
+)
 
 __all__ = ["SubbandChunk", "CompressedImage", "LosslessWaveletCodec"]
 
@@ -125,6 +134,10 @@ class LosslessWaveletCodec:
         it has essentially no zeros).
     plan:
         Optional word-length plan override for the underlying transform.
+    engine:
+        Entropy-coding implementation: ``"fast"`` (vectorised, the default)
+        or ``"scalar"`` (the bit-by-bit reference).  Both produce
+        byte-identical streams; either engine decodes the other's output.
     """
 
     def __init__(
@@ -134,21 +147,25 @@ class LosslessWaveletCodec:
         bit_depth: int = 12,
         use_rle: bool = True,
         plan: Optional[WordLengthPlan] = None,
+        engine: str = "fast",
     ) -> None:
         if isinstance(bank, str):
             bank = get_bank(bank)
         if bit_depth < 1 or bit_depth > 16:
             raise ValueError("bit_depth must be in [1, 16]")
+        if engine not in ("fast", "scalar"):
+            raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'scalar')")
         self.bank = bank
         self.scales = scales
         self.bit_depth = bit_depth
         self.use_rle = use_rle
+        self.engine = engine
         self.plan = plan if plan is not None else plan_word_lengths(bank, scales)
         self.transform = FixedPointDWT(bank, scales, plan=self.plan)
 
-    # -- encoding -----------------------------------------------------------------------
-    def encode(self, image: np.ndarray) -> CompressedImage:
-        """Compress a 2-D integer image losslessly."""
+    # -- stage API (used by the batched pipeline for per-stage timing) ------------------
+    def forward_transform(self, image: np.ndarray) -> FixedPointPyramid:
+        """Validate the image and run the bit-exact fixed-point forward DWT."""
         image = np.asarray(image)
         if image.ndim != 2:
             raise ValueError("the codec compresses 2-D images")
@@ -156,11 +173,16 @@ class LosslessWaveletCodec:
             raise ValueError(
                 f"image values outside the declared {self.bit_depth}-bit range"
             )
-        pyramid = self.transform.forward(image.astype(np.int64))
+        return self.transform.forward(image.astype(np.int64))
+
+    def encode_pyramid(
+        self, pyramid: FixedPointPyramid, image_shape: Tuple[int, int]
+    ) -> CompressedImage:
+        """Entropy code every subband of a transformed pyramid."""
         compressed = CompressedImage(
             bank_name=self.bank.name,
             scales=self.scales,
-            image_shape=(int(image.shape[0]), int(image.shape[1])),
+            image_shape=(int(image_shape[0]), int(image_shape[1])),
             bit_depth=self.bit_depth,
         )
         compressed.chunks.append(
@@ -173,45 +195,8 @@ class LosslessWaveletCodec:
                 )
         return compressed
 
-    def _encode_band(
-        self, kind: str, scale: int, band: np.ndarray, allow_rle: bool
-    ) -> SubbandChunk:
-        flat = np.asarray(band, dtype=np.int64).ravel()
-        if allow_rle:
-            events = rle_encode(flat)
-            literals = [e.value for e in events if e.kind == LITERAL]
-            # Event stream: for each event, a flag symbol stream would be
-            # needed; instead we encode run lengths and literal values in two
-            # Rice blocks plus a compact event-kind bitmap folded into the
-            # run stream: kind is recoverable because a literal of value 0
-            # never occurs (zeros always join runs).
-            run_symbols = [
-                e.value if e.kind == ZERO_RUN else 0 for e in events
-            ]
-            literal_symbols = zigzag_encode(np.asarray(literals, dtype=np.int64))
-            payload = rice_encode([int(s) for s in literal_symbols])
-            run_payload = rice_encode(run_symbols)
-            return SubbandChunk(
-                kind=kind,
-                scale=scale,
-                shape=(int(band.shape[0]), int(band.shape[1])),
-                use_rle=True,
-                payload=payload,
-                run_payload=run_payload,
-            )
-        symbols = zigzag_encode(flat)
-        payload = rice_encode([int(s) for s in symbols])
-        return SubbandChunk(
-            kind=kind,
-            scale=scale,
-            shape=(int(band.shape[0]), int(band.shape[1])),
-            use_rle=False,
-            payload=payload,
-        )
-
-    # -- decoding -----------------------------------------------------------------------
-    def decode(self, compressed: CompressedImage) -> np.ndarray:
-        """Reconstruct the original image bit for bit."""
+    def decode_pyramid(self, compressed: CompressedImage) -> FixedPointPyramid:
+        """Entropy decode a stream back into a fixed-point pyramid."""
         if compressed.bank_name != self.bank.name or compressed.scales != self.scales:
             raise ValueError(
                 "compressed stream was produced with a different codec configuration "
@@ -229,26 +214,85 @@ class LosslessWaveletCodec:
                     gg=self._decode_band(compressed.chunk("GG", scale)),
                 )
             )
-        pyramid = FixedPointPyramid(
+        return FixedPointPyramid(
             plan=self.plan, approximation=approximation, details=details
         )
+
+    def inverse_transform(self, pyramid: FixedPointPyramid) -> np.ndarray:
+        """Run the bit-exact fixed-point inverse DWT."""
         return self.transform.inverse(pyramid)
+
+    # -- encoding -----------------------------------------------------------------------
+    def encode(self, image: np.ndarray) -> CompressedImage:
+        """Compress a 2-D integer image losslessly."""
+        image = np.asarray(image)
+        pyramid = self.forward_transform(image)
+        return self.encode_pyramid(pyramid, image.shape)
+
+    def _rice_encode(self, symbols: np.ndarray) -> bytes:
+        return rice_encode(symbols) if self.engine == "fast" else rice_encode_scalar(symbols)
+
+    def _rice_decode(self, payload: bytes) -> np.ndarray:
+        if self.engine == "fast":
+            return rice_decode_array(payload)
+        return np.asarray(rice_decode_scalar(payload), dtype=np.int64)
+
+    def _encode_band(
+        self, kind: str, scale: int, band: np.ndarray, allow_rle: bool
+    ) -> SubbandChunk:
+        flat = np.asarray(band, dtype=np.int64).ravel()
+        if allow_rle:
+            # Run lengths and literal values go into two Rice blocks; the
+            # event kinds need no extra bitmap because a literal of value 0
+            # never occurs (zeros always join runs), so a 0 in the run stream
+            # unambiguously marks the next literal.
+            if self.engine == "fast":
+                run_symbols, literals = rle_encode_arrays(flat)
+            else:
+                run_symbols, literals = events_to_arrays(rle_encode(flat))
+            payload = self._rice_encode(zigzag_encode(literals))
+            run_payload = self._rice_encode(run_symbols)
+            return SubbandChunk(
+                kind=kind,
+                scale=scale,
+                shape=(int(band.shape[0]), int(band.shape[1])),
+                use_rle=True,
+                payload=payload,
+                run_payload=run_payload,
+            )
+        symbols = zigzag_encode(flat)
+        payload = self._rice_encode(symbols)
+        return SubbandChunk(
+            kind=kind,
+            scale=scale,
+            shape=(int(band.shape[0]), int(band.shape[1])),
+            use_rle=False,
+            payload=payload,
+        )
+
+    # -- decoding -----------------------------------------------------------------------
+    def decode(self, compressed: CompressedImage) -> np.ndarray:
+        """Reconstruct the original image bit for bit."""
+        return self.inverse_transform(self.decode_pyramid(compressed))
 
     def _decode_band(self, chunk: SubbandChunk) -> np.ndarray:
         if chunk.use_rle:
-            run_symbols = rice_decode(chunk.run_payload)
-            literal_symbols = zigzag_decode(np.asarray(rice_decode(chunk.payload)))
-            events: List[RleEvent] = []
-            literal_index = 0
-            for run in run_symbols:
-                if run > 0:
-                    events.append(RleEvent(ZERO_RUN, int(run)))
-                else:
-                    events.append(RleEvent(LITERAL, int(literal_symbols[literal_index])))
-                    literal_index += 1
-            flat = rle_decode(events)
+            run_symbols = self._rice_decode(chunk.run_payload)
+            literals = zigzag_decode(self._rice_decode(chunk.payload))
+            if self.engine == "fast":
+                flat = rle_decode_arrays(run_symbols, literals)
+            else:
+                events: List[RleEvent] = []
+                literal_index = 0
+                for run in run_symbols.tolist():
+                    if run > 0:
+                        events.append(RleEvent(ZERO_RUN, run))
+                    else:
+                        events.append(RleEvent(LITERAL, int(literals[literal_index])))
+                        literal_index += 1
+                flat = rle_decode(events)
         else:
-            flat = zigzag_decode(np.asarray(rice_decode(chunk.payload)))
+            flat = zigzag_decode(self._rice_decode(chunk.payload))
         return np.asarray(flat, dtype=np.int64).reshape(chunk.shape)
 
     # -- convenience -----------------------------------------------------------------------

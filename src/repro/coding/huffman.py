@@ -5,21 +5,34 @@ wavelet coefficients, JPEG-style), where the alphabet is small (< 64
 symbols) and a static canonical code transmitted as a table of code lengths
 is both compact and fast to rebuild.
 
-The implementation is deliberately self-contained (no heapq tricks beyond
+The code construction is deliberately self-contained (no heapq tricks beyond
 the standard algorithm) and exposes the intermediate artefacts — frequency
 table, code lengths, canonical codes — so tests can check the classical
 Huffman invariants (Kraft equality, optimality against a brute-force check
 on small alphabets).
+
+Like the Rice coder, the block coder has two wire-identical implementations:
+
+* :func:`huffman_encode` / :func:`huffman_decode` — vectorised: encoding
+  gathers per-symbol (code, length) from lookup tables and expands them in
+  one :func:`~repro.coding.fastbits.pack_uint_fields` call; decoding peeks
+  the maximum code length at every bit position, classifies each peek against
+  the canonical left-justified code boundaries, and follows the resulting
+  code-length successor map with :func:`~repro.coding.fastbits.orbit`.
+* :func:`huffman_encode_scalar` / :func:`huffman_decode_scalar` — the
+  original symbol-by-symbol reference implementations.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from .bitstream import BitReader, BitWriter
+from .fastbits import orbit, pack_bits, pack_uint_fields, read_uint, read_uints, unpack_bits
 
 __all__ = [
     "HuffmanCode",
@@ -27,7 +40,17 @@ __all__ = [
     "canonical_codes",
     "huffman_encode",
     "huffman_decode",
+    "huffman_encode_scalar",
+    "huffman_decode_scalar",
 ]
+
+
+def _as_symbol_array(symbols) -> np.ndarray:
+    if isinstance(symbols, np.ndarray):
+        return symbols.astype(np.int64, copy=False).ravel()
+    if isinstance(symbols, (list, tuple)):
+        return np.asarray(symbols, dtype=np.int64)
+    return np.asarray(list(symbols), dtype=np.int64)
 
 
 def build_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
@@ -93,9 +116,11 @@ class HuffmanCode:
     @classmethod
     def from_symbols(cls, symbols: Iterable[int]) -> "HuffmanCode":
         """Build the optimal code for the empirical distribution of ``symbols``."""
-        frequencies = Counter(int(s) for s in symbols)
-        if any(s < 0 for s in frequencies):
+        arr = _as_symbol_array(symbols)
+        if arr.size and int(arr.min()) < 0:
             raise ValueError("Huffman symbols must be non-negative")
+        uniques, counts = np.unique(arr, return_counts=True)
+        frequencies = {int(s): int(c) for s, c in zip(uniques, counts)}
         return cls(lengths=build_code_lengths(frequencies))
 
     @property
@@ -119,6 +144,16 @@ class HuffmanCode:
             frequencies.get(symbol, 0) * length for symbol, length in self.lengths.items()
         ) / total
 
+    def lookup_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(code, length)`` arrays indexed by symbol (0 = no code)."""
+        alphabet = self.max_symbol + 1 if self.lengths else 0
+        code_table = np.zeros(alphabet, dtype=np.int64)
+        length_table = np.zeros(alphabet, dtype=np.int64)
+        for symbol, (code, length) in self.codes.items():
+            code_table[symbol] = code
+            length_table[symbol] = length
+        return code_table, length_table
+
     # -- serialisation of the code itself ------------------------------------------------
     def write_table(self, writer: BitWriter) -> None:
         """Write the code as a dense table of 5-bit lengths (0 = absent)."""
@@ -126,6 +161,14 @@ class HuffmanCode:
         writer.write_uint(alphabet, 16)
         for symbol in range(alphabet):
             writer.write_uint(self.lengths.get(symbol, 0), 5)
+
+    def table_bits(self) -> np.ndarray:
+        """The :meth:`write_table` stream as a bit array (vectorised path)."""
+        alphabet = self.max_symbol + 1 if self.lengths else 0
+        _, length_table = self.lookup_tables()
+        values = np.concatenate([[alphabet], length_table])
+        widths = np.concatenate([[16], np.full(alphabet, 5, dtype=np.int64)])
+        return pack_uint_fields(values, widths)
 
     @classmethod
     def read_table(cls, reader: BitReader) -> "HuffmanCode":
@@ -138,22 +181,108 @@ class HuffmanCode:
         return cls(lengths=lengths)
 
 
-def huffman_encode(symbols: Sequence[int], code: HuffmanCode = None) -> bytes:
+# ---------------------------------------------------------------------------
+# Vectorised block coder
+# ---------------------------------------------------------------------------
+
+def huffman_encode(symbols, code: HuffmanCode = None) -> bytes:
     """Encode ``symbols`` with a (possibly provided) canonical Huffman code.
 
     The code table and the symbol count are embedded so the stream is
-    self-contained.
+    self-contained.  Byte-identical to :func:`huffman_encode_scalar`.
     """
-    symbols = [int(s) for s in symbols]
-    if any(s < 0 for s in symbols):
+    arr = _as_symbol_array(symbols)
+    if arr.size and int(arr.min()) < 0:
         raise ValueError("Huffman symbols must be non-negative")
     if code is None:
-        code = HuffmanCode.from_symbols(symbols)
+        code = HuffmanCode.from_symbols(arr)
+    code_table, length_table = code.lookup_tables()
+    if arr.size:
+        if int(arr.max()) >= code_table.size:
+            raise ValueError(
+                f"symbol {int(arr[np.argmax(arr)])} is not part of the Huffman code"
+            )
+        lengths = length_table[arr]
+        if not lengths.all():
+            bad = int(arr[np.flatnonzero(lengths == 0)[0]])
+            raise ValueError(f"symbol {bad} is not part of the Huffman code")
+        payload = pack_uint_fields(code_table[arr], lengths)
+    else:
+        payload = np.zeros(0, dtype=np.uint8)
+    header = np.concatenate([code.table_bits(), pack_uint_fields([arr.size], [32])])
+    return pack_bits(np.concatenate([header, payload]))
+
+
+def huffman_decode(data: bytes) -> List[int]:
+    """Inverse of :func:`huffman_encode` (table-driven, vectorised).
+
+    The decoder peeks ``max_length`` bits at *every* bit position, classifies
+    each peek against the canonical code boundaries (left-justified canonical
+    codes are strictly increasing, so one ``searchsorted`` finds the matching
+    code), and resolves the sequential symbol walk with :func:`orbit`.
+    """
+    bits = unpack_bits(data)
+    alphabet = read_uint(bits, 0, 16)
+    length_table = read_uints(bits, 16, alphabet, 5)
+    offset = 16 + 5 * alphabet
+    count = read_uint(bits, offset, 32)
+    offset += 32
+    if count == 0:
+        return []
+    lengths = {int(s): int(l) for s, l in enumerate(length_table) if l}
+    if not lengths:
+        raise ValueError("corrupt Huffman stream (no code table)")
+    codes = canonical_codes(lengths)
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    symbols_sorted = np.asarray([s for s, _ in ordered], dtype=np.int64)
+    lengths_sorted = np.asarray([l for _, l in ordered], dtype=np.int64)
+    max_length = int(lengths_sorted[-1])
+    # Left-justified canonical codes: strictly increasing, first one is 0.
+    left_justified = np.asarray(
+        [codes[s][0] << (max_length - l) for s, l in ordered], dtype=np.int64
+    )
+    nbits = bits.size
+    usable = nbits - offset
+    if usable <= 0:
+        raise EOFError("bitstream exhausted")
+    # Peek max_length bits at every position in the payload region.
+    padded = np.concatenate([bits[offset:], np.zeros(max_length, dtype=np.uint8)])
+    peek = np.zeros(usable, dtype=np.int64)
+    for j in range(max_length):
+        peek = (peek << 1) | padded[j : j + usable]
+    entry = np.searchsorted(left_justified, peek, side="right") - 1
+    step = lengths_sorted[entry]
+    valid = (peek - left_justified[entry]) < (
+        np.int64(1) << (max_length - step)
+    )
+    successor = np.minimum(np.arange(usable, dtype=np.int64) + step, usable - 1)
+    positions = orbit(successor.astype(np.int32), 0, count)
+    if not valid[positions].all():
+        raise ValueError("corrupt Huffman stream (no code within 32 bits)")
+    steps = step[positions]
+    if count > 1 and np.any(np.diff(positions) != steps[:-1]):
+        raise EOFError("bitstream exhausted")
+    if int(positions[-1] + steps[-1]) > usable:
+        raise EOFError("bitstream exhausted")
+    return symbols_sorted[entry[positions]].tolist()
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference implementations (bit-by-bit, used for validation)
+# ---------------------------------------------------------------------------
+
+def huffman_encode_scalar(symbols: Sequence[int], code: HuffmanCode = None) -> bytes:
+    """Symbol-by-symbol reference encoder; byte-identical to :func:`huffman_encode`."""
+    arr = _as_symbol_array(symbols)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("Huffman symbols must be non-negative")
+    if code is None:
+        code = HuffmanCode.from_symbols(arr)
     writer = BitWriter()
     code.write_table(writer)
-    writer.write_uint(len(symbols), 32)
+    writer.write_uint(arr.size, 32)
     codes = code.codes
-    for symbol in symbols:
+    for symbol in arr.tolist():
         if symbol not in codes:
             raise ValueError(f"symbol {symbol} is not part of the Huffman code")
         value, length = codes[symbol]
@@ -161,8 +290,8 @@ def huffman_encode(symbols: Sequence[int], code: HuffmanCode = None) -> bytes:
     return writer.getvalue()
 
 
-def huffman_decode(data: bytes) -> List[int]:
-    """Inverse of :func:`huffman_encode`."""
+def huffman_decode_scalar(data: bytes) -> List[int]:
+    """Bit-by-bit reference decoder; inverse of both encoders."""
     reader = BitReader(data)
     code = HuffmanCode.read_table(reader)
     count = reader.read_uint(32)

@@ -30,17 +30,22 @@ __all__ = [
 
 
 def zigzag_encode(values: np.ndarray) -> np.ndarray:
-    """Map signed integers to non-negative integers (0, -1, 1, -2, ... order)."""
+    """Map signed integers to non-negative integers (0, -1, 1, -2, ... order).
+
+    Branch-free folding: ``(v << 1) ^ (v >> 63)`` — the arithmetic shift
+    produces an all-ones mask for negatives, so the xor turns ``2v`` into
+    ``-2v - 1`` without a select.
+    """
     values = np.asarray(values, dtype=np.int64)
-    return np.where(values >= 0, 2 * values, -2 * values - 1).astype(np.int64)
+    return (values << 1) ^ (values >> 63)
 
 
 def zigzag_decode(symbols: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`zigzag_encode`."""
+    """Inverse of :func:`zigzag_encode` (branch-free unfolding)."""
     symbols = np.asarray(symbols, dtype=np.int64)
     if symbols.size and symbols.min() < 0:
         raise ValueError("zig-zag symbols must be non-negative")
-    return np.where(symbols % 2 == 0, symbols // 2, -(symbols + 1) // 2).astype(np.int64)
+    return (symbols >> 1) ^ -(symbols & 1)
 
 
 def pyramid_scan(pyramid) -> Iterator[Tuple[str, int, np.ndarray]]:

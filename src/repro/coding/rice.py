@@ -5,8 +5,20 @@ predictive residuals (they are what lossless JPEG-LS and CCSDS use).  A
 symbol ``s`` is coded with parameter ``k`` as the unary quotient
 ``s >> k`` followed by the ``k`` low-order bits.  The optimal ``k`` tracks
 the mean of the symbols; :func:`optimal_rice_parameter` picks it per block
-by exhaustive search over a small range (exact, and cheap for the block
-sizes used here).
+from a single ``(symbols x k)`` cost matrix (exact — Rice code lengths are
+``(s >> k) + 1 + k``, no re-encoding needed).
+
+Two implementations of the block coder are provided:
+
+* :func:`rice_encode` / :func:`rice_decode` — vectorised NumPy paths built on
+  :mod:`repro.coding.fastbits` (unary runs via ``np.repeat``, sequential
+  decode via pointer doubling over the stream's zero positions), and
+* :func:`rice_encode_scalar` / :func:`rice_decode_scalar` — the original
+  bit-by-bit reference implementations, kept for validation (mirroring the
+  ``analysis_convolve`` / ``analysis_convolve_scalar`` idiom of the DWT).
+
+Both produce **byte-identical** streams; the wire format is
+``k (8 bits) | count (32 bits) | Rice codes | zero padding to a byte``.
 """
 
 from __future__ import annotations
@@ -16,18 +28,36 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from .bitstream import BitReader, BitWriter
+from .fastbits import orbit, pack_bits, pack_uint_fields, ragged_arange, read_uint, unpack_bits
 
 __all__ = [
     "rice_encode_value",
     "rice_decode_value",
     "rice_encode",
     "rice_decode",
+    "rice_decode_array",
+    "rice_encode_scalar",
+    "rice_decode_scalar",
     "rice_code_length",
+    "rice_cost_matrix",
     "optimal_rice_parameter",
 ]
 
 #: Largest Rice parameter considered by the optimiser (32-bit symbols).
 MAX_RICE_PARAMETER = 30
+
+def _as_symbol_array(symbols) -> np.ndarray:
+    """Coerce a symbol block to ``int64`` without per-element Python loops."""
+    if isinstance(symbols, np.ndarray):
+        return symbols.astype(np.int64, copy=False).ravel()
+    if isinstance(symbols, (list, tuple)):
+        return np.asarray(symbols, dtype=np.int64)
+    return np.asarray(list(symbols), dtype=np.int64)
+
+
+def _check_non_negative(arr: np.ndarray) -> None:
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("Rice codes encode non-negative integers")
 
 
 def rice_encode_value(writer: BitWriter, value: int, k: int) -> None:
@@ -58,49 +88,166 @@ def rice_code_length(value: int, k: int) -> int:
     return (value >> k) + 1 + k
 
 
-def optimal_rice_parameter(symbols: Sequence[int], max_k: int = MAX_RICE_PARAMETER) -> int:
+def rice_cost_matrix(symbols, max_k: int = MAX_RICE_PARAMETER) -> np.ndarray:
+    """Total code length (bits) of the block for every parameter ``0..max_k``.
+
+    One row of the conceptual ``(blocks x k)`` cost matrix: the exact coded
+    size for every candidate parameter at once, with no re-encoding.  The
+    quotient sums ``sum(s >> k)`` are produced by successive halving of a
+    single working copy, so the whole matrix row costs one pass per populated
+    bit plane instead of ``max_k`` full shifts.
+    """
+    arr = _as_symbol_array(symbols)
+    _check_non_negative(arr)
+    ks = np.arange(max_k + 1, dtype=np.int64)
+    costs = arr.size * (1 + ks)
+    work = arr.copy()
+    for k in range(max_k + 1):
+        total = int(work.sum())
+        if total == 0:
+            break
+        costs[k] += total
+        work >>= 1
+    return costs
+
+
+def optimal_rice_parameter(symbols, max_k: int = MAX_RICE_PARAMETER) -> int:
     """Parameter ``k`` minimising the total code length of ``symbols``.
 
-    Exhaustive search; ties resolve to the smallest ``k``.  An empty block
-    returns 0.
+    Exact (cost matrix over all candidate parameters); ties resolve to the
+    smallest ``k``.  An empty block returns 0.
     """
-    arr = np.asarray(list(symbols), dtype=np.int64)
+    arr = _as_symbol_array(symbols)
     if arr.size == 0:
         return 0
-    if arr.min() < 0:
-        raise ValueError("Rice codes encode non-negative integers")
-    best_k = 0
-    best_bits: Optional[int] = None
-    for k in range(0, max_k + 1):
-        bits = int(np.sum(arr >> k)) + arr.size * (1 + k)
-        if best_bits is None or bits < best_bits:
-            best_bits = bits
-            best_k = k
-    return best_k
+    _check_non_negative(arr)
+    return int(np.argmin(rice_cost_matrix(arr, max_k)))
 
 
-def rice_encode(symbols: Iterable[int], k: Optional[int] = None) -> bytes:
+# ---------------------------------------------------------------------------
+# Vectorised block coder
+# ---------------------------------------------------------------------------
+
+def rice_encode(symbols, k: Optional[int] = None) -> bytes:
     """Encode a block of non-negative symbols; returns ``header + payload``.
 
     The chosen parameter (one byte) and the symbol count (four bytes) are
     stored in front of the payload so that :func:`rice_decode` is
-    self-contained.
+    self-contained.  Vectorised: the unary quotients become ragged runs of
+    ones placed with ``np.repeat``, the remainders are filled one bit-plane
+    at a time, and the whole stream is flushed with one ``np.packbits``.
     """
-    block = [int(s) for s in symbols]
-    if any(s < 0 for s in block):
-        raise ValueError("Rice codes encode non-negative integers")
+    arr = _as_symbol_array(symbols)
+    _check_non_negative(arr)
     if k is None:
-        k = optimal_rice_parameter(block)
+        k = optimal_rice_parameter(arr)
+    if not 0 <= k <= MAX_RICE_PARAMETER:
+        raise ValueError(f"Rice parameter {k} outside [0, {MAX_RICE_PARAMETER}]")
+    header = pack_uint_fields([k, arr.size], [8, 32])
+    if arr.size == 0:
+        return pack_bits(header)
+    quotients = arr >> k
+    lengths = quotients + 1 + k
+    starts = np.cumsum(lengths) - lengths
+    bits = np.zeros(int(lengths.sum()), dtype=np.uint8)
+    bits[np.repeat(starts, quotients) + ragged_arange(quotients)] = 1
+    if k:
+        base = starts + quotients + 1
+        for plane in range(k):
+            bits[base + plane] = (arr >> (k - 1 - plane)) & 1
+    return pack_bits(np.concatenate([header, bits]))
+
+
+def rice_decode_array(data: bytes) -> np.ndarray:
+    """Vectorised inverse of :func:`rice_encode`, returning an ``int64`` array.
+
+    The sequential "where does the next code start" dependency is solved on
+    the stream's zero positions: zero ``j`` terminates a quotient, and the
+    zero terminating the *next* quotient has index ``j + 1 + (zeros among the
+    k remainder bits after j)`` — a successor map that :func:`orbit` follows
+    for all symbols at once.
+    """
+    bits = unpack_bits(data)
+    k = read_uint(bits, 0, 8)
+    count = read_uint(bits, 8, 32)
+    if not 0 <= k <= MAX_RICE_PARAMETER:
+        raise ValueError(f"Rice parameter {k} outside [0, {MAX_RICE_PARAMETER}]")
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    nbits = bits.size
+    start = 40
+    if start >= nbits:
+        raise EOFError("bitstream exhausted")
+    zero_positions = np.flatnonzero(bits == 0).astype(np.int32)
+    nzeros = zero_positions.size
+    first = int(np.searchsorted(zero_positions, start))
+    if first >= nzeros:
+        raise EOFError("bitstream exhausted")
+    if k == 0:
+        terminator_idx = first + np.arange(count, dtype=np.int64)
+        if int(terminator_idx[-1]) >= nzeros:
+            raise EOFError("bitstream exhausted")
+    else:
+        # successor[j]: index of the zero terminating the next code when zero
+        # j terminates the current one — skip the zeros that fall inside the
+        # k remainder bits after j.  At most k zeros fit in that window, and
+        # zero_positions is sorted, so a handful of shifted compares (with an
+        # early exit once a distance yields no hits) counts them exactly.
+        padded = np.concatenate(
+            [zero_positions, np.full(k, np.iinfo(np.int32).max, dtype=np.int32)]
+        )
+        skipped = np.zeros(nzeros, dtype=np.int32)
+        for distance in range(1, k + 1):
+            in_window = (padded[distance : distance + nzeros] - zero_positions) <= k
+            if not in_window.any():
+                break
+            skipped += in_window
+        successor = np.minimum(
+            np.arange(1, nzeros + 1, dtype=np.int32) + skipped, nzeros - 1
+        )
+        terminator_idx = orbit(successor, first, count)
+        if count > 1 and np.any(np.diff(terminator_idx) <= 0):
+            raise EOFError("bitstream exhausted")
+    terminators = zero_positions[terminator_idx].astype(np.int64)
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = start
+    starts[1:] = terminators[:-1] + 1 + k
+    quotients = terminators - starts
+    if k == 0:
+        return quotients
+    if int(terminators[-1]) + k >= nbits:
+        raise EOFError("bitstream exhausted")
+    remainders = np.zeros(count, dtype=np.int64)
+    for plane in range(k):
+        remainders = (remainders << 1) | bits[terminators + 1 + plane]
+    return (quotients << k) | remainders
+
+
+def rice_decode(data: bytes) -> List[int]:
+    """Inverse of :func:`rice_encode` (list-of-int API)."""
+    return rice_decode_array(data).tolist()
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference implementations (bit-by-bit, used for validation)
+# ---------------------------------------------------------------------------
+
+def rice_encode_scalar(symbols, k: Optional[int] = None) -> bytes:
+    """Bit-by-bit reference encoder; byte-identical to :func:`rice_encode`."""
+    arr = _as_symbol_array(symbols)
+    _check_non_negative(arr)
+    if k is None:
+        k = optimal_rice_parameter(arr)
     writer = BitWriter()
     writer.write_uint(k, 8)
-    writer.write_uint(len(block), 32)
-    for symbol in block:
+    writer.write_uint(arr.size, 32)
+    for symbol in arr.tolist():
         rice_encode_value(writer, symbol, k)
     return writer.getvalue()
 
 
-def rice_decode(data: bytes) -> List[int]:
-    """Inverse of :func:`rice_encode`."""
+def rice_decode_scalar(data: bytes) -> List[int]:
+    """Bit-by-bit reference decoder; inverse of both encoders."""
     reader = BitReader(data)
     k = reader.read_uint(8)
     count = reader.read_uint(32)

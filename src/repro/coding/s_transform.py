@@ -31,7 +31,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from .mapper import zigzag_decode, zigzag_encode
-from .rice import rice_decode, rice_encode
+from .rice import rice_decode_array, rice_decode_scalar, rice_encode, rice_encode_scalar
 
 __all__ = [
     "s_transform_forward_1d",
@@ -166,18 +166,28 @@ class CompressedSImage:
 
 
 class STransformCodec:
-    """Compressive lossless codec: integer S-transform + zig-zag + Rice."""
+    """Compressive lossless codec: integer S-transform + zig-zag + Rice.
 
-    def __init__(self, scales: int = 4, bit_depth: int = 12) -> None:
+    ``engine`` selects the entropy-coding implementation: ``"fast"`` (the
+    vectorised :mod:`repro.coding.fastbits`-based coder, the default) or
+    ``"scalar"`` (the bit-by-bit reference).  Both produce byte-identical
+    streams; either engine decodes the other's output.
+    """
+
+    def __init__(self, scales: int = 4, bit_depth: int = 12, engine: str = "fast") -> None:
         if scales < 1:
             raise ValueError("scales must be >= 1")
         if not 1 <= bit_depth <= 16:
             raise ValueError("bit_depth must be in [1, 16]")
+        if engine not in ("fast", "scalar"):
+            raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'scalar')")
         self.scales = scales
         self.bit_depth = bit_depth
+        self.engine = engine
 
-    def encode(self, image: np.ndarray) -> CompressedSImage:
-        """Compress an integer image losslessly."""
+    # -- stage API (used by the batched pipeline for per-stage timing) ------------------
+    def forward_transform(self, image: np.ndarray) -> STransformPyramid:
+        """Validate the image and run the multi-scale forward S-transform."""
         image = np.asarray(image)
         if image.ndim != 2:
             raise ValueError("the codec compresses 2-D images")
@@ -185,10 +195,15 @@ class STransformCodec:
             raise ValueError(
                 f"image values outside the declared {self.bit_depth}-bit range"
             )
-        pyramid = s_transform_forward_2d(image, self.scales)
+        return s_transform_forward_2d(image, self.scales)
+
+    def encode_pyramid(
+        self, pyramid: STransformPyramid, image_shape: Tuple[int, int]
+    ) -> CompressedSImage:
+        """Entropy code every subband of a transformed pyramid."""
         compressed = CompressedSImage(
             scales=self.scales,
-            image_shape=(int(image.shape[0]), int(image.shape[1])),
+            image_shape=(int(image_shape[0]), int(image_shape[1])),
             bit_depth=self.bit_depth,
         )
         self._add_band(compressed, "HH", self.scales, pyramid.approximation)
@@ -197,8 +212,8 @@ class STransformCodec:
                 self._add_band(compressed, kind, scale_index, band)
         return compressed
 
-    def decode(self, compressed: CompressedSImage) -> np.ndarray:
-        """Reconstruct the original image bit for bit."""
+    def decode_pyramid(self, compressed: CompressedSImage) -> STransformPyramid:
+        """Entropy decode a stream back into a subband pyramid."""
         if compressed.scales != self.scales:
             raise ValueError(
                 f"stream has {compressed.scales} scales, codec configured for {self.scales}"
@@ -209,8 +224,22 @@ class STransformCodec:
             details.append(
                 {kind: self._get_band(compressed, kind, scale) for kind in ("HG", "GH", "GG")}
             )
-        pyramid = STransformPyramid(approximation=approximation, details=details)
+        return STransformPyramid(approximation=approximation, details=details)
+
+    def inverse_transform(self, pyramid: STransformPyramid) -> np.ndarray:
+        """Run the inverse S-transform."""
         return s_transform_inverse_2d(pyramid)
+
+    # -- whole-image API ----------------------------------------------------------------
+    def encode(self, image: np.ndarray) -> CompressedSImage:
+        """Compress an integer image losslessly."""
+        image = np.asarray(image)
+        pyramid = self.forward_transform(image)
+        return self.encode_pyramid(pyramid, image.shape)
+
+    def decode(self, compressed: CompressedSImage) -> np.ndarray:
+        """Reconstruct the original image bit for bit."""
+        return self.inverse_transform(self.decode_pyramid(compressed))
 
     def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, CompressedSImage]:
         compressed = self.encode(image)
@@ -222,7 +251,8 @@ class STransformCodec:
     ) -> None:
         flat = np.asarray(band, dtype=np.int64).ravel()
         symbols = zigzag_encode(flat)
-        compressed.chunks[(kind, scale)] = rice_encode([int(s) for s in symbols])
+        encode = rice_encode if self.engine == "fast" else rice_encode_scalar
+        compressed.chunks[(kind, scale)] = encode(symbols)
         compressed.shapes[(kind, scale)] = (int(band.shape[0]), int(band.shape[1]))
 
     def _get_band(
@@ -233,5 +263,8 @@ class STransformCodec:
             shape = compressed.shapes[(kind, scale)]
         except KeyError as exc:
             raise KeyError(f"compressed stream has no subband {kind}@{scale}") from exc
-        flat = zigzag_decode(np.asarray(rice_decode(payload)))
-        return np.asarray(flat, dtype=np.int64).reshape(shape)
+        if self.engine == "fast":
+            symbols = rice_decode_array(payload)
+        else:
+            symbols = np.asarray(rice_decode_scalar(payload), dtype=np.int64)
+        return zigzag_decode(symbols).reshape(shape)

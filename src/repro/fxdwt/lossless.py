@@ -13,7 +13,7 @@ lossless benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +22,12 @@ from ..filters.qmf import BiorthogonalBank
 from ..fixedpoint.wordlength import WordLengthPlan, plan_word_lengths
 from .transform import FixedPointDWT
 
-__all__ = ["LosslessReport", "verify_lossless", "lossless_word_length_search"]
+__all__ = [
+    "LosslessReport",
+    "verify_lossless",
+    "verify_lossless_batch",
+    "lossless_word_length_search",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,49 @@ def verify_lossless(
         mean_abs_error=float(np.abs(diff).mean()) if diff.size else 0.0,
         mismatched_pixels=mismatches,
     )
+
+
+def verify_lossless_batch(
+    images: Sequence[np.ndarray],
+    bank_name: str = "F2",
+    scales: int = 4,
+    engine: str = "fast",
+) -> Tuple[List[LosslessReport], "object"]:
+    """Round-trip a batch of images through the full coefficient-exact codec.
+
+    Where :func:`verify_lossless` checks the bare transform arithmetic, this
+    check exercises the complete compression path (fixed-point DWT → zig-zag
+    → RLE → Rice and back) over many frames at once via the batched
+    :mod:`repro.coding.pipeline`, returning one :class:`LosslessReport` per
+    frame plus the pipeline's per-stage decode statistics.
+    """
+    from ..coding.pipeline import compress_frames, decompress_frames
+
+    batch = compress_frames(
+        images, codec="coefficient", scales=scales, engine=engine, bank=bank_name
+    )
+    decoded, stats = decompress_frames(batch)
+    plans: Dict[int, WordLengthPlan] = {}
+    reports: List[LosslessReport] = []
+    for original, reconstructed, stream in zip(images, decoded, batch.streams):
+        if stream.scales not in plans:
+            plans[stream.scales] = plan_word_lengths(get_bank(bank_name), stream.scales)
+        original = np.asarray(original).astype(np.int64)
+        diff = reconstructed - original
+        mismatches = int(np.count_nonzero(diff))
+        reports.append(
+            LosslessReport(
+                bank_name=bank_name,
+                scales=stream.scales,
+                word_length=plans[stream.scales].data_formats[1].word_length,
+                image_shape=tuple(original.shape),
+                lossless=mismatches == 0,
+                max_abs_error=int(np.abs(diff).max()) if diff.size else 0,
+                mean_abs_error=float(np.abs(diff).mean()) if diff.size else 0.0,
+                mismatched_pixels=mismatches,
+            )
+        )
+    return reports, stats
 
 
 def lossless_word_length_search(

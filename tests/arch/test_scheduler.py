@@ -118,3 +118,50 @@ class TestUtilisation:
     def test_negative_macrocycles_rejected(self):
         with pytest.raises(ValueError):
             simulate_utilisation(-1)
+
+
+class TestStepClosedForm:
+    """The closed-form large-count path must agree with the exact loop."""
+
+    def _pair(self, interval):
+        loop = MacrocycleCounter(
+            filter_length=13, refresh_stall_cycles=6, refresh_interval_macrocycles=interval
+        )
+        closed = MacrocycleCounter(
+            filter_length=13, refresh_stall_cycles=6, refresh_interval_macrocycles=interval
+        )
+        return loop, closed
+
+    @pytest.mark.parametrize("interval", [1, 2, 7, 48])
+    def test_closed_form_matches_loop(self, interval):
+        loop, closed = self._pair(interval)
+        count = MacrocycleCounter.LOOP_THRESHOLD + 123
+        # Drive both counters to the same mid-interval phase first.
+        assert loop.step(interval // 2 + 1) == closed.step(interval // 2 + 1)
+        extended_loop = sum(loop.step(1) for _ in range(count))
+        extended_closed = closed.step(count)
+        assert extended_loop == extended_closed
+        assert loop.macrocycles == closed.macrocycles
+        assert loop.refreshes == closed.refreshes
+        assert loop.busy_cycles == closed.busy_cycles
+        assert loop.stall_cycles == closed.stall_cycles
+        assert loop.utilisation() == pytest.approx(closed.utilisation())
+
+    def test_closed_form_preserves_phase(self):
+        loop, closed = self._pair(48)
+        closed.step(MacrocycleCounter.LOOP_THRESHOLD + 10)
+        for _ in range(MacrocycleCounter.LOOP_THRESHOLD + 10):
+            loop.step(1)
+        # Subsequent single steps must refresh on the same macro-cycles.
+        follow_loop = [loop.step(1) for _ in range(100)]
+        follow_closed = [closed.step(1) for _ in range(100)]
+        assert follow_loop == follow_closed
+
+    def test_simulate_utilisation_large_count_exact(self):
+        report = simulate_utilisation(
+            5_000_000, filter_length=13, refresh_interval_macrocycles=48,
+            refresh_stall_cycles=6,
+        )
+        assert report.refreshes == 5_000_000 // 48
+        assert report.busy_cycles == 5_000_000 * 13
+        assert report.utilisation == pytest.approx(utilisation_formula(13, 48, 6), rel=1e-6)

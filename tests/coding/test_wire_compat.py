@@ -1,0 +1,174 @@
+"""Bitstream wire-compatibility: vectorised engine vs scalar reference.
+
+Every block coder ships two implementations; these tests pin the contract
+that they are drop-in interchangeable at the byte level — identical encoded
+streams, and each decoder accepts the other encoder's output — on random
+inputs and on phantom-image workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.codec import LosslessWaveletCodec
+from repro.coding.huffman import (
+    huffman_decode,
+    huffman_decode_scalar,
+    huffman_encode,
+    huffman_encode_scalar,
+)
+from repro.coding.mapper import zigzag_encode
+from repro.coding.rice import (
+    rice_decode,
+    rice_decode_scalar,
+    rice_encode,
+    rice_encode_scalar,
+)
+from repro.coding.rle import (
+    events_to_arrays,
+    rle_decode,
+    rle_decode_arrays,
+    rle_encode,
+    rle_encode_arrays,
+)
+from repro.coding.s_transform import STransformCodec
+from repro.imaging.phantoms import gradient_image, random_image, shepp_logan
+
+
+def _phantom_symbols():
+    """Zig-zagged detail-like samples from a real phantom image."""
+    image = shepp_logan(64).astype(np.int64)
+    return zigzag_encode(np.diff(image, axis=1).ravel())
+
+
+class TestRiceWireCompat:
+    @pytest.fixture(params=["random", "geometric", "phantom", "zeros", "empty"])
+    def symbols(self, request, rng):
+        return {
+            "random": rng.integers(0, 4096, size=700),
+            "geometric": rng.geometric(0.1, size=500) - 1,
+            "phantom": _phantom_symbols(),
+            "zeros": np.zeros(300, dtype=np.int64),
+            "empty": np.zeros(0, dtype=np.int64),
+        }[request.param]
+
+    def test_streams_byte_identical(self, symbols):
+        assert rice_encode(symbols) == rice_encode_scalar(symbols)
+
+    def test_fast_encode_scalar_decode(self, symbols):
+        assert rice_decode_scalar(rice_encode(symbols)) == symbols.tolist()
+
+    def test_scalar_encode_fast_decode(self, symbols):
+        assert rice_decode(rice_encode_scalar(symbols)) == symbols.tolist()
+
+    @pytest.mark.parametrize("k", [0, 1, 5, 11])
+    def test_explicit_parameter(self, rng, k):
+        symbols = rng.integers(0, 2000, size=400)
+        assert rice_encode(symbols, k=k) == rice_encode_scalar(symbols, k=k)
+        assert rice_decode(rice_encode_scalar(symbols, k=k)) == symbols.tolist()
+
+
+class TestHuffmanWireCompat:
+    @pytest.fixture(params=["random", "skewed", "phantom", "single", "empty"])
+    def symbols(self, request, rng):
+        return {
+            "random": rng.integers(0, 40, size=600),
+            "skewed": np.minimum(rng.geometric(0.3, size=800) - 1, 30),
+            "phantom": np.minimum(_phantom_symbols(), 63),
+            "single": np.full(40, 7, dtype=np.int64),
+            "empty": np.zeros(0, dtype=np.int64),
+        }[request.param]
+
+    def test_streams_byte_identical(self, symbols):
+        assert huffman_encode(symbols) == huffman_encode_scalar(symbols)
+
+    def test_fast_encode_scalar_decode(self, symbols):
+        assert huffman_decode_scalar(huffman_encode(symbols)) == symbols.tolist()
+
+    def test_scalar_encode_fast_decode(self, symbols):
+        assert huffman_decode(huffman_encode_scalar(symbols)) == symbols.tolist()
+
+
+class TestRleWireCompat:
+    @pytest.fixture(params=["sparse", "dense", "all_zero", "phantom"])
+    def values(self, request, rng):
+        sparse = rng.integers(-5, 6, size=900)
+        sparse[rng.uniform(size=900) < 0.7] = 0
+        return {
+            "sparse": sparse,
+            "dense": rng.integers(1, 9, size=300),
+            "all_zero": np.zeros(500, dtype=np.int64),
+            "phantom": np.diff(shepp_logan(32).astype(np.int64), axis=0).ravel(),
+        }[request.param]
+
+    def test_arrays_match_events(self, values):
+        runs, literals = rle_encode_arrays(values)
+        runs_ref, literals_ref = events_to_arrays(rle_encode(values))
+        assert runs.tolist() == runs_ref.tolist()
+        assert literals.tolist() == literals_ref.tolist()
+
+    def test_array_decode_inverts_event_encode(self, values):
+        runs, literals = events_to_arrays(rle_encode(values))
+        assert np.array_equal(rle_decode_arrays(runs, literals), values)
+
+    def test_event_decode_inverts_array_encode(self, values):
+        runs, literals = rle_encode_arrays(values)
+        from repro.coding.rle import LITERAL, ZERO_RUN, RleEvent
+
+        events, literal_index = [], 0
+        for run in runs.tolist():
+            if run > 0:
+                events.append(RleEvent(ZERO_RUN, run))
+            else:
+                events.append(RleEvent(LITERAL, int(literals[literal_index])))
+                literal_index += 1
+        assert np.array_equal(rle_decode(events), values)
+
+    @pytest.mark.parametrize("max_run", [1, 3, 16])
+    def test_max_run_splitting_matches(self, values, max_run):
+        runs, literals = rle_encode_arrays(values, max_run=max_run)
+        runs_ref, literals_ref = events_to_arrays(rle_encode(values, max_run=max_run))
+        assert runs.tolist() == runs_ref.tolist()
+        assert literals.tolist() == literals_ref.tolist()
+
+
+class TestSTransformCodecWireCompat:
+    @pytest.mark.parametrize(
+        "image_factory",
+        [shepp_logan, gradient_image, lambda size: random_image(size, seed=5)],
+        ids=["ct", "gradient", "random"],
+    )
+    def test_engines_byte_identical_and_cross_decode(self, image_factory):
+        image = image_factory(64)
+        fast = STransformCodec(scales=3, engine="fast")
+        scalar = STransformCodec(scales=3, engine="scalar")
+        stream_fast = fast.encode(image)
+        stream_scalar = scalar.encode(image)
+        assert stream_fast.chunks == stream_scalar.chunks
+        assert np.array_equal(fast.decode(stream_scalar), image)
+        assert np.array_equal(scalar.decode(stream_fast), image)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            STransformCodec(engine="simd")
+
+
+class TestLosslessCodecWireCompat:
+    @pytest.mark.parametrize("use_rle", [True, False], ids=["rle", "no-rle"])
+    @pytest.mark.parametrize(
+        "image_factory",
+        [shepp_logan, lambda size: random_image(size, seed=11)],
+        ids=["ct", "random"],
+    )
+    def test_engines_byte_identical_and_cross_decode(self, image_factory, use_rle):
+        image = image_factory(32)
+        fast = LosslessWaveletCodec("F2", scales=2, use_rle=use_rle, engine="fast")
+        scalar = LosslessWaveletCodec("F2", scales=2, use_rle=use_rle, engine="scalar")
+        stream_fast = fast.encode(image)
+        stream_scalar = scalar.encode(image)
+        assert stream_fast.chunks == stream_scalar.chunks
+        assert np.array_equal(fast.decode(stream_scalar), image)
+        assert np.array_equal(scalar.decode(stream_fast), image)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            LosslessWaveletCodec("F2", scales=2, engine="simd")

@@ -59,3 +59,19 @@ class TestWordLengthSearch:
         # Once lossless, longer words stay lossless.
         first_true = statuses.index(True) if True in statuses else len(statuses)
         assert all(statuses[first_true:])
+
+
+class TestVerifyLosslessBatch:
+    def test_batch_roundtrips_through_full_codec(self):
+        from repro.fxdwt.lossless import verify_lossless_batch
+        from repro.imaging.phantoms import random_image
+
+        images = [shepp_logan(64), random_image(32, seed=2), shepp_logan(32)]
+        reports, stats = verify_lossless_batch(images, bank_name="F2", scales=3)
+        assert len(reports) == 3
+        assert all(r.lossless for r in reports)
+        assert all(r.mismatched_pixels == 0 for r in reports)
+        # 32x32 frames only support 3 scales; 64x64 keeps the requested depth.
+        assert reports[0].scales == 3
+        assert stats.frames == 3
+        assert set(stats.stage_seconds) == {"entropy_decode", "inverse"}
