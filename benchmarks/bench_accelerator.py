@@ -1,0 +1,85 @@
+"""Fast-vs-scalar accelerator engine benchmark (512x512 forward transform).
+
+Not a paper table: this tracks the throughput of the cycle-accounted
+architecture model so the perf trajectory of the simulation hot path is
+visible from PR to PR, exactly like ``bench_coding_engine`` does for the
+entropy-coding stack.  The fast whole-pass engine must be at least 10x
+faster than the per-macro-cycle scalar reference at the paper's 512x512
+frame size while producing a bit-identical pyramid and an identical run
+report; the measured numbers are written to
+``benchmarks/reports/bench_accelerator.json``.
+
+The scalar leg runs a single decomposition scale (the dominant O(N^2)
+workload; deeper scales only add a geometric tail) to keep the reference
+run to tens of seconds.  The fast engine is additionally timed on the full
+paper configuration (6 scales), which has no tractable scalar counterpart.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.arch.accelerator import DwtAccelerator
+from repro.arch.config import ArchitectureConfig
+from repro.imaging.phantoms import random_image
+
+IMAGE_SIZE = 512
+MIN_SPEEDUP = 10.0
+
+
+def _time_forward(accelerator, image, engine):
+    began = time.perf_counter()
+    pyramid, report = accelerator.forward(image, engine=engine)
+    return pyramid, report, time.perf_counter() - began
+
+
+def test_fast_engine_speedup_512(save_json_record):
+    """Fast engine >= 10x over scalar at 512x512, bit-identical outputs."""
+    config = ArchitectureConfig(image_size=IMAGE_SIZE, scales=1)
+    accelerator = DwtAccelerator(config)
+    image = random_image(IMAGE_SIZE, seed=20260728)
+
+    # Warm up the fast path (index-table caches), then time both engines.
+    accelerator.forward(image, engine="fast")
+    pyramid_fast, report_fast, fast_seconds = _time_forward(accelerator, image, "fast")
+    pyramid_scalar, report_scalar, scalar_seconds = _time_forward(
+        accelerator, image, "scalar"
+    )
+
+    assert np.array_equal(pyramid_fast.approximation, pyramid_scalar.approximation)
+    for fast_entry, scalar_entry in zip(pyramid_fast.details, pyramid_scalar.details):
+        assert np.array_equal(fast_entry.hg, scalar_entry.hg)
+        assert np.array_equal(fast_entry.gh, scalar_entry.gh)
+        assert np.array_equal(fast_entry.gg, scalar_entry.gg)
+    assert dataclasses.asdict(report_fast) == dataclasses.asdict(report_scalar)
+
+    speedup = scalar_seconds / fast_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine only {speedup:.1f}x over scalar "
+        f"({fast_seconds * 1e3:.1f} ms vs {scalar_seconds:.2f} s)"
+    )
+
+    # The full paper configuration on the fast engine (no scalar leg: the
+    # per-macro-cycle model would need minutes for the same run).
+    paper = DwtAccelerator(ArchitectureConfig(image_size=IMAGE_SIZE, scales=6))
+    paper.forward(image)
+    began = time.perf_counter()
+    _, paper_report = paper.forward(image)
+    paper_seconds = time.perf_counter() - began
+
+    save_json_record(
+        "bench_accelerator",
+        {
+            "image_size": IMAGE_SIZE,
+            "scales": config.scales,
+            "macrocycles": report_fast.macrocycles,
+            "fast_seconds": fast_seconds,
+            "scalar_seconds": scalar_seconds,
+            "speedup": speedup,
+            "fast_mpixels_per_s": IMAGE_SIZE * IMAGE_SIZE / fast_seconds / 1e6,
+            "paper_config_scales": 6,
+            "paper_config_macrocycles": paper_report.macrocycles,
+            "paper_config_fast_seconds": paper_seconds,
+        },
+    )

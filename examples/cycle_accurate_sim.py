@@ -7,11 +7,17 @@ gave the same output as a software implementation"), with the VHDL model
 replaced by the Python cycle-accurate model:
 
 * print the Fig. 2 macro-cycle schedule (normal and refresh-extended),
-* run the accelerator model forward and inverse on a random 12-bit image,
+* run the accelerator model forward and inverse on a random 12-bit image
+  (the vectorised ``engine="fast"`` whole-pass engine by default; pass
+  ``scalar`` as the third argument for the per-macro-cycle reference —
+  both are bit-identical in outputs and cycle reports),
 * cross-check every subband against the software fixed-point transform,
 * report cycles, utilisation, DRAM traffic and the implied wall-clock time.
 
-Run with:  python examples/cycle_accurate_sim.py [image_size] [scales]
+With the fast engine even the paper's full 512x512 / 6-scale configuration
+simulates in well under a second:  python examples/cycle_accurate_sim.py 512 6
+
+Run with:  python examples/cycle_accurate_sim.py [image_size] [scales] [engine]
 """
 
 from __future__ import annotations
@@ -40,14 +46,17 @@ def show_schedule(config: ArchitectureConfig) -> None:
     )
 
 
-def main(image_size: int = 32, scales: int = 3) -> None:
+def main(image_size: int = 32, scales: int = 3, engine: str = "fast") -> None:
     config = ArchitectureConfig(image_size=image_size, scales=scales)
     show_schedule(config)
 
     image = random_image(image_size, seed=42)
-    accelerator = DwtAccelerator(config)
+    accelerator = DwtAccelerator(config, engine=engine)
 
-    print(f"\nSimulating FDWT + IDWT of a random {image_size}x{image_size} 12-bit image ...")
+    print(
+        f"\nSimulating FDWT + IDWT of a random {image_size}x{image_size} "
+        f"12-bit image ({engine} engine) ..."
+    )
     pyramid, forward_report = accelerator.forward(image)
     reconstructed, inverse_report = accelerator.inverse(pyramid)
 
@@ -74,4 +83,5 @@ def main(image_size: int = 32, scales: int = 3) -> None:
 if __name__ == "__main__":
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 32
     scales = int(sys.argv[2]) if len(sys.argv) > 2 else 3
-    main(size, scales)
+    engine = sys.argv[3] if len(sys.argv) > 3 else "fast"
+    main(size, scales, engine)

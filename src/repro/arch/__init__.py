@@ -5,7 +5,10 @@ Public API
 ``ArchitectureConfig`` / ``paper_configuration``
     Static parameters (N, S, filter bank, word length, clock, refresh).
 ``DwtAccelerator``
-    Top-level behavioural + cycle-counting model (forward/inverse runs).
+    Top-level behavioural + cycle-counting model (forward/inverse runs,
+    ``engine="fast"`` whole-pass arrays or ``"scalar"`` reference).
+``FastDatapath``
+    Batched (vectorised) line-pass engine over a scalar ``Datapath``.
 ``estimate_performance``
     Closed-form cycle/throughput estimate (3.5 images/s headline).
 ``Datapath`` / ``MacUnit`` / ``AlignmentUnit`` / ``PipelinedMultiplier``
@@ -21,6 +24,7 @@ Public API
 """
 
 from .accelerator import (
+    ENGINES,
     AcceleratorRunReport,
     DwtAccelerator,
     PerformanceEstimate,
@@ -33,6 +37,7 @@ from .coeff_ram import FILTER_ROLES, CoefficientRam
 from .config import ArchitectureConfig, paper_configuration
 from .datapath import Datapath, DatapathStats
 from .dram import ExternalDram, FrameBuffer, RefreshTimer
+from .fast_datapath import FastDatapath
 from .host_interface import (
     BoardThroughputReport,
     HostTransferModel,
@@ -99,6 +104,8 @@ __all__ = [
     "paper_configuration",
     "Datapath",
     "DatapathStats",
+    "ENGINES",
+    "FastDatapath",
     "ExternalDram",
     "FrameBuffer",
     "RefreshTimer",

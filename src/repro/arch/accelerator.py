@@ -8,14 +8,23 @@ next scale; the inverse transform walks the scales in the opposite order.
 The image lives in the external DRAM model and every sample is read once and
 written once per convolution pass.
 
-Because a full cycle-accurate 512x512 run is millions of macro-cycles, the
-simulator is meant for modest image sizes (32–128 pixels per side), where it
-is cross-checked for bit-exactness against the software fixed-point
-transform.  For the paper's 512x512 headline numbers the *analytic*
-performance model (:func:`estimate_performance`) is used instead: it counts
-macro-cycles with the same closed forms the simulator obeys and converts
-them to seconds, images/s and utilisation.  The analytic model is validated
-against the simulator on the small sizes by the test suite.
+Two interchangeable engines drive the datapath (``engine="fast"`` /
+``"scalar"``, mirroring the entropy-coding stack's API):
+
+* ``"scalar"`` steps the datapath one macro-cycle at a time — the reference
+  model, bit-exact against the software fixed-point transform but O(N²)
+  Python iterations per image;
+* ``"fast"`` (default) computes each line pass as one whole-array operation
+  through :class:`~repro.arch.fast_datapath.FastDatapath`, reproducing the
+  scalar engine's outputs *and* statistics exactly (the per-sample counters
+  are closed-form functions of the pass geometry), which makes full 512x512
+  cycle-accounted runs interactive.
+
+For the paper's 512x512 headline numbers the *analytic* performance model
+(:func:`estimate_performance`) remains available: it counts macro-cycles
+with the same closed forms the simulator obeys and converts them to
+seconds, images/s and utilisation.  The analytic model is validated against
+the simulator by the test suite.
 """
 
 from __future__ import annotations
@@ -31,12 +40,18 @@ from ..fxdwt.transform import FixedPointPyramid
 from .config import ArchitectureConfig, paper_configuration
 from .datapath import Datapath, DatapathStats
 from .dram import ExternalDram, FrameBuffer, RefreshTimer
+from .fast_datapath import FastDatapath
 from .scheduler import UtilisationReport, simulate_utilisation
+
+#: Engines the accelerator can run a transform with: the vectorised
+#: whole-pass engine (default) or the per-macro-cycle scalar reference.
+ENGINES = ("fast", "scalar")
 
 __all__ = [
     "AcceleratorRunReport",
     "PerformanceEstimate",
     "DwtAccelerator",
+    "ENGINES",
     "forward_macrocycles",
     "inverse_macrocycles",
     "estimate_performance",
@@ -173,6 +188,11 @@ class DwtAccelerator:
         Optional word-length plan override (forwarded to the datapath).
     rounding / overflow_policy:
         Forwarded to the datapath (ablation hooks).
+    engine:
+        Default transform engine: ``"fast"`` (vectorised whole-pass, the
+        default) or ``"scalar"`` (per-macro-cycle reference).  Both are
+        bit-identical in outputs and statistics; ``forward``/``inverse``
+        accept a per-call override.
     """
 
     def __init__(
@@ -181,11 +201,14 @@ class DwtAccelerator:
         plan: Optional[WordLengthPlan] = None,
         rounding: str = "half_up",
         overflow_policy: str = "raise",
+        engine: str = "fast",
     ) -> None:
         self.config = config or paper_configuration()
+        self.engine = self._check_engine(engine)
         self.datapath = Datapath(
             self.config, plan=plan, rounding=rounding, overflow_policy=overflow_policy
         )
+        self.fast_datapath = FastDatapath(self.datapath)
         self.dram = ExternalDram(self.config.image_size * self.config.image_size)
         self.refresh_timer = RefreshTimer(self.config.dram_refresh_interval_cycles)
 
@@ -194,8 +217,20 @@ class DwtAccelerator:
     def plan(self) -> WordLengthPlan:
         return self.datapath.plan
 
-    def forward(self, image: np.ndarray) -> Tuple[FixedPointPyramid, AcceleratorRunReport]:
+    @staticmethod
+    def _check_engine(engine: str) -> str:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
+        return engine
+
+    def _resolve_engine(self, engine: Optional[str]) -> str:
+        return self.engine if engine is None else self._check_engine(engine)
+
+    def forward(
+        self, image: np.ndarray, engine: Optional[str] = None
+    ) -> Tuple[FixedPointPyramid, AcceleratorRunReport]:
         """Run the forward transform; return the pyramid and the run report."""
+        engine = self._resolve_engine(engine)
         image = self._validate_image(image)
         self.datapath.reset_counters()
         self.dram.reset_counters()
@@ -203,29 +238,14 @@ class DwtAccelerator:
         frame = FrameBuffer(self.dram, image.shape[0], image.shape[1])
         frame.load_image(image)
 
-        data = image.astype(np.int64)
+        data = image
         details: List[ScaleDetails] = []
         for scale in range(1, self.config.scales + 1):
-            size = data.shape[0]
-            # Row pass: every row is read once, filtered, written back once.
-            row_lo = np.zeros((size, size // 2), dtype=np.int64)
-            row_hi = np.zeros((size, size // 2), dtype=np.int64)
-            for row in range(size):
-                lo, hi = self.datapath.analyze_line(data[row], scale, "rows")
-                row_lo[row], row_hi[row] = lo, hi
-            # Column pass over the two intermediate subimages.
-            half = size // 2
-            hh = np.zeros((half, half), dtype=np.int64)
-            hg = np.zeros((half, half), dtype=np.int64)
-            gh = np.zeros((half, half), dtype=np.int64)
-            gg = np.zeros((half, half), dtype=np.int64)
-            for col in range(half):
-                lo, hi = self.datapath.analyze_line(row_lo[:, col], scale, "columns")
-                hh[:, col], hg[:, col] = lo, hi
-                lo, hi = self.datapath.analyze_line(row_hi[:, col], scale, "columns")
-                gh[:, col], gg[:, col] = lo, hi
-            details.append(ScaleDetails(scale=scale, hg=hg, gh=gh, gg=gg))
-            data = hh
+            if engine == "fast":
+                data, entry = self._forward_scale_fast(data, scale)
+            else:
+                data, entry = self._forward_scale_scalar(data, scale)
+            details.append(entry)
         pyramid = FixedPointPyramid(plan=self.plan, approximation=data, details=details)
         # The final contents of the frame buffer are the mosaic of all subbands
         # (what the host reads back over the PCI interface).
@@ -233,12 +253,25 @@ class DwtAccelerator:
         report = self._build_report("forward", image.shape[0])
         return pyramid, report
 
-    def inverse(self, pyramid: FixedPointPyramid) -> Tuple[np.ndarray, AcceleratorRunReport]:
+    def inverse(
+        self, pyramid: FixedPointPyramid, engine: Optional[str] = None
+    ) -> Tuple[np.ndarray, AcceleratorRunReport]:
         """Run the inverse transform; return the image and the run report."""
+        engine = self._resolve_engine(engine)
         if pyramid.scales != self.config.scales:
             raise ValueError(
                 f"pyramid has {pyramid.scales} scales, accelerator configured "
                 f"for {self.config.scales}"
+            )
+        approx = np.asarray(pyramid.approximation)
+        expected = self.config.image_size >> self.config.scales
+        if approx.ndim != 2 or approx.shape != (expected, expected):
+            raise ValueError(
+                f"pyramid approximation of shape {approx.shape} does not match "
+                f"the configured {self.config.image_size}x{self.config.image_size} "
+                f"frame at {self.config.scales} scales "
+                f"(expected {expected}x{expected}); the accelerator processes "
+                "square 2-D images"
             )
         self.datapath.reset_counters()
         self.dram.reset_counters()
@@ -246,35 +279,90 @@ class DwtAccelerator:
         data = np.asarray(pyramid.approximation, dtype=np.int64)
         for scale in range(self.config.scales, 0, -1):
             entry = pyramid.details[scale - 1]
-            half = data.shape[0]
-            size = 2 * half
-            # Undo the column transform (columns were filtered last going forward).
-            row_lo = np.zeros((size, half), dtype=np.int64)
-            row_hi = np.zeros((size, half), dtype=np.int64)
-            for col in range(half):
-                row_lo[:, col] = self.datapath.synthesize_line(
-                    data[:, col], entry.hg[:, col], scale, "columns"
-                )
-                row_hi[:, col] = self.datapath.synthesize_line(
-                    entry.gh[:, col], entry.gg[:, col], scale, "columns"
-                )
-            # Undo the row transform, landing in the coarser format.
-            out = np.zeros((size, size), dtype=np.int64)
-            for row in range(size):
-                out[row] = self.datapath.synthesize_line(
-                    row_lo[row], row_hi[row], scale, "rows"
-                )
-            data = out
+            if engine == "fast":
+                data = self._inverse_scale_fast(data, entry, scale)
+            else:
+                data = self._inverse_scale_scalar(data, entry, scale)
         report = self._build_report("inverse", data.shape[0])
         return data, report
 
     def roundtrip(
-        self, image: np.ndarray
+        self, image: np.ndarray, engine: Optional[str] = None
     ) -> Tuple[np.ndarray, FixedPointPyramid, AcceleratorRunReport, AcceleratorRunReport]:
         """Forward + inverse; returns (reconstruction, pyramid, fwd report, inv report)."""
-        pyramid, forward_report = self.forward(image)
-        reconstructed, inverse_report = self.inverse(pyramid)
+        pyramid, forward_report = self.forward(image, engine=engine)
+        reconstructed, inverse_report = self.inverse(pyramid, engine=engine)
         return reconstructed, pyramid, forward_report, inverse_report
+
+    # -- per-scale passes ---------------------------------------------------------------
+    def _forward_scale_scalar(
+        self, data: np.ndarray, scale: int
+    ) -> Tuple[np.ndarray, ScaleDetails]:
+        """One forward 2-D stage, one macro-cycle at a time (reference)."""
+        size = data.shape[0]
+        # Row pass: every row is read once, filtered, written back once.
+        row_lo = np.zeros((size, size // 2), dtype=np.int64)
+        row_hi = np.zeros((size, size // 2), dtype=np.int64)
+        for row in range(size):
+            lo, hi = self.datapath.analyze_line(data[row], scale, "rows")
+            row_lo[row], row_hi[row] = lo, hi
+        # Column pass over the two intermediate subimages.
+        half = size // 2
+        hh = np.zeros((half, half), dtype=np.int64)
+        hg = np.zeros((half, half), dtype=np.int64)
+        gh = np.zeros((half, half), dtype=np.int64)
+        gg = np.zeros((half, half), dtype=np.int64)
+        for col in range(half):
+            lo, hi = self.datapath.analyze_line(row_lo[:, col], scale, "columns")
+            hh[:, col], hg[:, col] = lo, hi
+            lo, hi = self.datapath.analyze_line(row_hi[:, col], scale, "columns")
+            gh[:, col], gg[:, col] = lo, hi
+        return hh, ScaleDetails(scale=scale, hg=hg, gh=gh, gg=gg)
+
+    def _forward_scale_fast(
+        self, data: np.ndarray, scale: int
+    ) -> Tuple[np.ndarray, ScaleDetails]:
+        """One forward 2-D stage as three whole-pass array calls."""
+        fast = self.fast_datapath
+        row_lo, row_hi = fast.analyze_lines(data, scale, "rows")
+        lo, hi = fast.analyze_lines(row_lo.T, scale, "columns")
+        hh, hg = lo.T, hi.T
+        lo, hi = fast.analyze_lines(row_hi.T, scale, "columns")
+        gh, gg = lo.T, hi.T
+        return hh, ScaleDetails(scale=scale, hg=hg, gh=gh, gg=gg)
+
+    def _inverse_scale_scalar(
+        self, data: np.ndarray, entry: ScaleDetails, scale: int
+    ) -> np.ndarray:
+        """One inverse 2-D stage, one macro-cycle at a time (reference)."""
+        half = data.shape[0]
+        size = 2 * half
+        # Undo the column transform (columns were filtered last going forward).
+        row_lo = np.zeros((size, half), dtype=np.int64)
+        row_hi = np.zeros((size, half), dtype=np.int64)
+        for col in range(half):
+            row_lo[:, col] = self.datapath.synthesize_line(
+                data[:, col], entry.hg[:, col], scale, "columns"
+            )
+            row_hi[:, col] = self.datapath.synthesize_line(
+                entry.gh[:, col], entry.gg[:, col], scale, "columns"
+            )
+        # Undo the row transform, landing in the coarser format.
+        out = np.zeros((size, size), dtype=np.int64)
+        for row in range(size):
+            out[row] = self.datapath.synthesize_line(
+                row_lo[row], row_hi[row], scale, "rows"
+            )
+        return out
+
+    def _inverse_scale_fast(
+        self, data: np.ndarray, entry: ScaleDetails, scale: int
+    ) -> np.ndarray:
+        """One inverse 2-D stage as three whole-pass array calls."""
+        fast = self.fast_datapath
+        row_lo = fast.synthesize_lines(data.T, entry.hg.T, scale, "columns").T
+        row_hi = fast.synthesize_lines(entry.gh.T, entry.gg.T, scale, "columns").T
+        return fast.synthesize_lines(row_lo, row_hi, scale, "rows")
 
     # -- internals ---------------------------------------------------------------------
     def _validate_image(self, image: np.ndarray) -> np.ndarray:
@@ -291,7 +379,9 @@ class DwtAccelerator:
             raise ValueError(
                 f"image size {image.shape[0]} is not divisible by 2^{self.config.scales}"
             )
-        return image.astype(np.int64)
+        # No copy when the caller already holds int64 pixels; the transform
+        # never mutates its input in place.
+        return np.asarray(image, dtype=np.int64)
 
     def _mosaic_stored(self, pyramid: FixedPointPyramid) -> np.ndarray:
         """Mosaic of the stored-integer subbands (the frame's final contents)."""

@@ -21,7 +21,7 @@ software implementation") is asserted by the integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -112,6 +112,11 @@ class Datapath:
         )
         self.stats = DatapathStats()
         self.fifo = VariableDepthFifo(depth=0, capacity=config.image_size // 2)
+        # Synthesis window tables, built lazily per output length (the taps
+        # are fixed for the datapath's lifetime, so the modular index
+        # arithmetic is computed once per line length instead of once per
+        # output sample).
+        self._synthesis_plans: Dict[int, List[Tuple[List[int], List[int], List[int]]]] = {}
 
     # -- configuration queries ------------------------------------------------------
     def format_for_scale(self, scale: int) -> QFormat:
@@ -202,6 +207,45 @@ class Datapath:
         self.stats.dram_writes += n
         return low, high
 
+    # -- synthesis window tables --------------------------------------------------------
+    def synthesis_plan(self, out_len: int) -> List[Tuple[List[int], List[int], List[int]]]:
+        """Per-output-sample synthesis windows for a length-``out_len`` line.
+
+        Entry ``m`` is ``(low_positions, high_positions, coefficients)``: the
+        half-band sample positions whose taps land on output ``m`` and the
+        stored coefficients in MAC order (``ht`` contributions first, then
+        ``gt``).  The table depends only on ``out_len`` and the quantised
+        synthesis taps, so it is computed once per line length and cached —
+        the per-sample ``(m - idx) % out_len`` re-derivation is gone from the
+        inner loop.  The cache assumes the quantised taps are immutable (they
+        are, short of deliberate fault injection).
+        """
+        plan = self._synthesis_plans.get(out_len)
+        if plan is not None:
+            return plan
+        qht = self.coeff_ram.quantized("ht")
+        qgt = self.coeff_ram.quantized("gt")
+        plan = []
+        for m in range(out_len):
+            low_positions: List[int] = []
+            high_positions: List[int] = []
+            coefficients: List[int] = []
+            # Contributions of the low-pass branch: taps ht[m - 2k], i.e.
+            # m - 2k = idx (mod out_len)  =>  k = (m - idx) / 2 when even.
+            for idx, stored in zip(qht.indices, qht.stored_taps):
+                numerator = (m - idx) % out_len
+                if numerator % 2 == 0:
+                    low_positions.append(numerator // 2)
+                    coefficients.append(stored)
+            for idx, stored in zip(qgt.indices, qgt.stored_taps):
+                numerator = (m - idx) % out_len
+                if numerator % 2 == 0:
+                    high_positions.append(numerator // 2)
+                    coefficients.append(stored)
+            plan.append((low_positions, high_positions, coefficients))
+        self._synthesis_plans[out_len] = plan
+        return plan
+
     # -- synthesis (inverse) line pass ---------------------------------------------------
     def synthesize_line(
         self, low: np.ndarray, high: np.ndarray, scale: int, pass_name: str
@@ -220,25 +264,13 @@ class Datapath:
         out_len = 2 * half
         entry = self.alignment.entry("inverse", scale, pass_name)
         target = entry.target_format
-        qht = self.coeff_ram.quantized("ht")
-        qgt = self.coeff_ram.quantized("gt")
+        plan = self.synthesis_plan(out_len)
 
         out = np.zeros(out_len, dtype=np.int64)
         for m in range(out_len):
-            window: List[int] = []
-            coefficients: List[int] = []
-            # Contributions of the low-pass branch: taps ht[m - 2k].
-            for idx, stored in zip(qht.indices, qht.stored_taps):
-                # m - 2k = idx  (mod out_len)  =>  k = (m - idx) / 2
-                numerator = (m - idx) % out_len
-                if numerator % 2 == 0:
-                    window.append(int(low[numerator // 2]))
-                    coefficients.append(stored)
-            for idx, stored in zip(qgt.indices, qgt.stored_taps):
-                numerator = (m - idx) % out_len
-                if numerator % 2 == 0:
-                    window.append(int(high[numerator // 2]))
-                    coefficients.append(stored)
+            low_positions, high_positions, coefficients = plan[m]
+            window = [int(low[k]) for k in low_positions]
+            window += [int(high[k]) for k in high_positions]
             self.stats.coefficient_reads += len(coefficients)
             acc = self.mac.convolve(window, coefficients)
             value = self.alignment.align(acc, "inverse", scale, pass_name)

@@ -18,6 +18,21 @@ Two codec families are supported, selected by name:
 Both run on the vectorised entropy-coding engine by default;
 ``engine="scalar"`` swaps in the bit-by-bit reference implementations
 (byte-identical output, used by the validation tests).
+
+The transform stage itself is also selectable.  ``transform="software"``
+(default) runs the codec's own software transform; ``transform="accelerator"``
+drives the cycle-accurate architecture model
+(:class:`~repro.arch.accelerator.DwtAccelerator`) instead, giving a single
+batched image → accelerator transform → entropy codec → bitstream path whose
+per-frame :class:`~repro.arch.accelerator.AcceleratorRunReport`\\ s (cycles,
+utilisation, DRAM traffic) are collected next to the per-stage wall-clock
+stats.  The accelerator transform is bit-identical to the software
+fixed-point transform, so streams are wire-compatible across transforms; it
+is only available for the ``"coefficient"`` codec (the s-transform codec
+uses a lifting transform the paper's datapath does not implement) and
+requires square frames, as the architecture does.  ``transform_engine``
+picks the accelerator engine (``"fast"`` whole-pass arrays by default,
+``"scalar"`` for the per-macro-cycle reference).
 """
 
 from __future__ import annotations
@@ -28,6 +43,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..arch.accelerator import AcceleratorRunReport, DwtAccelerator
+from ..arch.config import ArchitectureConfig
+from ..filters.catalog import get_bank
 from .codec import CompressedImage, LosslessWaveletCodec
 from .s_transform import CompressedSImage, STransformCodec
 
@@ -38,6 +56,9 @@ __all__ = [
     "compress_frames",
     "decompress_frames",
 ]
+
+#: Transform-stage back ends of the batched pipeline.
+TRANSFORMS = ("software", "accelerator")
 
 #: Pipeline stage names, in dataflow order.
 ENCODE_STAGES = ("transform", "entropy_encode")
@@ -53,6 +74,9 @@ class PipelineStats:
     raw_bytes: int = 0
     compressed_bytes: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: One run report per frame when the accelerator transform is used
+    #: (empty on the software-transform path).
+    accelerator_reports: List[AcceleratorRunReport] = field(default_factory=list)
 
     def add_stage(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
@@ -97,6 +121,7 @@ class CompressedBatch:
     codec_options: Dict
     streams: List[Union[CompressedImage, CompressedSImage]]
     stats: PipelineStats
+    transform: str = "software"
 
     def __len__(self) -> int:
         return len(self.streams)
@@ -169,11 +194,74 @@ def _frame_scales(shape: Tuple[int, int], requested: int) -> int:
     return scales
 
 
+class _AcceleratorCache:
+    """Per-(size, scales) accelerator instances sharing the codec's plan.
+
+    The accelerator is built from the codec's filter bank and word-length
+    plan, so its pyramids are bit-identical to the codec's own software
+    transform and the entropy-coded streams stay wire-compatible across
+    transforms.
+    """
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        self._instances: Dict[Tuple[int, int], DwtAccelerator] = {}
+
+    def for_codec(self, codec: LosslessWaveletCodec, size: int, scales: int) -> DwtAccelerator:
+        key = (size, scales)
+        if key not in self._instances:
+            # The architecture config looks the bank up by name, so the
+            # codec's bank must be the catalog instance of that name — a
+            # custom bank object would silently filter with different taps.
+            try:
+                catalog_bank = get_bank(codec.bank.name)
+            except (KeyError, ValueError):
+                catalog_bank = None
+            if catalog_bank is not codec.bank:
+                raise ValueError(
+                    "transform='accelerator' requires a Table I catalog filter "
+                    f"bank; the codec uses a custom bank {codec.bank.name!r}"
+                )
+            config = ArchitectureConfig(
+                image_size=size, scales=scales, bank_name=codec.bank.name
+            )
+            self._instances[key] = DwtAccelerator(
+                config, plan=codec.plan, engine=self.engine
+            )
+        return self._instances[key]
+
+
+def _check_transform(transform: str, codec: str) -> str:
+    if transform not in TRANSFORMS:
+        raise ValueError(
+            f"unknown transform {transform!r} (expected one of {TRANSFORMS})"
+        )
+    if transform == "accelerator" and codec != "coefficient":
+        raise ValueError(
+            "transform='accelerator' is only available for the 'coefficient' "
+            "codec: the architecture model computes the filter-bank DWT, not "
+            f"the {codec!r} codec's transform"
+        )
+    return transform
+
+
+def _accelerator_frame(frame: np.ndarray, codec: LosslessWaveletCodec) -> np.ndarray:
+    """Validate a frame for the accelerator path (square + declared bit depth)."""
+    if frame.ndim != 2 or frame.shape[0] != frame.shape[1]:
+        raise ValueError(
+            "transform='accelerator' processes square frames only "
+            f"(got shape {tuple(frame.shape)})"
+        )
+    return codec.validate_image(frame)
+
+
 def compress_frames(
     frames: Sequence[np.ndarray],
     codec: str = "s-transform",
     scales: int = 4,
     engine: str = "fast",
+    transform: str = "software",
+    transform_engine: str = "fast",
     **codec_options,
 ) -> CompressedBatch:
     """Losslessly compress a batch of integer frames end to end.
@@ -181,15 +269,31 @@ def compress_frames(
     ``frames`` may mix sizes; each frame is decomposed to
     ``min(scales, deepest depth its geometry supports)``.  Per-stage
     wall-clock totals are accumulated in the returned batch's ``stats``.
+
+    ``transform="accelerator"`` replaces the software transform stage with
+    the cycle-accurate accelerator model (``"coefficient"`` codec, square
+    frames); its per-frame run reports land in ``stats.accelerator_reports``
+    and the streams stay bit-identical to the software path.
+    ``transform_engine`` selects the accelerator engine (``"fast"`` by
+    default, or ``"scalar"``).
     """
+    _check_transform(transform, codec)
     cache = _CodecCache(codec, engine, codec_options)
+    accelerators = _AcceleratorCache(transform_engine)
     stats = PipelineStats()
     streams: List[Union[CompressedImage, CompressedSImage]] = []
     for frame in frames:
         frame = np.asarray(frame)
-        instance = cache.for_scales(_frame_scales(frame.shape, scales))
+        frame_scales = _frame_scales(frame.shape, scales)
+        instance = cache.for_scales(frame_scales)
         began = time.perf_counter()
-        pyramid = instance.forward_transform(frame)
+        if transform == "accelerator":
+            frame = _accelerator_frame(frame, instance)
+            accelerator = accelerators.for_codec(instance, frame.shape[0], frame_scales)
+            pyramid, report = accelerator.forward(frame)
+            stats.accelerator_reports.append(report)
+        else:
+            pyramid = instance.forward_transform(frame)
         transformed = time.perf_counter()
         stream = instance.encode_pyramid(pyramid, frame.shape)
         encoded = time.perf_counter()
@@ -206,19 +310,26 @@ def compress_frames(
         codec_options=dict(codec_options),
         streams=streams,
         stats=stats,
+        transform=transform,
     )
 
 
 def decompress_frames(
     batch: CompressedBatch,
     engine: Optional[str] = None,
+    transform: Optional[str] = None,
+    transform_engine: str = "fast",
 ) -> Tuple[List[np.ndarray], PipelineStats]:
     """Reconstruct every frame of a batch bit for bit.
 
-    Returns ``(frames, stats)``; ``engine`` overrides the batch's engine
-    (the streams are wire-compatible across engines).
+    Returns ``(frames, stats)``; ``engine`` overrides the batch's engine and
+    ``transform`` its transform back end (the streams are wire-compatible
+    across engines *and* transforms, because the accelerator model is
+    bit-identical to the software transform).
     """
+    transform = _check_transform(transform or batch.transform, batch.codec)
     cache = _CodecCache(batch.codec, engine or batch.engine, batch.codec_options)
+    accelerators = _AcceleratorCache(transform_engine)
     stats = PipelineStats()
     frames: List[np.ndarray] = []
     for stream in batch.streams:
@@ -226,7 +337,14 @@ def decompress_frames(
         began = time.perf_counter()
         pyramid = instance.decode_pyramid(stream)
         decoded = time.perf_counter()
-        frame = instance.inverse_transform(pyramid)
+        if transform == "accelerator":
+            accelerator = accelerators.for_codec(
+                instance, stream.image_shape[0], stream.scales
+            )
+            frame, report = accelerator.inverse(pyramid)
+            stats.accelerator_reports.append(report)
+        else:
+            frame = instance.inverse_transform(pyramid)
         finished = time.perf_counter()
         stats.add_stage("entropy_decode", decoded - began)
         stats.add_stage("inverse", finished - decoded)

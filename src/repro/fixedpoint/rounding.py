@@ -41,8 +41,18 @@ def round_half_up_shift(value: IntOrArray, shift: int) -> IntOrArray:
     if shift == 0:
         return value
     if isinstance(value, np.ndarray):
+        if shift > 62:
+            # Mask arithmetic below needs 2**shift to fit in int64; this
+            # range is exact (and rare enough to take the slow path).
+            flat = [round_half_up_shift(int(v), shift) for v in value.ravel().tolist()]
+            return np.array(flat, dtype=np.int64).reshape(value.shape)
+        # Decomposed so the addition cannot wrap at the int64 boundary
+        # (v + half can; (v mod 2**shift) + half is < 2**shift + 2**(shift-1)):
+        # floor((v + h) / 2**s) == (v >> s) + (((v mod 2**s) + h) >> s).
+        s = np.int64(shift)
         half = np.int64(1) << np.int64(shift - 1)
-        return (value + half) >> np.int64(shift)
+        mask = (np.int64(1) << s) - np.int64(1)
+        return (value >> s) + (((value & mask) + half) >> s)
     return (int(value) + (1 << (shift - 1))) >> shift
 
 
@@ -78,10 +88,18 @@ def wrap_twos_complement(value: IntOrArray, word_length: int) -> IntOrArray:
     """
     if word_length < 1:
         raise ValueError("word_length must be at least 1")
+    if isinstance(value, np.ndarray):
+        if word_length >= 64:
+            # int64 storage already is 64-bit two's complement, and any
+            # int64 value fits a wider word unchanged.
+            return value
+        # Bitwise form: the Python-int modulus 2**word_length does not fit
+        # int64 at word_length 63, but the mask and half-range do.
+        mask = np.int64((1 << word_length) - 1)
+        half_np = np.int64(1 << (word_length - 1))
+        wrapped = value & mask
+        return np.where(wrapped >= half_np, wrapped - half_np - half_np, wrapped)
     modulus = 1 << word_length
     half = 1 << (word_length - 1)
-    if isinstance(value, np.ndarray):
-        wrapped = np.mod(value, modulus)
-        return np.where(wrapped >= half, wrapped - modulus, wrapped)
     wrapped = int(value) % modulus
     return wrapped - modulus if wrapped >= half else wrapped

@@ -263,7 +263,9 @@ class FixedPointDWT:
         if not np.issubdtype(image.dtype, np.integer):
             if not np.all(image == np.round(image)):
                 raise ValueError("input image must contain integer pixel values")
-        data = image.astype(np.int64)
+        # asarray: no copy when the input is already int64 (the transform
+        # never mutates its input in place).
+        data = np.asarray(image, dtype=np.int64)
         FxArray(data, self.plan.input_format).check_range("raise")
 
         details: List[ScaleDetails] = []
@@ -306,7 +308,8 @@ class FixedPointDWT:
             row_hi = self._synthesis_1d(entry.gh.T, entry.gg.T, frac, source).T
             # Then undo the row transform, landing in the coarser format.
             data = self._synthesis_1d(row_lo, row_hi, frac, target)
-        return data.astype(np.int64)
+        # _synthesis_1d already returns int64; avoid a redundant full-image copy.
+        return np.asarray(data, dtype=np.int64)
 
     # -- convenience -----------------------------------------------------------------
     def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, FixedPointPyramid]:

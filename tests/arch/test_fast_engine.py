@@ -1,0 +1,270 @@
+"""Scalar/fast accelerator-engine equivalence (outputs, stats, counters, DRAM).
+
+The fast engine must be indistinguishable from the scalar reference in every
+observable: subband words, reconstructions, ``DatapathStats``, MAC operation
+counters, coefficient-RAM reads, FIFO push/pop accounting, the macro-cycle /
+refresh counter and the derived run reports.  The quick checks here run in
+tier-1; the big size/scale matrix runs under ``-m slow``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import DwtAccelerator
+from repro.arch.config import ArchitectureConfig
+from repro.arch.datapath import Datapath
+from repro.arch.fast_datapath import FastDatapath
+from repro.imaging.phantoms import random_image, shepp_logan
+
+
+def make_pair(size, scales, **kwargs):
+    config = ArchitectureConfig(image_size=size, scales=scales)
+    return (
+        DwtAccelerator(config, engine="scalar", **kwargs),
+        DwtAccelerator(config, engine="fast", **kwargs),
+    )
+
+
+def assert_datapath_state_equal(scalar: Datapath, fast: Datapath) -> None:
+    """Every counter the two engines expose must agree exactly."""
+    assert scalar.stats == fast.stats
+    assert scalar.mac.stats == fast.mac.stats
+    assert scalar.mac.accumulator == fast.mac.accumulator
+    assert scalar.coeff_ram.reads == fast.coeff_ram.reads
+    assert (scalar.counter.macrocycles, scalar.counter.refreshes) == (
+        fast.counter.macrocycles,
+        fast.counter.refreshes,
+    )
+    assert scalar.counter._since_refresh == fast.counter._since_refresh
+    assert (scalar.fifo.depth, scalar.fifo.pushes, scalar.fifo.pops) == (
+        fast.fifo.depth,
+        fast.fifo.pushes,
+        fast.fifo.pops,
+    )
+
+
+def assert_pyramids_equal(a, b):
+    assert np.array_equal(a.approximation, b.approximation)
+    assert len(a.details) == len(b.details)
+    for ours, theirs in zip(a.details, b.details):
+        assert np.array_equal(ours.hg, theirs.hg)
+        assert np.array_equal(ours.gh, theirs.gh)
+        assert np.array_equal(ours.gg, theirs.gg)
+
+
+def assert_roundtrip_equivalent(size, scales, image):
+    scalar, fast = make_pair(size, scales)
+    pyramid_s, forward_s = scalar.forward(image)
+    pyramid_f, forward_f = fast.forward(image)
+    assert_pyramids_equal(pyramid_s, pyramid_f)
+    assert dataclasses.asdict(forward_s) == dataclasses.asdict(forward_f)
+    assert_datapath_state_equal(scalar.datapath, fast.datapath)
+
+    out_s, inverse_s = scalar.inverse(pyramid_s)
+    out_f, inverse_f = fast.inverse(pyramid_f)
+    assert np.array_equal(out_s, out_f)
+    assert np.array_equal(out_f, image)
+    assert dataclasses.asdict(inverse_s) == dataclasses.asdict(inverse_f)
+    assert_datapath_state_equal(scalar.datapath, fast.datapath)
+
+
+# ---------------------------------------------------------------------------
+# Tier-1: line-level and small whole-image equivalence
+# ---------------------------------------------------------------------------
+
+class TestLinePasses:
+    @pytest.fixture()
+    def pair(self):
+        config = ArchitectureConfig(image_size=64, scales=3)
+        scalar = Datapath(config)
+        reference = Datapath(config)
+        return scalar, reference, FastDatapath(reference)
+
+    def test_analyze_lines_matches_per_line_scalar(self, pair, rng):
+        scalar, reference, fast = pair
+        lines = rng.integers(0, 4096, size=(7, 64)).astype(np.int64)
+        low_f, high_f = fast.analyze_lines(lines, 1, "rows")
+        for row in range(lines.shape[0]):
+            low_s, high_s = scalar.analyze_line(lines[row], 1, "rows")
+            assert np.array_equal(low_f[row], low_s)
+            assert np.array_equal(high_f[row], high_s)
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_synthesize_lines_matches_per_line_scalar(self, pair, rng):
+        scalar, reference, fast = pair
+        low = rng.integers(-4096, 4096, size=(5, 32)).astype(np.int64)
+        high = rng.integers(-4096, 4096, size=(5, 32)).astype(np.int64)
+        out_f = fast.synthesize_lines(low, high, 1, "columns")
+        for row in range(low.shape[0]):
+            out_s = scalar.synthesize_line(low[row], high[row], 1, "columns")
+            assert np.array_equal(out_f[row], out_s)
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_interleaved_scalar_and_fast_passes_share_state(self, pair, rng):
+        scalar, reference, fast = pair
+        lines = rng.integers(0, 4096, size=(4, 64)).astype(np.int64)
+        # Mixed usage: fast pass, then scalar line on the same datapath.
+        fast.analyze_lines(lines[:2], 1, "rows")
+        reference.analyze_line(lines[2], 1, "rows")
+        for row in range(3):
+            scalar.analyze_line(lines[row], 1, "rows")
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_bad_shapes_rejected(self, pair):
+        _, _, fast = pair
+        with pytest.raises(ValueError):
+            fast.analyze_lines(np.zeros(64, dtype=np.int64), 1, "rows")
+        with pytest.raises(ValueError):
+            fast.analyze_lines(np.zeros((2, 63), dtype=np.int64), 1, "rows")
+        with pytest.raises(ValueError):
+            fast.synthesize_lines(
+                np.zeros((2, 8), dtype=np.int64), np.zeros((2, 4), dtype=np.int64), 1, "rows"
+            )
+
+    def test_empty_batch_returns_empty_and_counts_nothing(self, pair):
+        scalar, reference, fast = pair
+        low, high = fast.analyze_lines(np.zeros((0, 64), dtype=np.int64), 1, "rows")
+        assert low.shape == (0, 32) and high.shape == (0, 32)
+        out = fast.synthesize_lines(
+            np.zeros((0, 32), dtype=np.int64), np.zeros((0, 32), dtype=np.int64), 1, "rows"
+        )
+        assert out.shape == (0, 64)
+        assert_datapath_state_equal(scalar, reference)
+
+
+class TestOverflowPolicies:
+    """The vectorised overflow handling must track the scalar word check."""
+
+    @pytest.mark.parametrize("policy", ["saturate", "wrap"])
+    def test_policy_equivalence_on_hot_line(self, policy, rng):
+        config = ArchitectureConfig(image_size=32, scales=1)
+        scalar = Datapath(config, overflow_policy=policy)
+        reference = Datapath(config, overflow_policy=policy)
+        fast = FastDatapath(reference)
+        # Full-scale alternating line: large accumulators, exercises the policy.
+        fmt = scalar.format_for_scale(0)
+        line = np.where(np.arange(32) % 2 == 0, fmt.max_int, fmt.min_int).astype(np.int64)
+        lines = np.tile(line, (3, 1))
+        low_f, high_f = fast.analyze_lines(lines, 1, "rows")
+        for row in range(3):
+            low_s, high_s = scalar.analyze_line(lines[row], 1, "rows")
+            assert np.array_equal(low_f[row], low_s)
+            assert np.array_equal(high_f[row], high_s)
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_narrow_accumulator_equivalence(self, rng):
+        # Narrow-accumulator ablation: the scalar MAC wraps after every MAC;
+        # the fast engine's single final wrap must land on the same words.
+        config = ArchitectureConfig(image_size=32, scales=1, accumulator_bits=48)
+        scalar = Datapath(config, overflow_policy="wrap")
+        reference = Datapath(config, overflow_policy="wrap")
+        fast = FastDatapath(reference)
+        lines = rng.integers(0, 4096, size=(4, 32)).astype(np.int64)
+        low_f, high_f = fast.analyze_lines(lines, 1, "rows")
+        for row in range(4):
+            low_s, high_s = scalar.analyze_line(lines[row], 1, "rows")
+            assert np.array_equal(low_f[row], low_s)
+            assert np.array_equal(high_f[row], high_s)
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_wide_word_length_equivalence(self, rng):
+        # 64-bit datapath-word ablation: the operand wrap is an identity on
+        # int64 storage and must not crash the (default) fast engine.
+        config = ArchitectureConfig(image_size=32, scales=1, word_length=64)
+        scalar = Datapath(config)
+        reference = Datapath(config)
+        fast = FastDatapath(reference)
+        lines = rng.integers(0, 4096, size=(3, 32)).astype(np.int64)
+        low_f, high_f = fast.analyze_lines(lines, 1, "rows")
+        for row in range(3):
+            low_s, high_s = scalar.analyze_line(lines[row], 1, "rows")
+            assert np.array_equal(low_f[row], low_s)
+            assert np.array_equal(high_f[row], high_s)
+        assert_datapath_state_equal(scalar, reference)
+
+    def test_wide_accumulator_rejected_on_fast_engine(self):
+        config = ArchitectureConfig(image_size=32, scales=1, accumulator_bits=96)
+        fast = FastDatapath(Datapath(config))
+        with pytest.raises(ValueError, match="scalar"):
+            fast.analyze_lines(np.zeros((1, 32), dtype=np.int64), 1, "rows")
+
+    def test_raise_policy_raises_like_scalar(self):
+        from repro.fixedpoint.errors import OverflowPolicyError
+
+        config = ArchitectureConfig(image_size=32, scales=1)
+        scalar = Datapath(config)
+        fast = FastDatapath(Datapath(config))
+        # The word-length plan makes overflow unreachable from in-range
+        # input images (that is the paper's §3 guarantee), so feed the
+        # column pass a full-word alternating line: the high-pass gain on
+        # it pushes the aligned result past the 32-bit word.
+        fmt = scalar.format_for_scale(1)
+        line = np.where(np.arange(32) % 2 == 0, fmt.max_int, fmt.min_int).astype(np.int64)
+        with pytest.raises(OverflowPolicyError):
+            scalar.analyze_line(line, 1, "columns")
+        with pytest.raises(OverflowPolicyError):
+            fast.analyze_lines(line[np.newaxis, :], 1, "columns")
+
+
+class TestEngineApi:
+    def test_unknown_engine_rejected(self):
+        config = ArchitectureConfig(image_size=32, scales=1)
+        with pytest.raises(ValueError):
+            DwtAccelerator(config, engine="vhdl")
+        accelerator = DwtAccelerator(config)
+        with pytest.raises(ValueError):
+            accelerator.forward(np.zeros((32, 32), dtype=np.int64), engine="vhdl")
+
+    def test_default_engine_is_fast_and_overridable(self, random_image_32):
+        config = ArchitectureConfig(image_size=32, scales=2)
+        accelerator = DwtAccelerator(config)
+        assert accelerator.engine == "fast"
+        pyramid_fast, report_fast = accelerator.forward(random_image_32)
+        pyramid_scalar, report_scalar = accelerator.forward(random_image_32, engine="scalar")
+        assert_pyramids_equal(pyramid_fast, pyramid_scalar)
+        assert dataclasses.asdict(report_fast) == dataclasses.asdict(report_scalar)
+
+    def test_roundtrip_engine_override(self, random_image_32):
+        config = ArchitectureConfig(image_size=32, scales=2)
+        accelerator = DwtAccelerator(config, engine="scalar")
+        reconstructed, _, _, _ = accelerator.roundtrip(random_image_32, engine="fast")
+        assert np.array_equal(reconstructed, random_image_32)
+
+
+class TestSmallImageEquivalence:
+    @pytest.mark.parametrize("size,scales", [(32, 1), (32, 3), (64, 2)])
+    def test_random_roundtrip(self, size, scales):
+        assert_roundtrip_equivalent(size, scales, random_image(size, seed=size + scales))
+
+    def test_phantom_roundtrip(self):
+        assert_roundtrip_equivalent(64, 3, shepp_logan(64))
+
+
+# ---------------------------------------------------------------------------
+# Slow matrix: 64-512 pixels, 1-4 scales, random and phantom content
+# ---------------------------------------------------------------------------
+
+SLOW_MATRIX = [
+    (64, 1),
+    (64, 4),
+    (128, 1),
+    (128, 2),
+    (128, 3),
+    (128, 4),
+    (256, 2),
+    (512, 1),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("size,scales", SLOW_MATRIX)
+def test_equivalence_matrix_random(size, scales):
+    assert_roundtrip_equivalent(size, scales, random_image(size, seed=size * 10 + scales))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("size,scales", [(64, 2), (128, 4), (256, 3)])
+def test_equivalence_matrix_phantom(size, scales):
+    assert_roundtrip_equivalent(size, scales, shepp_logan(size))

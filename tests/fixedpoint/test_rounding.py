@@ -47,6 +47,44 @@ class TestRoundHalfUpShift:
         with pytest.raises(ValueError):
             round_half_up_shift(1, -1)
 
+    @pytest.mark.parametrize("shift", [1, 4, 32, 50])
+    def test_array_matches_python_ints_at_int64_boundary(self, shift):
+        # The array path must not wrap when value + half would exceed int64:
+        # it has to agree with the exact arbitrary-precision scalar path
+        # everywhere, including the extreme representable values.
+        edges = np.array(
+            [
+                2**63 - 1,
+                2**63 - 2,
+                2**63 - (1 << (shift - 1)),
+                -(2**63),
+                -(2**63) + 1,
+                0,
+                -1,
+                (1 << shift) - 1,
+            ],
+            dtype=np.int64,
+        )
+        expected = [round_half_up_shift(int(v), shift) for v in edges]
+        assert round_half_up_shift(edges, shift).tolist() == expected
+
+    def test_array_large_shift_falls_back_exactly(self):
+        edges = np.array([2**63 - 1, -(2**63), 123], dtype=np.int64)
+        expected = [round_half_up_shift(int(v), 63) for v in edges]
+        assert round_half_up_shift(edges, 63).tolist() == expected
+
+
+class TestWrapWideWords:
+    @pytest.mark.parametrize("bits", [32, 62, 63, 64])
+    def test_array_matches_python_ints(self, bits):
+        # The array branch must cover the widths whose Python-int modulus
+        # exceeds int64 (63: modulus 2**63; 64: identity on int64 storage).
+        edges = np.array(
+            [2**63 - 1, 2**62, -(2**63), -(2**62) - 1, 0, -1, 1], dtype=np.int64
+        )
+        expected = [wrap_twos_complement(int(v), bits) for v in edges]
+        assert wrap_twos_complement(edges, bits).tolist() == expected
+
 
 class TestTruncateShift:
     def test_truncate_is_floor_division(self):

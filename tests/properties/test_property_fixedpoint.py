@@ -72,7 +72,15 @@ class TestQFormatProperties:
     def test_quantisation_error_bounded(self, fmt, value):
         stored = fmt.to_stored(value)
         if fmt.min_int <= stored <= fmt.max_int:
-            assert abs(fmt.to_real(stored) - value) <= fmt.resolution / 2 + 1e-12
+            # When value * scale approaches float64's exact-integer limit
+            # (large fractional_bits), the rounding inside to_stored can be
+            # off by a ULP of the product — allow that representation error
+            # on top of the half-step quantisation bound.
+            float_slack = abs(value) * 2.0 ** -50
+            assert (
+                abs(fmt.to_real(stored) - value)
+                <= fmt.resolution / 2 + 1e-12 + float_slack
+            )
 
     @given(fmt=formats())
     def test_range_is_consistent(self, fmt):
