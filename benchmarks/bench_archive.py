@@ -1,0 +1,84 @@
+"""Random-access retrieval benchmark of the persistent archive container.
+
+Not a paper table: this is the perf claim behind :mod:`repro.archive` —
+retrieving one frame from an archive must be much cheaper than decoding the
+whole archive, because the reader seeks straight to the frame's payload and
+never touches the rest.  On a 32-frame archive single-frame retrieval must
+beat the full-archive decode by at least 5x (in practice it tracks the
+frame count, ~30x), and the byte counters prove the access pattern: one
+retrieval reads exactly one payload.  The measured numbers are written to
+``benchmarks/reports/bench_archive.json`` so the retrieval trajectory is
+diffable across PRs, like ``bench_accelerator`` and ``bench_coding_engine``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.archive import ArchiveReader, ArchiveWriter
+from repro.imaging import ct_slice_series
+
+pytestmark = pytest.mark.archive
+
+FRAME_COUNT = 32
+FRAME_SIZE = 64
+MIN_SPEEDUP = 5.0
+TARGET_FRAME = 17
+
+
+def _min_seconds(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+def test_random_access_beats_full_decode(tmp_path, save_json_record):
+    """Single-frame retrieval >= 5x faster than decoding all 32 frames."""
+    frames = ct_slice_series(count=FRAME_COUNT, size=FRAME_SIZE, seed=20260728)
+    path = tmp_path / "bench.dwta"
+    began = time.perf_counter()
+    with ArchiveWriter.create(path, codec="s-transform", scales=4) as writer:
+        writer.add_frames(frames)
+    pack_seconds = time.perf_counter() - began
+
+    with ArchiveReader(path) as reader:
+        # Correctness first: random access equals full decode, bit for bit.
+        full, _ = reader.decode_all()
+        single = reader.decode(TARGET_FRAME)
+        assert np.array_equal(single, full[TARGET_FRAME])
+        assert np.array_equal(single, frames[TARGET_FRAME])
+
+        full_seconds = _min_seconds(lambda: reader.decode_all(), repeats=3)
+
+        reader.bytes_read = 0
+        single_seconds = _min_seconds(lambda: reader.decode(TARGET_FRAME), repeats=5)
+        bytes_per_access = reader.bytes_read / 5
+        total_payload = reader.compressed_bytes
+        # The access-pattern proof: one retrieval reads exactly one payload.
+        assert bytes_per_access == reader.frames[TARGET_FRAME].length
+
+        speedup = full_seconds / single_seconds
+        assert speedup >= MIN_SPEEDUP, (
+            f"random access only {speedup:.1f}x over full decode "
+            f"({single_seconds * 1e3:.2f} ms vs {full_seconds * 1e3:.1f} ms)"
+        )
+
+        save_json_record(
+            "bench_archive",
+            {
+                "frame_count": FRAME_COUNT,
+                "frame_size": FRAME_SIZE,
+                "archive_bytes": path.stat().st_size,
+                "payload_bytes": total_payload,
+                "pack_seconds": pack_seconds,
+                "full_decode_seconds": full_seconds,
+                "single_decode_seconds": single_seconds,
+                "speedup": speedup,
+                "bytes_read_per_access": bytes_per_access,
+                "payload_fraction_touched": bytes_per_access / total_payload,
+            },
+        )

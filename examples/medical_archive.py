@@ -1,19 +1,31 @@
 #!/usr/bin/env python3
-"""Medical-image archive scenario: losslessly compress a CT slice series.
+"""Medical-image archive scenario: a persistent, randomly accessible store.
 
 The paper motivates the architecture with the storage and retrieval of
-medical images.  This example builds that workload end to end:
+medical images.  This example runs that workload against a real file using
+the persistent archive container (:mod:`repro.archive`) instead of holding
+everything in memory:
 
-* generate a short series of synthetic 12-bit CT slices (Shepp-Logan
-  phantom with slice-to-slice variation),
-* compress the whole series in one batched pipeline call
-  (:func:`repro.coding.compress_frames`, S-transform codec on the
-  vectorised coding engine) and also through the coefficient-exact codec
-  (the back end that models what the paper's hardware hands to a coder),
-* verify every slice decodes bit-for-bit,
-* write the decoded slices to 16-bit PGM files as an archive would,
-* report per-slice figures, aggregate compression, and the per-stage
-  wall-clock breakdown of the encode and decode pipelines.
+* generate a series of synthetic 12-bit CT slices (Shepp-Logan phantom
+  with slice-to-slice variation),
+* write them to an on-disk archive with :class:`ArchiveWriter` — the
+  batched pipeline (S-transform codec, vectorised coding engine) compresses
+  the series and the container records per-frame index entries, codec
+  metadata and CRC-32 checksums,
+* re-open the archive and *append* a follow-up scan, which never rewrites
+  the frames already stored,
+* list the index, random-access decode a single slice (reading only that
+  slice's payload bytes — the reader counts them), decode a slice range,
+  and bulk-decode everything through the batched pipeline,
+* verify integrity (checksums + deep decode) and export one slice to a
+  16-bit PGM file as a PACS hand-off would.
+
+The same flow is scriptable from the shell::
+
+    python -m repro.archive pack archive.dwta --synthetic 8
+    python -m repro.archive list archive.dwta
+    python -m repro.archive extract archive.dwta slice_004 -o slice.pgm
+    python -m repro.archive verify archive.dwta --deep
 
 Run with:  python examples/medical_archive.py [output_directory]
 """
@@ -26,63 +38,84 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.coding import compress_frames, decompress_frames
-from repro.imaging import archive_dataset, psnr, read_pgm, write_pgm
+from repro.archive import ArchiveReader, ArchiveWriter
+from repro.imaging import archive_dataset, ct_slice_series, read_pgm, write_pgm
 
 
 def main(output_directory: str | None = None) -> None:
     output_dir = Path(output_directory) if output_directory else Path(tempfile.mkdtemp(prefix="dwt_archive_"))
     output_dir.mkdir(parents=True, exist_ok=True)
+    archive_path = output_dir / "ct_series.dwta"
 
     dataset = archive_dataset(slices=6, size=128)
     names = dataset.names()
     frames = [dataset.get(name) for name in names]
 
-    print(f"Archiving {len(dataset)} slices of {dataset.bit_depth}-bit CT data to {output_dir}\n")
+    print(f"Archiving {len(dataset)} slices of {dataset.bit_depth}-bit CT data to {archive_path}\n")
 
-    batch = compress_frames(frames, codec="s-transform", scales=4)
-    decoded, decode_stats = decompress_frames(batch)
-    exact_batch = compress_frames(frames, codec="coefficient", scales=4, bank="F2")
+    # -- write the series ---------------------------------------------------------------
+    with ArchiveWriter.create(archive_path, codec="s-transform", scales=4, overwrite=True) as writer:
+        writer.add_frames(frames, names=names)
+        encode_stats = writer.stats
+    print("Encode pipeline (S-transform codec):")
+    print(encode_stats.render())
 
-    header = f"{'slice':<12} {'raw kB':>8} {'S-codec kB':>11} {'ratio':>7} {'bpp':>6} {'exact-codec kB':>15}"
-    print(header)
-    print("-" * len(header))
+    # -- append a follow-up scan (existing payloads are never rewritten) ----------------
+    followup = ct_slice_series(count=2, size=128, seed=99)
+    with ArchiveWriter.append(archive_path) as writer:
+        writer.add_frames(followup, names=["followup_000", "followup_001"])
 
-    for name, image, reconstructed, stream, exact_stream in zip(
-        names, frames, decoded, batch.streams, exact_batch.streams
-    ):
-        assert np.array_equal(reconstructed, image), "S-transform codec must be lossless"
-
-        path = output_dir / f"{name}.pgm"
-        write_pgm(path, reconstructed, max_value=4095)
-        assert np.array_equal(read_pgm(path), image), "PGM round trip must be exact"
-
+    # -- list, random access, range, bulk decode ----------------------------------------
+    with ArchiveReader(archive_path) as reader:
+        header = f"{'slice':<14} {'size':<10} {'raw kB':>8} {'stored kB':>10} {'ratio':>7}"
+        print(f"\n{archive_path.name}: {len(reader)} frames on disk")
+        print(header)
+        print("-" * len(header))
+        for entry in reader:
+            print(
+                f"{entry.name:<14} {f'{entry.shape[0]}x{entry.shape[1]}':<10} "
+                f"{entry.raw_bytes / 1024:8.1f} {entry.length / 1024:10.1f} "
+                f"{entry.compression_ratio:7.2f}"
+            )
+        print("-" * len(header))
+        total_ratio = reader.raw_bytes / reader.compressed_bytes
         print(
-            f"{name:<12} {stream.original_bytes / 1024:8.1f} "
-            f"{stream.compressed_bytes / 1024:11.1f} {stream.compression_ratio:7.2f} "
-            f"{stream.bits_per_pixel:6.2f} {exact_stream.compressed_bytes / 1024:15.1f}"
+            f"{'TOTAL':<14} {'':<10} {reader.raw_bytes / 1024:8.1f} "
+            f"{reader.compressed_bytes / 1024:10.1f} {total_ratio:7.2f}"
         )
 
-    print("-" * len(header))
-    print(
-        f"{'TOTAL':<12} {batch.original_bytes / 1024:8.1f} "
-        f"{batch.compressed_bytes / 1024:11.1f} {batch.compression_ratio:7.2f}"
-    )
+        # Random access: decode one slice, touching only its payload bytes.
+        slice_004 = reader.decode("slice_004")
+        assert np.array_equal(slice_004, frames[4]), "random access must be lossless"
+        print(
+            f"\nRandom access to slice_004 read {reader.bytes_read} of "
+            f"{reader.compressed_bytes} payload bytes "
+            f"({100.0 * reader.bytes_read / reader.compressed_bytes:.1f}%)"
+        )
 
-    exact_decoded, _ = decompress_frames(exact_batch)
-    assert all(
-        np.array_equal(a, b) for a, b in zip(frames, exact_decoded)
-    ), "coefficient codec must be lossless"
+        # A slice range decodes without touching the rest of the archive.
+        first_two = reader.decode_range(0, 2)
+        assert all(np.array_equal(a, b) for a, b in zip(first_two, frames[:2]))
 
-    print("\nEncode pipeline (S-transform codec):")
-    print(batch.stats.render())
-    print("\nDecode pipeline (S-transform codec):")
-    print(decode_stats.render())
+        # Bulk decode goes back through the batched pipeline, stats included.
+        decoded, decode_stats = reader.decode_all()
+        assert all(
+            np.array_equal(a, b) for a, b in zip(decoded, frames + list(followup))
+        ), "every archived slice must round-trip bit for bit"
+        print("\nDecode pipeline (whole archive through decompress_frames):")
+        print(decode_stats.render())
 
-    # PSNR of infinite dB is the numeric face of "lossless".
-    example = dataset.get("slice_000")
-    print(f"\nPSNR of a decoded slice vs original: {psnr(example, example)} dB (lossless)")
-    print(f"Decoded slices written to {output_dir}")
+        # Integrity: every payload checksummed, then fully decoded.
+        report = reader.verify(deep=True)
+        print(f"\nIntegrity check: {report['frames']} frames OK (deep verify)")
+
+        # Export one slice to PGM, as an archive hand-off would.
+        pgm_path = output_dir / "slice_004.pgm"
+        write_pgm(pgm_path, slice_004, max_value=4095)
+        assert np.array_equal(read_pgm(pgm_path), frames[4]), "PGM round trip must be exact"
+        print(f"slice_004 exported to {pgm_path}")
+
+    print(f"\nArchive and exports written to {output_dir}")
 
 
 if __name__ == "__main__":

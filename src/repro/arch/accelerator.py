@@ -25,6 +25,12 @@ For the paper's 512x512 headline numbers the *analytic* performance model
 with the same closed forms the simulator obeys and converts them to
 seconds, images/s and utilisation.  The analytic model is validated against
 the simulator by the test suite.
+
+Downstream, the accelerator is the ``transform="accelerator"`` back end of
+the batched compression pipeline (:mod:`repro.coding.pipeline`), whose
+output in turn feeds the persistent archive container
+(:mod:`repro.archive`) — so a cycle-accounted transform can sit at the head
+of the same encode path that writes random-access archives to disk.
 """
 
 from __future__ import annotations

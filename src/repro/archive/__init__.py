@@ -1,0 +1,57 @@
+"""Persistent archive container with random-access retrieval.
+
+The paper motivates its fixed-point DWT accelerator with the storage and
+*retrieval* of medical image archives; this package is the storage half of
+that scenario.  An archive is a single file holding many losslessly
+compressed frames behind an index table, so one frame (or a slice range)
+can be located, checksummed and decoded without reading anything else:
+
+``ArchiveWriter``
+    Creates or appends to an archive, compressing frames through the
+    batched pipeline (:func:`repro.coding.pipeline.compress_frames`) or
+    archiving pre-compressed batches/streams as is.
+``ArchiveReader``
+    Lists frames, randomly accesses single frames or ranges, reassembles
+    stored streams into pipeline batches, and verifies integrity.
+``FrameInfo``
+    One frame's index entry (geometry, codec/filter/word-length metadata,
+    payload location and CRC-32).
+
+The on-disk format is defined byte for byte in :mod:`repro.archive.format`
+(and documented in ``docs/archive_format.md``); frame payloads are framed
+through :mod:`repro.coding.bitstream` in :mod:`repro.archive.serialize`.
+A CLI front end runs the scenario end to end against real files::
+
+    python -m repro.archive pack archive.dwta scans/*.pgm
+    python -m repro.archive list archive.dwta
+    python -m repro.archive extract archive.dwta slice_004 -o slice.pgm
+    python -m repro.archive verify archive.dwta --deep
+"""
+
+from .format import (
+    MAGIC,
+    VERSION,
+    ArchiveError,
+    ArchiveFormatError,
+    ArchiveIntegrityError,
+    FrameInfo,
+    TruncatedArchiveError,
+)
+from .reader import ArchiveReader, VerifyReport
+from .serialize import deserialize_stream, serialize_stream
+from .writer import ArchiveWriter
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ArchiveError",
+    "ArchiveFormatError",
+    "ArchiveIntegrityError",
+    "TruncatedArchiveError",
+    "FrameInfo",
+    "ArchiveReader",
+    "VerifyReport",
+    "ArchiveWriter",
+    "serialize_stream",
+    "deserialize_stream",
+]

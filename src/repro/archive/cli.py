@@ -1,0 +1,270 @@
+"""Command-line front end: ``python -m repro.archive <command>``.
+
+Runs the medical-archive scenario end to end against real files:
+
+``pack``
+    Compress PGM files (or a synthetic CT series) into an archive, creating
+    it or appending to it.
+``list``
+    Show the index table — per-frame codec/filter metadata and sizes —
+    without decoding anything (``--json`` for machine-readable output).
+``extract``
+    Random-access decode selected frames (by name or index) and write them
+    as 16-bit PGM files; only the requested frames' payloads are read.
+``verify``
+    Check every frame's checksum; ``--deep`` additionally decodes every
+    frame and cross-checks its geometry against the index.
+
+Exit status is 0 on success and 1 on any archive error (bad format,
+truncation, checksum mismatch), reported as a single-line message on
+stderr — suitable for scripting an archive's health check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..imaging.dataset import archive_dataset
+from ..imaging.io_pgm import read_pgm, write_pgm
+from .format import ArchiveError
+from .reader import ArchiveReader
+from .writer import ArchiveWriter
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.archive",
+        description="Persistent DWT image archive: pack, list, extract, verify.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pack = sub.add_parser("pack", help="compress images into an archive")
+    pack.add_argument("archive", help="archive file to create or append to")
+    pack.add_argument("inputs", nargs="*", help="input PGM files")
+    pack.add_argument("--append", action="store_true", help="append to an existing archive")
+    pack.add_argument("--overwrite", action="store_true", help="replace an existing archive")
+    pack.add_argument(
+        "--codec",
+        choices=("s-transform", "coefficient"),
+        default=None,
+        help="compression codec (default: s-transform, the compressive one; "
+        "with --append, inherited from the archive's last frame)",
+    )
+    pack.add_argument(
+        "--scales",
+        type=int,
+        default=None,
+        help="decomposition depth (default 4; with --append, inherited)",
+    )
+    pack.add_argument("--bank", default="F2", help="filter bank for the coefficient codec")
+    pack.add_argument(
+        "--no-rle",
+        action="store_true",
+        help="disable zero run-length coding (coefficient codec only)",
+    )
+    pack.add_argument(
+        "--bit-depth",
+        type=int,
+        default=None,
+        help="input bit depth (default: inferred from the PGM maxval)",
+    )
+    pack.add_argument(
+        "--engine",
+        choices=("fast", "scalar"),
+        default="fast",
+        help="entropy-coding engine (default fast)",
+    )
+    pack.add_argument(
+        "--synthetic",
+        type=int,
+        metavar="N",
+        default=0,
+        help="instead of input files, pack N synthetic 12-bit CT slices",
+    )
+    pack.add_argument("--size", type=int, default=128, help="synthetic slice size (default 128)")
+    pack.add_argument("--seed", type=int, default=0, help="synthetic series seed")
+
+    list_cmd = sub.add_parser("list", help="list an archive's frames without decoding")
+    list_cmd.add_argument("archive")
+    list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    extract = sub.add_parser("extract", help="random-access decode frames to PGM files")
+    extract.add_argument("archive")
+    extract.add_argument(
+        "frames", nargs="*", help="frame names or indices (default: all frames)"
+    )
+    extract.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output PGM file (single frame) or directory (several frames)",
+    )
+
+    verify = sub.add_parser("verify", help="check the archive's integrity")
+    verify.add_argument("archive")
+    verify.add_argument(
+        "--deep", action="store_true", help="also decode every frame and check geometry"
+    )
+    return parser
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    if bool(args.inputs) == bool(args.synthetic):
+        raise SystemExit("pack needs either input PGM files or --synthetic N, not both")
+    if args.synthetic:
+        dataset = archive_dataset(slices=args.synthetic, size=args.size, seed=args.seed)
+        names = dataset.names()
+        frames = [dataset.get(name) for name in names]
+        bit_depth = args.bit_depth or dataset.bit_depth
+    else:
+        names, frames, max_values = [], [], []
+        for input_path in args.inputs:
+            image, max_value = read_pgm(input_path, return_max_value=True)
+            names.append(Path(input_path).stem)
+            frames.append(image)
+            max_values.append(max_value)
+        bit_depth = args.bit_depth or max(value.bit_length() for value in max_values)
+    options = {"bit_depth": bit_depth}
+    if args.codec == "coefficient":
+        options.update(bank=args.bank, use_rle=not args.no_rle)
+    if args.append:
+        # codec/scales stay None unless given explicitly, so the writer
+        # inherits the archive's own configuration.
+        writer = ArchiveWriter.append(
+            args.archive, codec=args.codec, scales=args.scales, engine=args.engine, **options
+        )
+    else:
+        writer = ArchiveWriter.create(
+            args.archive,
+            codec=args.codec or "s-transform",
+            scales=args.scales if args.scales is not None else 4,
+            engine=args.engine,
+            overwrite=args.overwrite,
+            **options,
+        )
+    with writer:
+        # Appending a second series can reuse source names (slice_000, ...);
+        # suffix duplicates so every stored frame keeps a unique name.
+        taken = set(writer.frame_names)
+        unique: List[str] = []
+        for name in names:
+            candidate, suffix = name, 1
+            while candidate in taken:
+                candidate = f"{name}_{suffix}"
+                suffix += 1
+            taken.add(candidate)
+            unique.append(candidate)
+        entries = writer.add_frames(frames, names=unique)
+        stats = writer.stats
+    print(
+        f"packed {len(entries)} frames into {args.archive} "
+        f"({stats.raw_bytes / 1024:.1f} kB -> {stats.compressed_bytes / 1024:.1f} kB, "
+        f"ratio {stats.compression_ratio:.2f})"
+    )
+    print(stats.render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    with ArchiveReader(args.archive) as reader:
+        if args.json:
+            records = [
+                {
+                    "index": e.index,
+                    "name": e.name,
+                    "codec": e.codec,
+                    "scales": e.scales,
+                    "bit_depth": e.bit_depth,
+                    "shape": list(e.shape),
+                    "bank": e.bank_name,
+                    "use_rle": e.use_rle,
+                    "offset": e.offset,
+                    "stored_bytes": e.length,
+                    "raw_bytes": e.raw_bytes,
+                    "crc32": f"{e.crc32:08x}",
+                }
+                for e in reader
+            ]
+            print(json.dumps(records, indent=2))
+            return 0
+        header = (
+            f"{'idx':>4} {'name':<20} {'codec':<12} {'size':<10} "
+            f"{'sc':>2} {'bits':>4} {'raw kB':>8} {'stored kB':>10} {'ratio':>6}"
+        )
+        print(f"{args.archive}: {len(reader)} frames, format v{reader.header.version}")
+        print(header)
+        print("-" * len(header))
+        for e in reader:
+            size = f"{e.shape[0]}x{e.shape[1]}"
+            print(
+                f"{e.index:>4} {e.name:<20} {e.codec:<12} {size:<10} "
+                f"{e.scales:>2} {e.bit_depth:>4} {e.raw_bytes / 1024:>8.1f} "
+                f"{e.length / 1024:>10.1f} {e.compression_ratio:>6.2f}"
+            )
+        print("-" * len(header))
+        ratio = reader.raw_bytes / reader.compressed_bytes if reader.compressed_bytes else 0.0
+        print(
+            f"{'':>4} {'TOTAL':<20} {'':<12} {'':<10} {'':>2} {'':>4} "
+            f"{reader.raw_bytes / 1024:>8.1f} {reader.compressed_bytes / 1024:>10.1f} "
+            f"{ratio:>6.2f}"
+        )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    with ArchiveReader(args.archive) as reader:
+        keys: List = list(args.frames) if args.frames else list(range(len(reader)))
+        keys = [int(key) if isinstance(key, str) and key.lstrip("-").isdigit() else key for key in keys]
+        output = Path(args.output)
+        single = len(keys) == 1 and not output.is_dir()
+        if not single:
+            output.mkdir(parents=True, exist_ok=True)
+        for key in keys:
+            entry = reader.find(key)
+            image = reader.decode(entry)
+            path = output if single else output / f"{entry.name}.pgm"
+            write_pgm(path, image, max_value=(1 << entry.bit_depth) - 1)
+            print(f"extracted {entry.name} ({entry.shape[0]}x{entry.shape[1]}) -> {path}")
+        print(f"read {reader.bytes_read} of {reader.compressed_bytes} payload bytes")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    with ArchiveReader(args.archive) as reader:
+        report = reader.verify(deep=args.deep)
+    mode = "deep (checksums + full decode)" if args.deep else "checksums"
+    print(
+        f"{args.archive}: OK — {report['frames']} frames, "
+        f"{report['payload_bytes']} payload bytes verified ({mode})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "pack": _cmd_pack,
+    "list": _cmd_list,
+    "extract": _cmd_extract,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ArchiveError, OSError, KeyError) as exc:
+        # KeyError's str() wraps the message in quotes; OSError's carries
+        # the strerror and filename.
+        message = exc.args[0] if isinstance(exc, (ArchiveError, KeyError)) else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

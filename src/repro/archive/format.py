@@ -1,0 +1,320 @@
+"""Byte-level definition of the archive container format (version 1).
+
+This module is the single source of truth for the on-disk layout; the
+hand-written specification in ``docs/archive_format.md`` documents the same
+layout field by field and must be kept in sync.  Everything here is
+plain byte bookkeeping — header and index (de)serialisation, CRC-32
+checksums, and the exception taxonomy — so the writer and reader share one
+implementation of the format and the format is reviewable independently of
+either.
+
+Layout summary (all integers little-endian)::
+
+    +--------------------+  offset 0
+    |  header (40 bytes) |  magic, version, frame count, index pointer, CRCs
+    +--------------------+  offset 40
+    |  frame payload 0   |  serialised compressed stream (see serialize.py)
+    |  frame payload 1   |
+    |  ...               |
+    +--------------------+  offset = header.index_offset
+    |  index table       |  one variable-length entry per frame
+    +--------------------+  EOF
+
+The index lives at the *end* of the file so appending never rewrites frame
+payloads: an appending writer adds payloads after the old index (which stays
+valid, and pointed to, until the new one is on disk) and finishes with a
+fresh index plus a patched header.  A header whose ``index_offset`` is zero
+marks an archive that was never finalised (the writer crashed before
+``close``), which the reader reports as a clean error instead of garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, List, Tuple
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "CODEC_IDS",
+    "CODEC_NAMES_BY_ID",
+    "KIND_IDS",
+    "KINDS_BY_ID",
+    "FLAG_USE_RLE",
+    "ArchiveError",
+    "ArchiveFormatError",
+    "TruncatedArchiveError",
+    "ArchiveIntegrityError",
+    "crc32",
+    "Header",
+    "FrameInfo",
+    "pack_header",
+    "unpack_header",
+    "read_header",
+    "pack_index",
+    "unpack_index",
+    "read_index",
+]
+
+#: File magic: identifies a repro DWT archive.  The trailing byte is NUL so
+#: the magic is exactly 8 bytes and never valid UTF-8 text.
+MAGIC = b"RPRDWTA\x00"
+
+#: Current container format version.  Readers reject newer versions.
+VERSION = 1
+
+#: Fixed header size in bytes (the header is always at offset 0).
+HEADER_SIZE = 40
+
+#: ``<`` little-endian: magic, version, flags, frame_count, index_offset,
+#: index_size, index_crc, header_crc — 8+2+2+4+8+8+4+4 = 40 bytes.
+_HEADER_STRUCT = struct.Struct("<8sHHIQQII")
+
+#: Fixed tail of an index entry, after the length-prefixed frame name:
+#: payload_offset, payload_length, payload_crc, codec_id, scales, bit_depth,
+#: flags, height, width, raw_bytes — 8+8+4+1+1+1+1+4+4+8 = 40 bytes
+#: (followed by the length-prefixed filter-bank name).
+_ENTRY_STRUCT = struct.Struct("<QQIBBBBIIQ")
+
+#: Codec identifiers stored in index entries and frame payloads.  Keyed by
+#: the codec names the batched pipeline uses (see
+#: :data:`repro.coding.pipeline.CODEC_NAMES`).
+CODEC_IDS = {"s-transform": 1, "coefficient": 2}
+CODEC_NAMES_BY_ID = {v: k for k, v in CODEC_IDS.items()}
+
+#: Subband kind identifiers used by the payload serialiser.
+KIND_IDS = {"HH": 0, "HG": 1, "GH": 2, "GG": 3}
+KINDS_BY_ID = {v: k for k, v in KIND_IDS.items()}
+
+#: Index-entry flag bit 0: the coefficient codec ran zero run-length coding
+#: before the Rice coder (``use_rle``).  Always clear for the s-transform.
+FLAG_USE_RLE = 0x01
+
+
+class ArchiveError(Exception):
+    """Base class of every archive-layer error."""
+
+
+class ArchiveFormatError(ArchiveError):
+    """The bytes are not a valid archive (bad magic, version, structure)."""
+
+
+class TruncatedArchiveError(ArchiveFormatError):
+    """The file ends before a structure the header/index declares."""
+
+
+class ArchiveIntegrityError(ArchiveError):
+    """A stored checksum does not match the bytes on disk."""
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE 802.3, as :func:`zlib.crc32`) as an unsigned 32-bit int."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Header:
+    """Parsed fixed-size file header."""
+
+    version: int
+    flags: int
+    frame_count: int
+    index_offset: int
+    index_size: int
+    index_crc: int
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """One frame's index entry: everything needed to retrieve it alone.
+
+    ``offset``/``length``/``crc32`` locate and checksum the payload;
+    the codec/filter/word-length configuration (``codec``, ``scales``,
+    ``bit_depth``, ``bank_name``, ``use_rle``) reconstructs the exact codec
+    that wrote it, so a single frame can be decoded without touching any
+    other payload.
+    """
+
+    index: int
+    name: str
+    codec: str
+    scales: int
+    bit_depth: int
+    shape: Tuple[int, int]
+    offset: int
+    length: int
+    crc32: int
+    raw_bytes: int
+    bank_name: str = ""
+    use_rle: bool = False
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / self.length if self.length else float("inf")
+
+
+def pack_header(header: Header) -> bytes:
+    """Serialise a header; the trailing CRC covers the preceding 36 bytes."""
+    body = _HEADER_STRUCT.pack(
+        MAGIC,
+        header.version,
+        header.flags,
+        header.frame_count,
+        header.index_offset,
+        header.index_size,
+        header.index_crc,
+        0,
+    )[: HEADER_SIZE - 4]
+    return body + struct.pack("<I", crc32(body))
+
+
+def unpack_header(data: bytes) -> Header:
+    """Parse and validate the fixed-size header."""
+    if len(data) < HEADER_SIZE:
+        raise TruncatedArchiveError(
+            f"file too short for an archive header ({len(data)} < {HEADER_SIZE} bytes)"
+        )
+    magic, version, flags, frame_count, index_offset, index_size, index_crc, stored_crc = (
+        _HEADER_STRUCT.unpack(data[:HEADER_SIZE])
+    )
+    if magic != MAGIC:
+        raise ArchiveFormatError(f"not an archive: bad magic {magic!r}")
+    if stored_crc != crc32(data[: HEADER_SIZE - 4]):
+        raise ArchiveIntegrityError("header checksum mismatch")
+    if version > VERSION:
+        raise ArchiveFormatError(
+            f"archive format version {version} is newer than supported ({VERSION})"
+        )
+    return Header(
+        version=version,
+        flags=flags,
+        frame_count=frame_count,
+        index_offset=index_offset,
+        index_size=index_size,
+        index_crc=index_crc,
+    )
+
+
+def read_header(fh: BinaryIO) -> Header:
+    """Read the header from an open file (positioned anywhere)."""
+    fh.seek(0)
+    return unpack_header(fh.read(HEADER_SIZE))
+
+
+def pack_index(entries: List[FrameInfo]) -> bytes:
+    """Serialise the index table (entries back to back, no trailing CRC —
+    the index CRC lives in the header so the header alone authenticates
+    the whole directory)."""
+    parts: List[bytes] = []
+    for entry in entries:
+        name = entry.name.encode("utf-8")
+        bank = entry.bank_name.encode("utf-8")
+        if len(name) > 0xFFFF:
+            raise ValueError(f"frame name too long ({len(name)} bytes)")
+        if len(bank) > 0xFF:
+            raise ValueError(f"filter bank name too long ({len(bank)} bytes)")
+        flags = FLAG_USE_RLE if entry.use_rle else 0
+        parts.append(struct.pack("<H", len(name)))
+        parts.append(name)
+        parts.append(
+            _ENTRY_STRUCT.pack(
+                entry.offset,
+                entry.length,
+                entry.crc32,
+                CODEC_IDS[entry.codec],
+                entry.scales,
+                entry.bit_depth,
+                flags,
+                entry.shape[0],
+                entry.shape[1],
+                entry.raw_bytes,
+            )
+        )
+        parts.append(struct.pack("<B", len(bank)))
+        parts.append(bank)
+    return b"".join(parts)
+
+
+def unpack_index(data: bytes, frame_count: int) -> List[FrameInfo]:
+    """Parse ``frame_count`` index entries out of the index-table bytes."""
+    entries: List[FrameInfo] = []
+    pos = 0
+    for index in range(frame_count):
+        try:
+            (name_len,) = struct.unpack_from("<H", data, pos)
+            pos += 2
+            name = data[pos : pos + name_len]
+            if len(name) != name_len:
+                raise struct.error("short name")
+            pos += name_len
+            fields = _ENTRY_STRUCT.unpack_from(data, pos)
+            pos += _ENTRY_STRUCT.size
+            (bank_len,) = struct.unpack_from("<B", data, pos)
+            pos += 1
+            bank = data[pos : pos + bank_len]
+            if len(bank) != bank_len:
+                raise struct.error("short bank name")
+            pos += bank_len
+        except struct.error as exc:
+            raise TruncatedArchiveError(
+                f"index table ends inside entry {index} of {frame_count}"
+            ) from exc
+        offset, length, payload_crc, codec_id, scales, bit_depth, flags, height, width, raw = fields
+        if codec_id not in CODEC_NAMES_BY_ID:
+            raise ArchiveFormatError(f"index entry {index} has unknown codec id {codec_id}")
+        entries.append(
+            FrameInfo(
+                index=index,
+                name=name.decode("utf-8"),
+                codec=CODEC_NAMES_BY_ID[codec_id],
+                scales=scales,
+                bit_depth=bit_depth,
+                shape=(height, width),
+                offset=offset,
+                length=length,
+                crc32=payload_crc,
+                raw_bytes=raw,
+                bank_name=bank.decode("utf-8"),
+                use_rle=bool(flags & FLAG_USE_RLE),
+            )
+        )
+    if pos != len(data):
+        raise ArchiveFormatError(
+            f"index table has {len(data) - pos} trailing bytes after "
+            f"{frame_count} entries"
+        )
+    return entries
+
+
+def read_index(fh: BinaryIO, header: Header, file_size: int) -> List[FrameInfo]:
+    """Read and validate the index table an open archive's header points to."""
+    if header.index_offset == 0:
+        raise ArchiveFormatError(
+            "archive was never finalised (writer did not close); no index table"
+        )
+    if header.index_offset < HEADER_SIZE:
+        raise ArchiveFormatError(
+            f"index offset {header.index_offset} overlaps the header"
+        )
+    if header.index_offset + header.index_size > file_size:
+        raise TruncatedArchiveError(
+            f"index table extends to byte {header.index_offset + header.index_size} "
+            f"but the file has only {file_size}"
+        )
+    fh.seek(header.index_offset)
+    data = fh.read(header.index_size)
+    if len(data) != header.index_size:
+        raise TruncatedArchiveError("index table could not be read in full")
+    if crc32(data) != header.index_crc:
+        raise ArchiveIntegrityError("index table checksum mismatch")
+    entries = unpack_index(data, header.frame_count)
+    for entry in entries:
+        if entry.offset < HEADER_SIZE or entry.offset + entry.length > header.index_offset:
+            raise ArchiveFormatError(
+                f"frame {entry.index} payload [{entry.offset}, "
+                f"{entry.offset + entry.length}) lies outside the payload region"
+            )
+    return entries

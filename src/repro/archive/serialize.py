@@ -1,0 +1,218 @@
+"""Frame-payload (de)serialisation: compressed streams <-> archive bytes.
+
+A frame payload is the self-describing byte form of one compressed stream
+(:class:`~repro.coding.codec.CompressedImage` or
+:class:`~repro.coding.s_transform.CompressedSImage`)::
+
+    +------------------+
+    | meta_len  (u32)  |  little-endian, like every container structure
+    +------------------+
+    | meta block       |  bit-packed through repro.coding.bitstream
+    +------------------+  (fields MSB-first, all widths byte multiples)
+    | chunk bytes      |  entropy-coded subband payloads, concatenated in
+    +------------------+  the order the meta block declares
+
+The meta block records codec, geometry, filter-bank and word-length
+metadata, and per-subband chunk descriptors (kind, scale, shape, byte
+lengths); the chunk bytes are the codecs' entropy-coded payloads verbatim.
+Deserialising a payload therefore needs nothing outside the payload itself,
+which is what makes single-frame random access possible.
+
+For the coefficient codec the stored word-length metadata (word length,
+accumulator width, per-scale integer bits) is checked against the plan the
+current code derives for the same bank and depth
+(:func:`repro.fixedpoint.wordlength.plan_word_lengths`); a mismatch means
+the stream was written by an incompatible word-length analysis and decoding
+would produce garbage, so it raises :class:`ArchiveFormatError` instead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Union
+
+from ..coding.bitstream import BitReader, BitWriter
+from ..coding.codec import CompressedImage, SubbandChunk
+from ..coding.s_transform import CompressedSImage
+from ..filters.catalog import get_bank
+from ..fixedpoint.wordlength import plan_word_lengths
+from .format import (
+    CODEC_IDS,
+    CODEC_NAMES_BY_ID,
+    KIND_IDS,
+    KINDS_BY_ID,
+    ArchiveFormatError,
+)
+
+__all__ = ["CompressedStream", "codec_name_for_stream", "serialize_stream", "deserialize_stream"]
+
+CompressedStream = Union[CompressedImage, CompressedSImage]
+
+
+def codec_name_for_stream(stream: CompressedStream) -> str:
+    """Pipeline codec name (``CODEC_NAMES``) that produced ``stream``."""
+    if isinstance(stream, CompressedImage):
+        return "coefficient"
+    if isinstance(stream, CompressedSImage):
+        return "s-transform"
+    raise TypeError(f"not a compressed stream: {type(stream).__name__}")
+
+
+def _write_ascii(writer: BitWriter, text: str, length_bits: int = 8) -> None:
+    data = text.encode("utf-8")
+    if len(data) >= (1 << length_bits):
+        raise ValueError(f"string {text!r} too long for a {length_bits}-bit length")
+    writer.write_uint(len(data), length_bits)
+    for byte in data:
+        writer.write_uint(byte, 8)
+
+
+def _read_ascii(reader: BitReader, length_bits: int = 8) -> str:
+    length = reader.read_uint(length_bits)
+    return bytes(reader.read_uint(8) for _ in range(length)).decode("utf-8")
+
+
+def serialize_stream(stream: CompressedStream) -> bytes:
+    """Serialise a compressed stream into one archive frame payload."""
+    codec = codec_name_for_stream(stream)
+    writer = BitWriter()
+    writer.write_uint(CODEC_IDS[codec], 8)
+    writer.write_uint(stream.scales, 8)
+    writer.write_uint(stream.image_shape[0], 32)
+    writer.write_uint(stream.image_shape[1], 32)
+    writer.write_uint(stream.bit_depth, 8)
+    chunk_bytes: List[bytes] = []
+    if codec == "coefficient":
+        _write_ascii(writer, stream.bank_name)
+        plan = plan_word_lengths(get_bank(stream.bank_name), stream.scales)
+        writer.write_uint(plan.data_formats[1].word_length, 8)
+        writer.write_uint(plan.accumulator_bits, 8)
+        for bits in plan.integer_bits():
+            writer.write_uint(bits, 8)
+        writer.write_uint(len(stream.chunks), 16)
+        for chunk in stream.chunks:
+            writer.write_uint(KIND_IDS[chunk.kind], 8)
+            writer.write_uint(chunk.scale, 8)
+            writer.write_uint(chunk.shape[0], 32)
+            writer.write_uint(chunk.shape[1], 32)
+            writer.write_uint(1 if chunk.use_rle else 0, 8)
+            writer.write_uint(len(chunk.payload), 32)
+            writer.write_uint(len(chunk.run_payload), 32)
+            chunk_bytes.append(chunk.payload)
+            chunk_bytes.append(chunk.run_payload)
+    else:
+        writer.write_uint(len(stream.chunks), 16)
+        for (kind, scale), payload in stream.chunks.items():
+            shape = stream.shapes[(kind, scale)]
+            writer.write_uint(KIND_IDS[kind], 8)
+            writer.write_uint(scale, 8)
+            writer.write_uint(shape[0], 32)
+            writer.write_uint(shape[1], 32)
+            writer.write_uint(len(payload), 32)
+            chunk_bytes.append(payload)
+    meta = writer.getvalue()
+    return b"".join([struct.pack("<I", len(meta)), meta, *chunk_bytes])
+
+
+def _check_plan(reader: BitReader, bank_name: str, scales: int) -> None:
+    """Verify stored word-length metadata against the freshly derived plan."""
+    try:
+        bank = get_bank(bank_name)
+    except (KeyError, ValueError) as exc:
+        raise ArchiveFormatError(
+            f"frame payload references unknown filter bank {bank_name!r}"
+        ) from exc
+    plan = plan_word_lengths(bank, scales)
+    word_length = reader.read_uint(8)
+    accumulator_bits = reader.read_uint(8)
+    integer_bits = [reader.read_uint(8) for _ in range(scales)]
+    if (
+        word_length != plan.data_formats[1].word_length
+        or accumulator_bits != plan.accumulator_bits
+        or integer_bits != plan.integer_bits()
+    ):
+        raise ArchiveFormatError(
+            f"stored word-length plan ({word_length}-bit words, "
+            f"accumulator {accumulator_bits}, integer bits {integer_bits}) does "
+            f"not match the plan derived for bank {bank_name!r} at {scales} "
+            "scales; the stream was written by an incompatible analysis"
+        )
+
+
+def deserialize_stream(payload: bytes) -> CompressedStream:
+    """Reconstruct the compressed stream from one archive frame payload."""
+    if len(payload) < 4:
+        raise ArchiveFormatError("frame payload shorter than its length prefix")
+    (meta_len,) = struct.unpack_from("<I", payload, 0)
+    meta = payload[4 : 4 + meta_len]
+    if len(meta) != meta_len:
+        raise ArchiveFormatError(
+            f"frame payload declares a {meta_len}-byte meta block but only "
+            f"{len(meta)} bytes follow"
+        )
+    reader = BitReader(meta)
+    try:
+        codec_id = reader.read_uint(8)
+        if codec_id not in CODEC_NAMES_BY_ID:
+            raise ArchiveFormatError(f"frame payload has unknown codec id {codec_id}")
+        codec = CODEC_NAMES_BY_ID[codec_id]
+        scales = reader.read_uint(8)
+        shape = (reader.read_uint(32), reader.read_uint(32))
+        bit_depth = reader.read_uint(8)
+        position = 4 + meta_len
+
+        def take(length: int) -> bytes:
+            nonlocal position
+            data = payload[position : position + length]
+            if len(data) != length:
+                raise ArchiveFormatError(
+                    f"frame payload ends inside a {length}-byte chunk"
+                )
+            position += length
+            return data
+
+        if codec == "coefficient":
+            bank_name = _read_ascii(reader)
+            _check_plan(reader, bank_name, scales)
+            stream: CompressedStream = CompressedImage(
+                bank_name=bank_name,
+                scales=scales,
+                image_shape=shape,
+                bit_depth=bit_depth,
+            )
+            for _ in range(reader.read_uint(16)):
+                kind = KINDS_BY_ID[reader.read_uint(8)]
+                chunk_scale = reader.read_uint(8)
+                chunk_shape = (reader.read_uint(32), reader.read_uint(32))
+                use_rle = bool(reader.read_uint(8))
+                payload_len = reader.read_uint(32)
+                run_len = reader.read_uint(32)
+                stream.chunks.append(
+                    SubbandChunk(
+                        kind=kind,
+                        scale=chunk_scale,
+                        shape=chunk_shape,
+                        use_rle=use_rle,
+                        payload=take(payload_len),
+                        run_payload=take(run_len),
+                    )
+                )
+        else:
+            stream = CompressedSImage(
+                scales=scales, image_shape=shape, bit_depth=bit_depth
+            )
+            for _ in range(reader.read_uint(16)):
+                kind = KINDS_BY_ID[reader.read_uint(8)]
+                chunk_scale = reader.read_uint(8)
+                chunk_shape = (reader.read_uint(32), reader.read_uint(32))
+                payload_len = reader.read_uint(32)
+                stream.chunks[(kind, chunk_scale)] = take(payload_len)
+                stream.shapes[(kind, chunk_scale)] = chunk_shape
+    except (EOFError, KeyError) as exc:
+        raise ArchiveFormatError("frame payload meta block is malformed") from exc
+    if position != len(payload):
+        raise ArchiveFormatError(
+            f"frame payload has {len(payload) - position} trailing bytes after "
+            "the declared chunks"
+        )
+    return stream

@@ -1,0 +1,295 @@
+"""Archive creation and append: the write side of the container.
+
+:class:`ArchiveWriter` streams frame payloads to disk as they are added and
+finalises the container on :meth:`~ArchiveWriter.close` by writing the index
+table and patching the header.  Until ``close`` runs a *created* archive's
+header keeps a zero index pointer, so a crashed writer leaves a file the
+reader rejects with a clean "never finalised" error instead of a silently
+short archive.
+
+Appending (:meth:`ArchiveWriter.append`) never rewrites existing payloads
+*or* the existing index: new payloads are written after the old index, and
+only ``close`` — after the new index is safely on disk — patches the header
+in a single small write.  A writer that crashes mid-append therefore leaves
+the archive exactly as it was before the append (the old header still
+points at the intact old index; the dangling new payload bytes are simply
+unreferenced).  The dead old-index bytes this leaves behind cost a few tens
+of bytes per frame per append.  The codec configuration of an appending
+writer defaults to that of the last stored frame so a series keeps
+compressing the way it started.
+
+Compression itself is delegated to the batched pipeline
+(:func:`repro.coding.pipeline.compress_frames`): :meth:`ArchiveWriter.add_frames`
+runs one pipeline call over the new frames and archives the resulting
+streams, accumulating the pipeline's per-stage wall-clock stats in
+``writer.stats``.  Pre-compressed batches (:meth:`ArchiveWriter.add_batch`)
+and single streams (:meth:`ArchiveWriter.add_stream`) are archived as is.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..coding.pipeline import (
+    CODEC_NAMES,
+    CompressedBatch,
+    PipelineStats,
+    compress_frames,
+)
+from .format import (
+    HEADER_SIZE,
+    VERSION,
+    ArchiveError,
+    FrameInfo,
+    Header,
+    crc32,
+    pack_header,
+    pack_index,
+    read_header,
+    read_index,
+)
+from .serialize import CompressedStream, codec_name_for_stream, serialize_stream
+
+__all__ = ["ArchiveWriter"]
+
+PathLike = Union[str, Path]
+
+
+def _merge_stats(into: PipelineStats, stats: PipelineStats) -> None:
+    into.frames += stats.frames
+    into.pixels += stats.pixels
+    into.raw_bytes += stats.raw_bytes
+    into.compressed_bytes += stats.compressed_bytes
+    for stage, seconds in stats.stage_seconds.items():
+        into.add_stage(stage, seconds)
+    into.accelerator_reports.extend(stats.accelerator_reports)
+
+
+class ArchiveWriter:
+    """Writes a frame archive; use :meth:`create` or :meth:`append` to open.
+
+    Parameters mirror the batched pipeline: ``codec`` is a
+    :data:`~repro.coding.pipeline.CODEC_NAMES` name, ``scales`` the requested
+    decomposition depth (clamped per frame to what its geometry supports),
+    ``engine`` the entropy-coding engine, and ``codec_options`` anything the
+    codec constructor takes (``bank``, ``bit_depth``, ``use_rle``, ...).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fh,
+        entries: List[FrameInfo],
+        offset: int,
+        codec: str,
+        scales: int,
+        engine: str,
+        codec_options: Dict,
+    ) -> None:
+        if codec not in CODEC_NAMES:
+            raise ValueError(f"unknown codec {codec!r} (expected one of {CODEC_NAMES})")
+        self.path = Path(path)
+        self.codec = codec
+        self.scales = scales
+        self.engine = engine
+        self.codec_options = dict(codec_options)
+        #: Aggregated pipeline stats of every :meth:`add_frames`/:meth:`add_batch`
+        #: call on this writer (wall-clock per stage, sizes, ratios).
+        self.stats = PipelineStats()
+        self._fh = fh
+        self._entries = entries
+        self._names = {entry.name for entry in entries}
+        self._offset = offset
+        self._closed = False
+
+    # -- construction -------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: PathLike,
+        codec: str = "s-transform",
+        scales: int = 4,
+        engine: str = "fast",
+        overwrite: bool = False,
+        **codec_options,
+    ) -> "ArchiveWriter":
+        """Create a new archive at ``path`` (refuses to clobber unless told to)."""
+        path = Path(path)
+        if path.exists() and not overwrite:
+            raise FileExistsError(f"archive {path} already exists (pass overwrite=True)")
+        fh = open(path, "wb")
+        fh.write(
+            pack_header(
+                Header(
+                    version=VERSION,
+                    flags=0,
+                    frame_count=0,
+                    index_offset=0,
+                    index_size=0,
+                    index_crc=0,
+                )
+            )
+        )
+        return cls(path, fh, [], HEADER_SIZE, codec, scales, engine, codec_options)
+
+    @classmethod
+    def append(
+        cls,
+        path: PathLike,
+        codec: Optional[str] = None,
+        scales: Optional[int] = None,
+        engine: str = "fast",
+        **codec_options,
+    ) -> "ArchiveWriter":
+        """Open an existing archive to add frames after the ones it holds.
+
+        The codec configuration defaults to the last stored frame's
+        (codec, scales, bank, bit depth, RLE choice), so an appended series
+        stays homogeneous unless overridden explicitly.
+        """
+        path = Path(path)
+        fh = open(path, "r+b")
+        try:
+            header = read_header(fh)
+            fh.seek(0, 2)
+            entries = read_index(fh, header, fh.tell())
+        except ArchiveError:
+            fh.close()
+            raise
+        if entries and codec is None:
+            last = entries[-1]
+            codec = last.codec
+            scales = last.scales if scales is None else scales
+            defaults: Dict = {"bit_depth": last.bit_depth}
+            if last.codec == "coefficient":
+                defaults["bank"] = last.bank_name
+                defaults["use_rle"] = last.use_rle
+            defaults.update(codec_options)
+            codec_options = defaults
+        codec = codec or "s-transform"
+        scales = scales if scales is not None else 4
+        # New payloads go after the old index, which stays valid (and the
+        # header keeps pointing at it) until close() — so a crash mid-append
+        # leaves the archive exactly as it was.
+        fh.seek(0, 2)
+        return cls(path, fh, entries, fh.tell(), codec, scales, engine, codec_options)
+
+    # -- adding frames ------------------------------------------------------------------
+    @property
+    def frame_names(self) -> List[str]:
+        """Names of every frame stored so far (existing + added)."""
+        return [entry.name for entry in self._entries]
+
+    def _next_name(self) -> str:
+        name = f"frame_{len(self._entries):05d}"
+        while name in self._names:
+            name += "_"
+        return name
+
+    def add_stream(self, stream: CompressedStream, name: Optional[str] = None) -> FrameInfo:
+        """Archive one already-compressed stream under ``name``."""
+        if self._closed:
+            raise ValueError("archive writer is closed")
+        name = name if name is not None else self._next_name()
+        if name in self._names:
+            raise ValueError(f"archive already has a frame named {name!r}")
+        payload = serialize_stream(stream)
+        use_rle = any(chunk.use_rle for chunk in stream.chunks) if hasattr(
+            stream, "bank_name"
+        ) else False
+        entry = FrameInfo(
+            index=len(self._entries),
+            name=name,
+            codec=codec_name_for_stream(stream),
+            scales=stream.scales,
+            bit_depth=stream.bit_depth,
+            shape=(int(stream.image_shape[0]), int(stream.image_shape[1])),
+            offset=self._offset,
+            length=len(payload),
+            crc32=crc32(payload),
+            raw_bytes=stream.original_bytes,
+            bank_name=getattr(stream, "bank_name", ""),
+            use_rle=use_rle,
+        )
+        self._fh.seek(self._offset)
+        self._fh.write(payload)
+        self._offset += len(payload)
+        self._entries.append(entry)
+        self._names.add(name)
+        return entry
+
+    def add_batch(
+        self, batch: CompressedBatch, names: Optional[Sequence[str]] = None
+    ) -> List[FrameInfo]:
+        """Archive every stream of a :func:`compress_frames` batch."""
+        if batch.codec != self.codec:
+            raise ValueError(
+                f"batch was compressed with codec {batch.codec!r}, "
+                f"writer is configured for {self.codec!r}"
+            )
+        if names is not None and len(names) != len(batch.streams):
+            raise ValueError(
+                f"{len(names)} names for {len(batch.streams)} streams"
+            )
+        entries = [
+            self.add_stream(stream, None if names is None else names[i])
+            for i, stream in enumerate(batch.streams)
+        ]
+        _merge_stats(self.stats, batch.stats)
+        return entries
+
+    def add_frames(
+        self,
+        frames: Sequence[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+    ) -> List[FrameInfo]:
+        """Compress ``frames`` through the batched pipeline and archive them."""
+        batch = compress_frames(
+            frames,
+            codec=self.codec,
+            scales=self.scales,
+            engine=self.engine,
+            **self.codec_options,
+        )
+        return self.add_batch(batch, names)
+
+    # -- finalisation -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        """Write the index table, patch the header, and close the file."""
+        if self._closed:
+            return
+        index = pack_index(self._entries)
+        self._fh.seek(self._offset)
+        self._fh.write(index)
+        self._fh.truncate()
+        # The new index must be on disk before the header points at it:
+        # until the header patch below, an appended archive still reads as
+        # its previous state.
+        self._fh.flush()
+        header = Header(
+            version=VERSION,
+            flags=0,
+            frame_count=len(self._entries),
+            index_offset=self._offset,
+            index_size=len(index),
+            index_crc=crc32(index),
+        )
+        self._fh.seek(0)
+        self._fh.write(pack_header(header))
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Finalise even on error: every frame fully added so far stays
+        # retrievable, and a half-written add_stream cannot happen because
+        # the entry is only recorded after its payload is on disk.
+        self.close()

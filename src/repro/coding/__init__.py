@@ -20,6 +20,7 @@ Public API
 from .bitstream import BitReader, BitWriter
 from .codec import CompressedImage, LosslessWaveletCodec, SubbandChunk
 from .pipeline import (
+    CODEC_NAMES,
     CompressedBatch,
     PipelineStats,
     compress_frames,
@@ -74,6 +75,7 @@ __all__ = [
     "CompressedImage",
     "LosslessWaveletCodec",
     "SubbandChunk",
+    "CODEC_NAMES",
     "CompressedBatch",
     "PipelineStats",
     "compress_frames",

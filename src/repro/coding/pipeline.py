@@ -33,6 +33,13 @@ uses a lifting transform the paper's datapath does not implement) and
 requires square frames, as the architecture does.  ``transform_engine``
 picks the accelerator engine (``"fast"`` whole-pass arrays by default,
 ``"scalar"`` for the per-macro-cycle reference).
+
+The pipeline is also the compression engine of the persistent archive
+layer (:mod:`repro.archive`): :class:`~repro.archive.writer.ArchiveWriter`
+feeds :func:`compress_frames` output to disk as a random-access container,
+and :class:`~repro.archive.reader.ArchiveReader` reassembles stored streams
+into a :class:`CompressedBatch` for :func:`decompress_frames`, so on-disk
+archives and in-memory batches share one codec path and one stats model.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from .s_transform import CompressedSImage, STransformCodec
 __all__ = [
     "PipelineStats",
     "CompressedBatch",
+    "CODEC_NAMES",
     "max_dyadic_scales",
     "compress_frames",
     "decompress_frames",
@@ -156,7 +164,8 @@ def max_dyadic_scales(shape: Tuple[int, int], limit: int = 16) -> int:
     return scales
 
 
-_CODEC_NAMES = ("s-transform", "coefficient")
+#: Codec families the pipeline (and the archive container format) support.
+CODEC_NAMES = ("s-transform", "coefficient")
 
 
 def _make_codec(codec: str, scales: int, engine: str, options: Dict):
@@ -164,7 +173,7 @@ def _make_codec(codec: str, scales: int, engine: str, options: Dict):
         return STransformCodec(scales=scales, engine=engine, **options)
     if codec == "coefficient":
         return LosslessWaveletCodec(scales=scales, engine=engine, **options)
-    raise ValueError(f"unknown codec {codec!r} (expected one of {_CODEC_NAMES})")
+    raise ValueError(f"unknown codec {codec!r} (expected one of {CODEC_NAMES})")
 
 
 class _CodecCache:

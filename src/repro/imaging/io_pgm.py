@@ -47,8 +47,13 @@ def write_pgm(path: PathLike, image: np.ndarray, max_value: int = 4095) -> None:
     Path(path).write_bytes(header + payload)
 
 
-def read_pgm(path: PathLike) -> np.ndarray:
-    """Read a ``P5`` (binary) or ``P2`` (ASCII) PGM file as ``int64``."""
+def read_pgm(path: PathLike, return_max_value: bool = False):
+    """Read a ``P5`` (binary) or ``P2`` (ASCII) PGM file as ``int64``.
+
+    With ``return_max_value`` the declared maxval is returned alongside the
+    image as ``(image, max_value)`` — the archive CLI uses it to infer the
+    bit depth of ingested files (``max_value.bit_length()``).
+    """
     raw = Path(path).read_bytes()
     if raw[:2] not in (b"P5", b"P2"):
         raise ValueError(f"not a PGM file: magic {raw[:2]!r}")
@@ -76,4 +81,5 @@ def read_pgm(path: PathLike) -> np.ndarray:
         raise ValueError(
             f"PGM payload has {values.size} samples, expected {width * height}"
         )
-    return values[: width * height].reshape(height, width)
+    image = values[: width * height].reshape(height, width)
+    return (image, max_value) if return_max_value else image

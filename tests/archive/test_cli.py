@@ -1,0 +1,119 @@
+"""End-to-end CLI: pack, list, extract, verify against real files."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.archive.cli import main
+from repro.imaging import read_pgm, shepp_logan, write_pgm
+
+pytestmark = pytest.mark.archive
+
+
+@pytest.fixture()
+def pgm_dir(tmp_path):
+    directory = tmp_path / "scans"
+    directory.mkdir()
+    for index in range(3):
+        image = np.clip(shepp_logan(64) + index, 0, 4095)
+        write_pgm(directory / f"scan_{index}.pgm", image, max_value=4095)
+    return directory
+
+
+def test_pack_list_extract_verify(tmp_path, pgm_dir, capsys):
+    archive = tmp_path / "cli.dwta"
+    inputs = sorted(str(p) for p in pgm_dir.glob("*.pgm"))
+
+    assert main(["pack", str(archive), *inputs]) == 0
+    out = capsys.readouterr().out
+    assert "packed 3 frames" in out
+    assert archive.exists()
+
+    assert main(["list", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "scan_1" in out and "s-transform" in out and "3 frames" in out
+
+    assert main(["list", str(archive), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert [r["name"] for r in records] == ["scan_0", "scan_1", "scan_2"]
+    assert records[0]["bit_depth"] == 12
+
+    extracted = tmp_path / "scan_1_out.pgm"
+    assert main(["extract", str(archive), "scan_1", "-o", str(extracted)]) == 0
+    assert np.array_equal(read_pgm(extracted), read_pgm(pgm_dir / "scan_1.pgm"))
+
+    assert main(["verify", str(archive), "--deep"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_pack_synthetic_and_append(tmp_path, capsys):
+    archive = tmp_path / "synthetic.dwta"
+    assert main(["pack", str(archive), "--synthetic", "4", "--size", "32"]) == 0
+    assert main(["pack", str(archive), "--synthetic", "2", "--size", "32", "--seed", "9", "--append"]) == 0
+    capsys.readouterr()
+    assert main(["list", str(archive), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert len(records) == 6
+
+
+def test_append_inherits_codec_and_scales(tmp_path, pgm_dir, capsys):
+    """--append without --codec/--scales keeps the archive's configuration."""
+    archive = tmp_path / "inherit.dwta"
+    inputs = sorted(str(p) for p in pgm_dir.glob("*.pgm"))
+    assert main(["pack", str(archive), inputs[0], "--codec", "coefficient", "--scales", "2"]) == 0
+    assert main(["pack", str(archive), inputs[1], "--append"]) == 0
+    capsys.readouterr()
+    assert main(["list", str(archive), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert {r["codec"] for r in records} == {"coefficient"}
+    assert {r["scales"] for r in records} == {2}
+    assert {r["bank"] for r in records} == {"F2"}
+
+
+def test_extract_all_to_directory(tmp_path, capsys):
+    archive = tmp_path / "all.dwta"
+    assert main(["pack", str(archive), "--synthetic", "3", "--size", "32"]) == 0
+    out_dir = tmp_path / "extracted"
+    assert main(["extract", str(archive), "-o", str(out_dir)]) == 0
+    assert sorted(p.name for p in out_dir.glob("*.pgm")) == [
+        "slice_000.pgm",
+        "slice_001.pgm",
+        "slice_002.pgm",
+    ]
+
+
+def test_extract_by_index(tmp_path, capsys):
+    archive = tmp_path / "byidx.dwta"
+    assert main(["pack", str(archive), "--synthetic", "2", "--size", "32"]) == 0
+    out = tmp_path / "frame.pgm"
+    assert main(["extract", str(archive), "1", "-o", str(out)]) == 0
+    assert out.exists()
+
+
+def test_coefficient_pack_roundtrip(tmp_path, pgm_dir, capsys):
+    archive = tmp_path / "coeff.dwta"
+    inputs = sorted(str(p) for p in pgm_dir.glob("*.pgm"))[:1]
+    assert main(["pack", str(archive), *inputs, "--codec", "coefficient", "--bank", "F2", "--scales", "2"]) == 0
+    out = tmp_path / "back.pgm"
+    assert main(["extract", str(archive), "scan_0", "-o", str(out)]) == 0
+    assert np.array_equal(read_pgm(out), read_pgm(inputs[0]))
+
+
+def test_errors_exit_nonzero(tmp_path, capsys):
+    missing = tmp_path / "missing.dwta"
+    assert main(["verify", str(missing)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    garbage = tmp_path / "garbage.dwta"
+    garbage.write_bytes(b"\x00" * 128)
+    assert main(["list", str(garbage)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    archive = tmp_path / "ok.dwta"
+    assert main(["pack", str(archive), "--synthetic", "1", "--size", "32"]) == 0
+    capsys.readouterr()
+    assert main(["extract", str(archive), "nope", "-o", str(tmp_path / "x.pgm")]) == 1
+    assert "no frame named" in capsys.readouterr().err
+    # Refuses to clobber without --overwrite.
+    assert main(["pack", str(archive), "--synthetic", "1", "--size", "32"]) == 1

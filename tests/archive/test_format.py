@@ -1,0 +1,111 @@
+"""Byte-level format layer: header/index packing and the error taxonomy."""
+
+import pytest
+
+from repro.archive.format import (
+    HEADER_SIZE,
+    MAGIC,
+    VERSION,
+    ArchiveFormatError,
+    ArchiveIntegrityError,
+    FrameInfo,
+    Header,
+    TruncatedArchiveError,
+    crc32,
+    pack_header,
+    pack_index,
+    unpack_header,
+    unpack_index,
+)
+
+pytestmark = pytest.mark.archive
+
+
+def _entry(index=0, name="frame", codec="s-transform", bank="", use_rle=False):
+    return FrameInfo(
+        index=index,
+        name=name,
+        codec=codec,
+        scales=4,
+        bit_depth=12,
+        shape=(64, 64),
+        offset=HEADER_SIZE + 100 * index,
+        length=100,
+        crc32=0xDEADBEEF,
+        raw_bytes=6144,
+        bank_name=bank,
+        use_rle=use_rle,
+    )
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = Header(
+            version=VERSION,
+            flags=0,
+            frame_count=7,
+            index_offset=1234,
+            index_size=321,
+            index_crc=0xCAFEBABE,
+        )
+        packed = pack_header(header)
+        assert len(packed) == HEADER_SIZE
+        assert packed.startswith(MAGIC)
+        assert unpack_header(packed) == header
+
+    def test_bad_magic(self):
+        packed = bytearray(pack_header(Header(VERSION, 0, 0, 0, 0, 0)))
+        packed[0] ^= 0xFF
+        with pytest.raises(ArchiveFormatError, match="bad magic"):
+            unpack_header(bytes(packed))
+
+    def test_short_header_is_truncation(self):
+        with pytest.raises(TruncatedArchiveError):
+            unpack_header(MAGIC + b"\x00" * 4)
+
+    def test_corrupted_header_crc(self):
+        packed = bytearray(pack_header(Header(VERSION, 0, 3, 500, 100, 1)))
+        packed[12] ^= 0x01  # flip a frame_count bit
+        with pytest.raises(ArchiveIntegrityError, match="header checksum"):
+            unpack_header(bytes(packed))
+
+    def test_future_version_rejected(self):
+        packed = pack_header(Header(VERSION + 1, 0, 0, 0, 0, 0))
+        with pytest.raises(ArchiveFormatError, match="newer than supported"):
+            unpack_header(packed)
+
+
+class TestIndex:
+    def test_roundtrip_mixed_entries(self):
+        entries = [
+            _entry(0, "a"),
+            _entry(1, "unicode-ﬀrame", codec="coefficient", bank="F2", use_rle=True),
+            _entry(2, "c" * 300),
+        ]
+        packed = pack_index(entries)
+        assert unpack_index(packed, 3) == entries
+
+    def test_empty_index(self):
+        assert pack_index([]) == b""
+        assert unpack_index(b"", 0) == []
+
+    def test_truncated_index(self):
+        packed = pack_index([_entry(0), _entry(1)])
+        with pytest.raises(TruncatedArchiveError, match="entry 1 of 2"):
+            unpack_index(packed[:-10], 2)
+
+    def test_trailing_garbage_rejected(self):
+        packed = pack_index([_entry(0)])
+        with pytest.raises(ArchiveFormatError, match="trailing bytes"):
+            unpack_index(packed + b"\x00", 1)
+
+    def test_unknown_codec_id(self):
+        packed = bytearray(pack_index([_entry(0, "x")]))
+        # codec_id byte sits after the 2-byte name length, the name, and the
+        # offset/length/crc fields (8 + 8 + 4 bytes).
+        packed[2 + 1 + 20] = 99
+        with pytest.raises(ArchiveFormatError, match="unknown codec id"):
+            unpack_index(bytes(packed), 1)
+
+    def test_crc32_is_unsigned(self):
+        assert 0 <= crc32(b"anything") <= 0xFFFFFFFF
