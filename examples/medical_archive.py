@@ -9,9 +9,11 @@ everything in memory:
 * generate a series of synthetic 12-bit CT slices (Shepp-Logan phantom
   with slice-to-slice variation),
 * write them to an on-disk archive with :class:`ArchiveWriter` — the
-  batched pipeline (S-transform codec, vectorised coding engine) compresses
-  the series and the container records per-frame index entries, codec
-  metadata and CRC-32 checksums,
+  configuration is one :class:`~repro.coding.spec.CodecSpec` (S-transform
+  codec, vectorised coding engine), the stage pipeline compresses the
+  series (sharded across worker processes when ``workers`` > 1, with
+  byte-identical output), and the container records per-frame index
+  entries, codec metadata and CRC-32 checksums,
 * re-open the archive and *append* a follow-up scan, which never rewrites
   the frames already stored,
 * list the index, random-access decode a single slice (reading only that
@@ -22,8 +24,8 @@ everything in memory:
 
 The same flow is scriptable from the shell::
 
-    python -m repro.archive pack archive.dwta --synthetic 8
-    python -m repro.archive list archive.dwta
+    python -m repro.archive pack archive.dwta --synthetic 8 --workers 4
+    python -m repro.archive list archive.dwta --verbose
     python -m repro.archive extract archive.dwta slice_004 -o slice.pgm
     python -m repro.archive verify archive.dwta --deep
 
@@ -39,6 +41,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.archive import ArchiveReader, ArchiveWriter
+from repro.coding import CodecSpec
 from repro.imaging import archive_dataset, ct_slice_series, read_pgm, write_pgm
 
 
@@ -54,8 +57,12 @@ def main(output_directory: str | None = None) -> None:
     print(f"Archiving {len(dataset)} slices of {dataset.bit_depth}-bit CT data to {archive_path}\n")
 
     # -- write the series ---------------------------------------------------------------
-    with ArchiveWriter.create(archive_path, codec="s-transform", scales=4, overwrite=True) as writer:
-        writer.add_frames(frames, names=names)
+    # One CodecSpec describes the whole configuration; `workers=2` shards
+    # the compression across a process pool (byte-identical to serial).
+    spec = CodecSpec(codec="s-transform", scales=4)
+    print(f"Configuration: {spec.describe()}\n")
+    with ArchiveWriter.create(archive_path, spec=spec, overwrite=True) as writer:
+        writer.append_batch(frames, names=names, workers=2)
         encode_stats = writer.stats
     print("Encode pipeline (S-transform codec):")
     print(encode_stats.render())
@@ -63,7 +70,9 @@ def main(output_directory: str | None = None) -> None:
     # -- append a follow-up scan (existing payloads are never rewritten) ----------------
     followup = ct_slice_series(count=2, size=128, seed=99)
     with ArchiveWriter.append(archive_path) as writer:
-        writer.add_frames(followup, names=["followup_000", "followup_001"])
+        # The appending writer inherited the stored configuration.
+        assert writer.spec.codec == spec.codec and writer.spec.scales == spec.scales
+        writer.append_batch(followup, names=["followup_000", "followup_001"])
 
     # -- list, random access, range, bulk decode ----------------------------------------
     with ArchiveReader(archive_path) as reader:

@@ -218,6 +218,33 @@ class DwtAccelerator:
         self.dram = ExternalDram(self.config.image_size * self.config.image_size)
         self.refresh_timer = RefreshTimer(self.config.dram_refresh_interval_cycles)
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        image_size: int,
+        scales: Optional[int] = None,
+        plan: Optional[WordLengthPlan] = None,
+    ) -> "DwtAccelerator":
+        """Build an accelerator from a :class:`~repro.coding.spec.CodecSpec`.
+
+        The spec supplies the filter bank (by catalog name) and the
+        accelerator engine (``transform_engine``); ``image_size`` and
+        ``scales`` pin the per-frame geometry (the spec's requested depth
+        is used when ``scales`` is omitted).  Passing the codec's ``plan``
+        shares its word-length analysis, which is what keeps accelerator
+        pyramids bit-identical to the codec's own software transform.
+        The ``spec`` parameter is duck-typed (``bank_name``,
+        ``transform_engine``, ``scales``) so this module stays importable
+        without the coding layer.
+        """
+        config = ArchitectureConfig(
+            image_size=image_size,
+            scales=spec.scales if scales is None else scales,
+            bank_name=spec.bank_name or "F2",
+        )
+        return cls(config, plan=plan, engine=spec.transform_engine)
+
     # -- public API -----------------------------------------------------------------
     @property
     def plan(self) -> WordLengthPlan:

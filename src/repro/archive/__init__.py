@@ -38,7 +38,13 @@ from .format import (
     TruncatedArchiveError,
 )
 from .reader import ArchiveReader, VerifyReport
-from .serialize import deserialize_stream, serialize_stream
+from .serialize import (
+    deserialize_stream,
+    deserialize_stream_with_spec,
+    frame_spec,
+    serialize_stream,
+    spec_for_stream,
+)
 from .writer import ArchiveWriter
 
 __all__ = [
@@ -54,4 +60,7 @@ __all__ = [
     "ArchiveWriter",
     "serialize_stream",
     "deserialize_stream",
+    "deserialize_stream_with_spec",
+    "frame_spec",
+    "spec_for_stream",
 ]

@@ -4,10 +4,12 @@ Runs the medical-archive scenario end to end against real files:
 
 ``pack``
     Compress PGM files (or a synthetic CT series) into an archive, creating
-    it or appending to it.
+    it or appending to it; ``--workers N`` shards the batch across a
+    process pool (byte-identical output).
 ``list``
     Show the index table — per-frame codec/filter metadata and sizes —
-    without decoding anything (``--json`` for machine-readable output).
+    without decoding anything (``--json`` for machine-readable output,
+    ``--verbose`` to print each frame's stored ``CodecSpec``).
 ``extract``
     Random-access decode selected frames (by name or index) and write them
     as 16-bit PGM files; only the requested frames' payloads are read.
@@ -28,13 +30,22 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..coding.spec import codec_names
 from ..imaging.dataset import archive_dataset
 from ..imaging.io_pgm import read_pgm, write_pgm
 from .format import ArchiveError
 from .reader import ArchiveReader
+from .serialize import frame_spec
 from .writer import ArchiveWriter
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--overwrite", action="store_true", help="replace an existing archive")
     pack.add_argument(
         "--codec",
-        choices=("s-transform", "coefficient"),
+        # Derived from the codec registry at parser-build time, like every
+        # other layer's codec validation.
+        choices=codec_names(),
         default=None,
         help="compression codec (default: s-transform, the compressive one; "
         "with --append, inherited from the archive's last frame)",
@@ -81,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="entropy-coding engine (default fast)",
     )
     pack.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="compress across N worker processes (default 1 = serial; "
+        "streams are byte-identical either way)",
+    )
+    pack.add_argument(
         "--synthetic",
         type=int,
         metavar="N",
@@ -93,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd = sub.add_parser("list", help="list an archive's frames without decoding")
     list_cmd.add_argument("archive")
     list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    list_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show each frame's stored codec configuration (CodecSpec)",
+    )
 
     extract = sub.add_parser("extract", help="random-access decode frames to PGM files")
     extract.add_argument("archive")
@@ -137,7 +162,12 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         # codec/scales stay None unless given explicitly, so the writer
         # inherits the archive's own configuration.
         writer = ArchiveWriter.append(
-            args.archive, codec=args.codec, scales=args.scales, engine=args.engine, **options
+            args.archive,
+            codec=args.codec,
+            scales=args.scales,
+            engine=args.engine,
+            workers=args.workers,
+            **options,
         )
     else:
         writer = ArchiveWriter.create(
@@ -146,6 +176,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             scales=args.scales if args.scales is not None else 4,
             engine=args.engine,
             overwrite=args.overwrite,
+            workers=args.workers,
             **options,
         )
     with writer:
@@ -160,12 +191,13 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 suffix += 1
             taken.add(candidate)
             unique.append(candidate)
-        entries = writer.add_frames(frames, names=unique)
+        entries = writer.append_batch(frames, names=unique)
         stats = writer.stats
+    workers_note = f", {stats.workers} workers" if stats.workers > 1 else ""
     print(
         f"packed {len(entries)} frames into {args.archive} "
         f"({stats.raw_bytes / 1024:.1f} kB -> {stats.compressed_bytes / 1024:.1f} kB, "
-        f"ratio {stats.compression_ratio:.2f})"
+        f"ratio {stats.compression_ratio:.2f}{workers_note})"
     )
     print(stats.render())
     return 0
@@ -174,8 +206,9 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     with ArchiveReader(args.archive) as reader:
         if args.json:
-            records = [
-                {
+            records = []
+            for e in reader:
+                record = {
                     "index": e.index,
                     "name": e.name,
                     "codec": e.codec,
@@ -189,8 +222,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "raw_bytes": e.raw_bytes,
                     "crc32": f"{e.crc32:08x}",
                 }
-                for e in reader
-            ]
+                if args.verbose:
+                    record["spec"] = frame_spec(e).to_dict()
+                records.append(record)
             print(json.dumps(records, indent=2))
             return 0
         header = (
@@ -207,6 +241,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 f"{e.scales:>2} {e.bit_depth:>4} {e.raw_bytes / 1024:>8.1f} "
                 f"{e.length / 1024:>10.1f} {e.compression_ratio:>6.2f}"
             )
+            if args.verbose:
+                print(f"     spec: {frame_spec(e).describe()}")
         print("-" * len(header))
         ratio = reader.raw_bytes / reader.compressed_bytes if reader.compressed_bytes else 0.0
         print(

@@ -33,7 +33,9 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import BinaryIO, List, Tuple
+from typing import BinaryIO, Iterator, List, Mapping, Tuple
+
+from ..coding.spec import codec_wire_ids
 
 __all__ = [
     "MAGIC",
@@ -79,11 +81,47 @@ _HEADER_STRUCT = struct.Struct("<8sHHIQQII")
 #: (followed by the length-prefixed filter-bank name).
 _ENTRY_STRUCT = struct.Struct("<QQIBBBBIIQ")
 
-#: Codec identifiers stored in index entries and frame payloads.  Keyed by
-#: the codec names the batched pipeline uses (see
-#: :data:`repro.coding.pipeline.CODEC_NAMES`).
-CODEC_IDS = {"s-transform": 1, "coefficient": 2}
-CODEC_NAMES_BY_ID = {v: k for k, v in CODEC_IDS.items()}
+class _RegistryView(Mapping):
+    """Live read-through view of the codec registry's wire-id table.
+
+    A plain dict snapshot taken at import time would go stale the moment a
+    codec family is registered later; this view re-reads the registry on
+    every lookup, so the writer's index packer and the reader's id checks
+    always see exactly the registered families.
+    """
+
+    def __init__(self, invert: bool = False) -> None:
+        self._invert = invert
+
+    def _table(self) -> dict:
+        ids = codec_wire_ids()
+        return {v: k for k, v in ids.items()} if self._invert else ids
+
+    def __getitem__(self, key):
+        return self._table()[key]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._table())
+
+    def __len__(self) -> int:
+        return len(self._table())
+
+    def __eq__(self, other) -> bool:
+        return self._table() == other
+
+    def __ne__(self, other) -> bool:
+        return self._table() != other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self._table())
+
+
+#: Codec identifiers stored in index entries and frame payloads — live
+#: views of the codec registry (:mod:`repro.coding.spec`): the registry's
+#: ``wire_id`` values *are* the on-disk ids, so registering a codec family
+#: makes its id valid here immediately and no layer keeps a private table.
+CODEC_IDS: Mapping[str, int] = _RegistryView()
+CODEC_NAMES_BY_ID: Mapping[int, str] = _RegistryView(invert=True)
 
 #: Subband kind identifiers used by the payload serialiser.
 KIND_IDS = {"HH": 0, "HG": 1, "GH": 2, "GG": 3}

@@ -25,9 +25,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..coding.codec import LosslessWaveletCodec
 from ..coding.pipeline import CompressedBatch, PipelineStats, decompress_frames
-from ..coding.s_transform import STransformCodec
+from ..coding.spec import CodecSpec
 from .format import (
     ArchiveFormatError,
     ArchiveIntegrityError,
@@ -37,7 +36,12 @@ from .format import (
     read_header,
     read_index,
 )
-from .serialize import CompressedStream, codec_name_for_stream, deserialize_stream
+from .serialize import (
+    CompressedStream,
+    codec_name_for_stream,
+    deserialize_stream,
+    frame_spec,
+)
 
 __all__ = ["ArchiveReader", "VerifyReport"]
 
@@ -151,23 +155,15 @@ class ArchiveReader:
             )
         return stream
 
+    def spec_for(self, key: FrameKey) -> CodecSpec:
+        """The stored :class:`CodecSpec` of one frame (index metadata only —
+        no payload bytes are read)."""
+        return frame_spec(self.find(key)).replace(engine=self.engine)
+
     def _codec_for(self, entry: FrameInfo):
         key = (entry.codec, entry.scales, entry.bit_depth, entry.bank_name, entry.use_rle)
         if key not in self._codecs:
-            if entry.codec == "coefficient":
-                self._codecs[key] = LosslessWaveletCodec(
-                    bank=entry.bank_name,
-                    scales=entry.scales,
-                    bit_depth=entry.bit_depth,
-                    use_rle=entry.use_rle,
-                    engine=self.engine,
-                )
-            else:
-                self._codecs[key] = STransformCodec(
-                    scales=entry.scales,
-                    bit_depth=entry.bit_depth,
-                    engine=self.engine,
-                )
+            self._codecs[key] = self.spec_for(entry).build_codec()
         return self._codecs[key]
 
     def decode(self, key: FrameKey) -> np.ndarray:
@@ -197,25 +193,27 @@ class ArchiveReader:
                 f"individually instead ({sorted(configs)})"
             )
         if entries:
-            codec, bit_depth, bank_name, use_rle = next(iter(configs))
-            options: Dict = {"bit_depth": bit_depth}
-            if codec == "coefficient":
-                options.update(bank=bank_name, use_rle=use_rle)
+            spec = self.spec_for(entries[0])
         else:
-            codec, options = "s-transform", {}
+            spec = CodecSpec(engine=self.engine)
         return CompressedBatch(
-            codec=codec,
-            engine=self.engine,
-            codec_options=options,
+            codec=spec.codec,
+            engine=spec.engine,
+            codec_options=spec.codec_kwargs(),
             streams=[self.read_stream(entry) for entry in entries],
             stats=PipelineStats(),
+            spec=spec,
         )
 
     def decode_all(
-        self, keys: Optional[Sequence[FrameKey]] = None
+        self, keys: Optional[Sequence[FrameKey]] = None, workers: int = 1
     ) -> Tuple[List[np.ndarray], PipelineStats]:
-        """Decode every (selected) frame through the batched pipeline."""
-        return decompress_frames(self.to_batch(keys))
+        """Decode every (selected) frame through the batched pipeline.
+
+        ``workers`` > 1 shards the decode across a process pool
+        (:class:`~repro.coding.executor.ParallelExecutor`).
+        """
+        return decompress_frames(self.to_batch(keys), workers=workers)
 
     # -- integrity ----------------------------------------------------------------------
     def verify(self, deep: bool = False) -> VerifyReport:

@@ -12,11 +12,21 @@ A frame payload is the self-describing byte form of one compressed stream
     | chunk bytes      |  entropy-coded subband payloads, concatenated in
     +------------------+  the order the meta block declares
 
-The meta block records codec, geometry, filter-bank and word-length
-metadata, and per-subband chunk descriptors (kind, scale, shape, byte
-lengths); the chunk bytes are the codecs' entropy-coded payloads verbatim.
-Deserialising a payload therefore needs nothing outside the payload itself,
-which is what makes single-frame random access possible.
+The meta block is the serialised form of the frame's
+:class:`~repro.coding.spec.CodecSpec` (codec wire id from the registry,
+depth, geometry, bit depth, filter-bank and word-length metadata) followed
+by per-subband chunk descriptors (kind, scale, shape, byte lengths); the
+chunk bytes are the codecs' entropy-coded payloads verbatim.  Deserialising
+a payload therefore needs nothing outside the payload itself, which is what
+makes single-frame random access possible:
+:func:`deserialize_stream_with_spec` returns both the stream and the
+reconstructed spec, and :func:`frame_spec` rebuilds the spec from an index
+entry alone, without reading the payload.
+
+Codec identity is validated through the codec registry
+(:func:`repro.coding.spec.get_family`); registry errors are wrapped in
+:class:`ArchiveFormatError` with the frame context, so a payload naming an
+unregistered codec reads as a format error, not a loose ``ValueError``.
 
 For the coefficient codec the stored word-length metadata (word length,
 accumulator width, per-scale integer bits) is checked against the plan the
@@ -29,33 +39,66 @@ would produce garbage, so it raises :class:`ArchiveFormatError` instead.
 from __future__ import annotations
 
 import struct
-from typing import List, Union
+from typing import List, Tuple, Union
 
 from ..coding.bitstream import BitReader, BitWriter
 from ..coding.codec import CompressedImage, SubbandChunk
 from ..coding.s_transform import CompressedSImage
+from ..coding.spec import CodecSpec, UnknownCodecError, family_for_stream, get_family
 from ..filters.catalog import get_bank
 from ..fixedpoint.wordlength import plan_word_lengths
 from .format import (
-    CODEC_IDS,
     CODEC_NAMES_BY_ID,
     KIND_IDS,
     KINDS_BY_ID,
     ArchiveFormatError,
+    FrameInfo,
 )
 
-__all__ = ["CompressedStream", "codec_name_for_stream", "serialize_stream", "deserialize_stream"]
+__all__ = [
+    "CompressedStream",
+    "codec_name_for_stream",
+    "frame_spec",
+    "spec_for_stream",
+    "serialize_stream",
+    "deserialize_stream",
+    "deserialize_stream_with_spec",
+]
 
 CompressedStream = Union[CompressedImage, CompressedSImage]
 
 
 def codec_name_for_stream(stream: CompressedStream) -> str:
-    """Pipeline codec name (``CODEC_NAMES``) that produced ``stream``."""
-    if isinstance(stream, CompressedImage):
-        return "coefficient"
-    if isinstance(stream, CompressedSImage):
-        return "s-transform"
-    raise TypeError(f"not a compressed stream: {type(stream).__name__}")
+    """Pipeline codec name (registry name) that produced ``stream``."""
+    return family_for_stream(stream).name
+
+
+def spec_for_stream(stream: CompressedStream) -> CodecSpec:
+    """The :class:`CodecSpec` that reproduces ``stream``'s configuration."""
+    return CodecSpec.for_stream(stream)
+
+
+def frame_spec(entry: FrameInfo) -> CodecSpec:
+    """Rebuild a frame's :class:`CodecSpec` from its index entry alone.
+
+    This is what makes spec-aware random access cheap: the index carries
+    the whole configuration, so no payload bytes are touched.  Registry
+    errors (an index naming an unregistered codec) surface as
+    :class:`ArchiveFormatError` with the frame's context.
+    """
+    try:
+        return CodecSpec(
+            codec=entry.codec,
+            scales=entry.scales,
+            bit_depth=entry.bit_depth,
+            bank=entry.bank_name or None,
+            use_rle=entry.use_rle if entry.bank_name else None,
+        )
+    except UnknownCodecError as exc:
+        raise ArchiveFormatError(
+            f"frame {entry.name!r}: index entry references an unregistered "
+            f"codec ({exc})"
+        ) from exc
 
 
 def _write_ascii(writer: BitWriter, text: str, length_bits: int = 8) -> None:
@@ -73,18 +116,24 @@ def _read_ascii(reader: BitReader, length_bits: int = 8) -> str:
 
 
 def serialize_stream(stream: CompressedStream) -> bytes:
-    """Serialise a compressed stream into one archive frame payload."""
-    codec = codec_name_for_stream(stream)
+    """Serialise a compressed stream into one archive frame payload.
+
+    The header fields are written from the stream's :class:`CodecSpec`
+    (codec wire id, depth, geometry, bit depth, bank), so the payload
+    carries the spec and :func:`deserialize_stream_with_spec` recovers it.
+    """
+    spec = spec_for_stream(stream)
+    family = spec.family
     writer = BitWriter()
-    writer.write_uint(CODEC_IDS[codec], 8)
-    writer.write_uint(stream.scales, 8)
+    writer.write_uint(family.wire_id, 8)
+    writer.write_uint(spec.scales, 8)
     writer.write_uint(stream.image_shape[0], 32)
     writer.write_uint(stream.image_shape[1], 32)
-    writer.write_uint(stream.bit_depth, 8)
+    writer.write_uint(spec.bit_depth, 8)
     chunk_bytes: List[bytes] = []
-    if codec == "coefficient":
-        _write_ascii(writer, stream.bank_name)
-        plan = plan_word_lengths(get_bank(stream.bank_name), stream.scales)
+    if family.uses_bank:
+        _write_ascii(writer, spec.bank_name)
+        plan = plan_word_lengths(get_bank(spec.bank_name), spec.scales)
         writer.write_uint(plan.data_formats[1].word_length, 8)
         writer.write_uint(plan.accumulator_bits, 8)
         for bits in plan.integer_bits():
@@ -139,8 +188,8 @@ def _check_plan(reader: BitReader, bank_name: str, scales: int) -> None:
         )
 
 
-def deserialize_stream(payload: bytes) -> CompressedStream:
-    """Reconstruct the compressed stream from one archive frame payload."""
+def deserialize_stream_with_spec(payload: bytes) -> Tuple[CompressedStream, CodecSpec]:
+    """Reconstruct one frame payload's stream *and* its :class:`CodecSpec`."""
     if len(payload) < 4:
         raise ArchiveFormatError("frame payload shorter than its length prefix")
     (meta_len,) = struct.unpack_from("<I", payload, 0)
@@ -155,7 +204,9 @@ def deserialize_stream(payload: bytes) -> CompressedStream:
         codec_id = reader.read_uint(8)
         if codec_id not in CODEC_NAMES_BY_ID:
             raise ArchiveFormatError(f"frame payload has unknown codec id {codec_id}")
-        codec = CODEC_NAMES_BY_ID[codec_id]
+        # The name came from inverting the registry, so this lookup cannot
+        # miss; it just resolves the id to its family entry.
+        family = get_family(CODEC_NAMES_BY_ID[codec_id])
         scales = reader.read_uint(8)
         shape = (reader.read_uint(32), reader.read_uint(32))
         bit_depth = reader.read_uint(8)
@@ -171,7 +222,7 @@ def deserialize_stream(payload: bytes) -> CompressedStream:
             position += length
             return data
 
-        if codec == "coefficient":
+        if family.uses_bank:
             bank_name = _read_ascii(reader)
             _check_plan(reader, bank_name, scales)
             stream: CompressedStream = CompressedImage(
@@ -215,4 +266,17 @@ def deserialize_stream(payload: bytes) -> CompressedStream:
             f"frame payload has {len(payload) - position} trailing bytes after "
             "the declared chunks"
         )
+    try:
+        spec = spec_for_stream(stream)
+    except (ValueError, TypeError) as exc:
+        raise ArchiveFormatError(
+            f"frame payload metadata does not form a valid codec "
+            f"configuration ({exc})"
+        ) from exc
+    return stream, spec
+
+
+def deserialize_stream(payload: bytes) -> CompressedStream:
+    """Reconstruct the compressed stream from one archive frame payload."""
+    stream, _ = deserialize_stream_with_spec(payload)
     return stream

@@ -18,12 +18,17 @@ of bytes per frame per append.  The codec configuration of an appending
 writer defaults to that of the last stored frame so a series keeps
 compressing the way it started.
 
-Compression itself is delegated to the batched pipeline
-(:func:`repro.coding.pipeline.compress_frames`): :meth:`ArchiveWriter.add_frames`
-runs one pipeline call over the new frames and archives the resulting
-streams, accumulating the pipeline's per-stage wall-clock stats in
-``writer.stats``.  Pre-compressed batches (:meth:`ArchiveWriter.add_batch`)
-and single streams (:meth:`ArchiveWriter.add_stream`) are archived as is.
+The writer's configuration is one :class:`~repro.coding.spec.CodecSpec`
+(``writer.spec``); the legacy ``codec=``/``scales=``/``engine=`` keywords
+still work and are folded into a spec by the compatibility shim.
+Compression is delegated to the stage pipeline
+(:func:`repro.coding.pipeline.compress_frames`):
+:meth:`ArchiveWriter.append_batch` (alias :meth:`add_frames`) runs one
+pipeline call over the new frames — sharded across a process pool when
+``workers`` > 1 — and archives the resulting streams, accumulating the
+pipeline's per-stage wall-clock stats in ``writer.stats``.  Pre-compressed
+batches (:meth:`ArchiveWriter.add_batch`) and single streams
+(:meth:`ArchiveWriter.add_stream`) are archived as is.
 """
 
 from __future__ import annotations
@@ -33,16 +38,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..coding.pipeline import (
-    CODEC_NAMES,
-    CompressedBatch,
-    PipelineStats,
-    compress_frames,
-)
+from ..coding.pipeline import CompressedBatch, PipelineStats, compress_frames
+from ..coding.spec import CodecSpec, reject_spec_overrides
 from .format import (
     HEADER_SIZE,
     VERSION,
-    ArchiveError,
     FrameInfo,
     Header,
     crc32,
@@ -51,31 +51,27 @@ from .format import (
     read_header,
     read_index,
 )
-from .serialize import CompressedStream, codec_name_for_stream, serialize_stream
+from .serialize import (
+    CompressedStream,
+    frame_spec,
+    serialize_stream,
+    spec_for_stream,
+)
 
 __all__ = ["ArchiveWriter"]
 
 PathLike = Union[str, Path]
 
 
-def _merge_stats(into: PipelineStats, stats: PipelineStats) -> None:
-    into.frames += stats.frames
-    into.pixels += stats.pixels
-    into.raw_bytes += stats.raw_bytes
-    into.compressed_bytes += stats.compressed_bytes
-    for stage, seconds in stats.stage_seconds.items():
-        into.add_stage(stage, seconds)
-    into.accelerator_reports.extend(stats.accelerator_reports)
-
-
 class ArchiveWriter:
     """Writes a frame archive; use :meth:`create` or :meth:`append` to open.
 
-    Parameters mirror the batched pipeline: ``codec`` is a
-    :data:`~repro.coding.pipeline.CODEC_NAMES` name, ``scales`` the requested
-    decomposition depth (clamped per frame to what its geometry supports),
-    ``engine`` the entropy-coding engine, and ``codec_options`` anything the
-    codec constructor takes (``bank``, ``bit_depth``, ``use_rle``, ...).
+    The codec configuration is a :class:`~repro.coding.spec.CodecSpec`
+    (``writer.spec``); :meth:`create`/:meth:`append` also accept the legacy
+    keyword style (``codec=``, ``scales=``, ``engine=``, plus anything the
+    codec constructor takes — ``bank``, ``bit_depth``, ``use_rle``, ...)
+    and build the spec through the compatibility shim.  ``workers`` sets
+    the default process-pool width for :meth:`append_batch`.
     """
 
     def __init__(
@@ -84,19 +80,15 @@ class ArchiveWriter:
         fh,
         entries: List[FrameInfo],
         offset: int,
-        codec: str,
-        scales: int,
-        engine: str,
-        codec_options: Dict,
+        spec: CodecSpec,
+        workers: int = 1,
     ) -> None:
-        if codec not in CODEC_NAMES:
-            raise ValueError(f"unknown codec {codec!r} (expected one of {CODEC_NAMES})")
         self.path = Path(path)
-        self.codec = codec
-        self.scales = scales
-        self.engine = engine
-        self.codec_options = dict(codec_options)
-        #: Aggregated pipeline stats of every :meth:`add_frames`/:meth:`add_batch`
+        #: The writer's full compression configuration.
+        self.spec = spec
+        #: Default worker count for :meth:`append_batch` (1 = serial).
+        self.workers = int(workers)
+        #: Aggregated pipeline stats of every :meth:`append_batch`/:meth:`add_batch`
         #: call on this writer (wall-clock per stage, sizes, ratios).
         self.stats = PipelineStats()
         self._fh = fh
@@ -105,18 +97,51 @@ class ArchiveWriter:
         self._offset = offset
         self._closed = False
 
+    # -- legacy configuration views -----------------------------------------------------
+    @property
+    def codec(self) -> str:
+        return self.spec.codec
+
+    @property
+    def scales(self) -> int:
+        return self.spec.scales
+
+    @property
+    def engine(self) -> str:
+        return self.spec.engine
+
+    @property
+    def codec_options(self) -> Dict:
+        return self.spec.codec_kwargs()
+
     # -- construction -------------------------------------------------------------------
     @classmethod
     def create(
         cls,
         path: PathLike,
-        codec: str = "s-transform",
-        scales: int = 4,
-        engine: str = "fast",
+        codec: Optional[str] = None,
+        scales: Optional[int] = None,
+        engine: Optional[str] = None,
         overwrite: bool = False,
+        spec: Optional[CodecSpec] = None,
+        workers: int = 1,
         **codec_options,
     ) -> "ArchiveWriter":
-        """Create a new archive at ``path`` (refuses to clobber unless told to)."""
+        """Create a new archive at ``path`` (refuses to clobber unless told to).
+
+        Configuration defaults: s-transform codec, 4 scales, fast engine.
+        Passing ``spec`` together with any explicit codec keyword is an
+        error, never a silent override.
+        """
+        if spec is None:
+            spec = CodecSpec.from_kwargs(
+                codec=codec if codec is not None else "s-transform",
+                scales=scales if scales is not None else 4,
+                engine=engine if engine is not None else "fast",
+                **codec_options,
+            )
+        else:
+            reject_spec_overrides(codec_options, codec=codec, scales=scales, engine=engine)
         path = Path(path)
         if path.exists() and not overwrite:
             raise FileExistsError(f"archive {path} already exists (pass overwrite=True)")
@@ -133,7 +158,7 @@ class ArchiveWriter:
                 )
             )
         )
-        return cls(path, fh, [], HEADER_SIZE, codec, scales, engine, codec_options)
+        return cls(path, fh, [], HEADER_SIZE, spec, workers=workers)
 
     @classmethod
     def append(
@@ -141,7 +166,9 @@ class ArchiveWriter:
         path: PathLike,
         codec: Optional[str] = None,
         scales: Optional[int] = None,
-        engine: str = "fast",
+        engine: Optional[str] = None,
+        spec: Optional[CodecSpec] = None,
+        workers: int = 1,
         **codec_options,
     ) -> "ArchiveWriter":
         """Open an existing archive to add frames after the ones it holds.
@@ -156,26 +183,34 @@ class ArchiveWriter:
             header = read_header(fh)
             fh.seek(0, 2)
             entries = read_index(fh, header, fh.tell())
-        except ArchiveError:
+            if spec is None:
+                if entries and codec is None:
+                    # Inherit the stored configuration via the last frame's
+                    # spec; explicit keywords still override field by field.
+                    inherited = frame_spec(entries[-1])
+                    spec = inherited.replace(
+                        engine=engine if engine is not None else "fast",
+                        scales=scales if scales is not None else inherited.scales,
+                    ).replace_options(**codec_options)
+                else:
+                    spec = CodecSpec.from_kwargs(
+                        codec=codec or "s-transform",
+                        scales=scales if scales is not None else 4,
+                        engine=engine if engine is not None else "fast",
+                        **codec_options,
+                    )
+            else:
+                reject_spec_overrides(
+                    codec_options, codec=codec, scales=scales, engine=engine
+                )
+            # New payloads go after the old index, which stays valid (and
+            # the header keeps pointing at it) until close() — so a crash
+            # mid-append leaves the archive exactly as it was.
+            fh.seek(0, 2)
+            return cls(path, fh, entries, fh.tell(), spec, workers=workers)
+        except BaseException:
             fh.close()
             raise
-        if entries and codec is None:
-            last = entries[-1]
-            codec = last.codec
-            scales = last.scales if scales is None else scales
-            defaults: Dict = {"bit_depth": last.bit_depth}
-            if last.codec == "coefficient":
-                defaults["bank"] = last.bank_name
-                defaults["use_rle"] = last.use_rle
-            defaults.update(codec_options)
-            codec_options = defaults
-        codec = codec or "s-transform"
-        scales = scales if scales is not None else 4
-        # New payloads go after the old index, which stays valid (and the
-        # header keeps pointing at it) until close() — so a crash mid-append
-        # leaves the archive exactly as it was.
-        fh.seek(0, 2)
-        return cls(path, fh, entries, fh.tell(), codec, scales, engine, codec_options)
 
     # -- adding frames ------------------------------------------------------------------
     @property
@@ -197,22 +232,20 @@ class ArchiveWriter:
         if name in self._names:
             raise ValueError(f"archive already has a frame named {name!r}")
         payload = serialize_stream(stream)
-        use_rle = any(chunk.use_rle for chunk in stream.chunks) if hasattr(
-            stream, "bank_name"
-        ) else False
+        stream_spec = spec_for_stream(stream)
         entry = FrameInfo(
             index=len(self._entries),
             name=name,
-            codec=codec_name_for_stream(stream),
-            scales=stream.scales,
-            bit_depth=stream.bit_depth,
+            codec=stream_spec.codec,
+            scales=stream_spec.scales,
+            bit_depth=stream_spec.bit_depth,
             shape=(int(stream.image_shape[0]), int(stream.image_shape[1])),
             offset=self._offset,
             length=len(payload),
             crc32=crc32(payload),
             raw_bytes=stream.original_bytes,
-            bank_name=getattr(stream, "bank_name", ""),
-            use_rle=use_rle,
+            bank_name=stream_spec.bank_name,
+            use_rle=bool(stream_spec.use_rle),
         )
         self._fh.seek(self._offset)
         self._fh.write(payload)
@@ -238,23 +271,37 @@ class ArchiveWriter:
             self.add_stream(stream, None if names is None else names[i])
             for i, stream in enumerate(batch.streams)
         ]
-        _merge_stats(self.stats, batch.stats)
+        self.stats.merge(batch.stats)
         return entries
+
+    def append_batch(
+        self,
+        frames: Sequence[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+    ) -> List[FrameInfo]:
+        """Compress ``frames`` through the stage pipeline and archive them.
+
+        ``workers`` overrides the writer's default pool width for this call;
+        any value > 1 shards the batch across a process pool
+        (:class:`~repro.coding.executor.ParallelExecutor`) with streams
+        byte-identical to serial compression.
+        """
+        batch = compress_frames(
+            frames,
+            spec=self.spec,
+            workers=self.workers if workers is None else workers,
+        )
+        return self.add_batch(batch, names)
 
     def add_frames(
         self,
         frames: Sequence[np.ndarray],
         names: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
     ) -> List[FrameInfo]:
-        """Compress ``frames`` through the batched pipeline and archive them."""
-        batch = compress_frames(
-            frames,
-            codec=self.codec,
-            scales=self.scales,
-            engine=self.engine,
-            **self.codec_options,
-        )
-        return self.add_batch(batch, names)
+        """Alias of :meth:`append_batch` (the pre-spec name)."""
+        return self.append_batch(frames, names=names, workers=workers)
 
     # -- finalisation -------------------------------------------------------------------
     def __len__(self) -> int:

@@ -19,13 +19,25 @@ Public API
 
 from .bitstream import BitReader, BitWriter
 from .codec import CompressedImage, LosslessWaveletCodec, SubbandChunk
+from .executor import ParallelExecutor, default_workers
 from .pipeline import (
-    CODEC_NAMES,
     CompressedBatch,
     PipelineStats,
+    Stage,
+    StagePipeline,
     compress_frames,
+    decode_pipeline,
     decompress_frames,
+    encode_pipeline,
     max_dyadic_scales,
+)
+from .spec import (
+    CodecFamily,
+    CodecSpec,
+    UnknownCodecError,
+    codec_names,
+    get_family,
+    register_codec,
 )
 from .s_transform import (
     CompressedSImage,
@@ -69,6 +81,16 @@ from .rle import (
     zero_fraction,
 )
 
+
+def __getattr__(name: str):
+    # Resolved through the registry on access (not snapshotted at package
+    # import) so `repro.coding.CODEC_NAMES` stays truthful after
+    # register_codec(); codec_names() is the explicit call-time view.
+    if name == "CODEC_NAMES":
+        return codec_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BitReader",
     "BitWriter",
@@ -78,9 +100,21 @@ __all__ = [
     "CODEC_NAMES",
     "CompressedBatch",
     "PipelineStats",
+    "Stage",
+    "StagePipeline",
     "compress_frames",
+    "decode_pipeline",
     "decompress_frames",
+    "encode_pipeline",
     "max_dyadic_scales",
+    "CodecFamily",
+    "CodecSpec",
+    "UnknownCodecError",
+    "codec_names",
+    "get_family",
+    "register_codec",
+    "ParallelExecutor",
+    "default_workers",
     "CompressedSImage",
     "STransformCodec",
     "STransformPyramid",

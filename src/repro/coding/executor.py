@@ -1,0 +1,175 @@
+"""Multi-core batch execution: shard a frame batch across a process pool.
+
+The stage pipeline (:mod:`repro.coding.pipeline`) compresses frames
+independently — nothing flows between frames except statistics — so a
+batch parallelises by sharding: :class:`ParallelExecutor` deals frames
+round-robin onto ``workers`` shards, runs each shard through the ordinary
+serial pipeline in its own worker process, and reassembles streams (and
+per-frame accelerator reports) in the original frame order.  Because every
+worker runs exactly the code the serial path runs, the merged batch is
+**byte-identical** to serial execution for every codec/engine/transform
+combination; the property test in ``tests/coding/test_executor.py`` proves
+it and the scaling benchmark (``benchmarks/bench_pipeline_parallel.py``)
+measures the throughput.
+
+``workers=1`` degenerates to the serial path — no pool, no pickling, the
+exact code path :func:`~repro.coding.pipeline.compress_frames` runs.
+
+Stats semantics: each worker's per-stage wall clocks are summed into the
+merged :class:`~repro.coding.pipeline.PipelineStats` (so ``stage_seconds``
+reads as CPU seconds across the pool) while ``wall_seconds`` records the
+batch's true elapsed time and ``workers`` the pool size;
+``throughput_mpixels_per_s`` uses the elapsed time, so parallel speedup
+shows up directly.
+
+The configuration travels to workers as a pickled
+:class:`~repro.coding.spec.CodecSpec`; frames and compressed streams are
+plain ``ndarray``/dataclass payloads, so no shared state exists between
+workers and the pool can use any start method (``fork`` is preferred when
+available — workers inherit the imported modules instead of re-importing).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .pipeline import (
+    CompressedBatch,
+    PipelineStats,
+    compress_frames,
+    decompress_frames,
+)
+from .spec import CodecSpec, reject_spec_overrides
+
+__all__ = ["ParallelExecutor", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count when none is given: the CPUs this process may use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _pool_context():
+    """Prefer fork (workers inherit loaded modules); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return None
+
+
+def _compress_shard(
+    spec: CodecSpec, frames: List[np.ndarray]
+) -> Tuple[List, PipelineStats]:
+    """Worker entry point: serial-compress one shard, return streams + stats."""
+    batch = compress_frames(frames, spec=spec)
+    return batch.streams, batch.stats
+
+
+def _decompress_shard(
+    spec: CodecSpec, streams: List
+) -> Tuple[List[np.ndarray], PipelineStats]:
+    """Worker entry point: serial-decode one shard's streams."""
+    return decompress_frames(CompressedBatch.from_spec(spec, streams))
+
+
+def _shard_indices(count: int, shards: int) -> List[List[int]]:
+    """Round-robin deal of ``count`` items onto at most ``shards`` shards.
+
+    Round-robin (not contiguous split) so mixed-size batches balance: big
+    and small frames interleave across shards instead of clustering.
+    """
+    shards = max(1, min(shards, count))
+    return [list(range(i, count, shards)) for i in range(shards)]
+
+
+class ParallelExecutor:
+    """Shards frame batches across a ``concurrent.futures`` process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` means one worker per available CPU, ``1`` means
+        run serially in this process (no pool at all).
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    # -- helpers ------------------------------------------------------------------------
+    def _run_sharded(self, task, spec: CodecSpec, items: List) -> Tuple[List, PipelineStats]:
+        """Fan ``items`` out over the pool; return per-item results in order."""
+        shards = _shard_indices(len(items), self.workers)
+        began = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(task, spec, [items[i] for i in indices])
+                for indices in shards
+            ]
+            results = [future.result() for future in futures]
+        wall = time.perf_counter() - began
+        merged_items: List = [None] * len(items)
+        stats = PipelineStats()
+        for indices, (shard_items, shard_stats) in zip(shards, results):
+            for position, item in zip(indices, shard_items):
+                merged_items[position] = item
+            stats.merge(shard_stats)
+        # Accelerator reports arrive shard by shard; restore frame order so
+        # parallel stats read exactly like serial stats.
+        if stats.accelerator_reports:
+            ordered = sorted(
+                (
+                    (position, report)
+                    for indices, (_, shard_stats) in zip(shards, results)
+                    for position, report in zip(indices, shard_stats.accelerator_reports)
+                ),
+                key=lambda pair: pair[0],
+            )
+            stats.accelerator_reports = [report for _, report in ordered]
+        stats.workers = len(shards)
+        stats.wall_seconds = wall
+        return merged_items, stats
+
+    # -- public API ---------------------------------------------------------------------
+    def compress(
+        self,
+        frames: Sequence[np.ndarray],
+        spec: Optional[CodecSpec] = None,
+        **spec_kwargs,
+    ) -> CompressedBatch:
+        """Compress a batch, sharded across the pool; byte-identical to serial."""
+        if spec is None:
+            spec = CodecSpec.from_kwargs(**spec_kwargs)
+        else:
+            reject_spec_overrides(spec_kwargs)
+        frames = [np.asarray(frame) for frame in frames]
+        if self.workers == 1 or len(frames) <= 1:
+            return compress_frames(frames, spec=spec)
+        streams, stats = self._run_sharded(_compress_shard, spec, frames)
+        return CompressedBatch.from_spec(spec, streams, stats)
+
+    def decompress(
+        self, batch: CompressedBatch, spec: Optional[CodecSpec] = None
+    ) -> Tuple[List[np.ndarray], PipelineStats]:
+        """Decode a batch, sharded across the pool; bit-identical to serial."""
+        spec = spec if spec is not None else batch.resolved_spec()
+        if self.workers == 1 or len(batch.streams) <= 1:
+            if batch.spec != spec:
+                batch = CompressedBatch.from_spec(spec, batch.streams)
+            return decompress_frames(batch)
+        frames, stats = self._run_sharded(_decompress_shard, spec, list(batch.streams))
+        return frames, stats

@@ -1,4 +1,4 @@
-"""Batched end-to-end compression pipeline (transform → map → entropy code).
+"""Batched compression pipeline, built from composable stages.
 
 The paper's motivating workload is an archive compressing *streams* of
 medical images, not one frame at a time.  :func:`compress_frames` and
@@ -8,31 +8,35 @@ to what the dyadic geometry supports), and account wall-clock time per
 pipeline stage so throughput regressions are attributable to a stage rather
 than to "the codec".
 
-Two codec families are supported, selected by name:
+Configuration is a :class:`~repro.coding.spec.CodecSpec` — codec family,
+entropy engine, transform back end, depth, bit depth, filter bank — and the
+pipeline itself is a :class:`StagePipeline` of :class:`Stage` objects:
 
-* ``"s-transform"`` — :class:`~repro.coding.s_transform.STransformCodec`,
-  the compressive reversible-integer codec (the practical archive choice);
-* ``"coefficient"`` — :class:`~repro.coding.codec.LosslessWaveletCodec`,
-  the coefficient-exact back end of the paper's fixed-point DWT.
+* encode: :class:`DecorrelateStage` (software or accelerator transform)
+  → :class:`EntropyEncodeStage` (map + entropy code);
+* decode: :class:`EntropyDecodeStage` → :class:`ReconstructStage`.
 
-Both run on the vectorised entropy-coding engine by default;
-``engine="scalar"`` swaps in the bit-by-bit reference implementations
-(byte-identical output, used by the validation tests).
+Each stage's wall clock is folded into :class:`PipelineStats` under the
+stage's name, so the stats model is identical whether a batch ran through
+the convenience functions, a custom stage composition, or the multi-core
+:class:`~repro.coding.executor.ParallelExecutor` (``workers=N`` on either
+convenience function shards the batch across a process pool and merges the
+per-stage stats; the streams are byte-identical to serial execution).
 
-The transform stage itself is also selectable.  ``transform="software"``
-(default) runs the codec's own software transform; ``transform="accelerator"``
-drives the cycle-accurate architecture model
-(:class:`~repro.arch.accelerator.DwtAccelerator`) instead, giving a single
-batched image → accelerator transform → entropy codec → bitstream path whose
+The legacy keyword style (``codec=``, ``engine=``, ``transform=``,
+``transform_engine=``, ``**codec_options``) keeps working: both entry
+points funnel it through :meth:`CodecSpec.from_kwargs`.
+
+``transform="accelerator"`` replaces the software transform with the
+cycle-accurate architecture model
+(:class:`~repro.arch.accelerator.DwtAccelerator`), giving a single batched
+image → accelerator transform → entropy codec → bitstream path whose
 per-frame :class:`~repro.arch.accelerator.AcceleratorRunReport`\\ s (cycles,
 utilisation, DRAM traffic) are collected next to the per-stage wall-clock
 stats.  The accelerator transform is bit-identical to the software
 fixed-point transform, so streams are wire-compatible across transforms; it
-is only available for the ``"coefficient"`` codec (the s-transform codec
-uses a lifting transform the paper's datapath does not implement) and
-requires square frames, as the architecture does.  ``transform_engine``
-picks the accelerator engine (``"fast"`` whole-pass arrays by default,
-``"scalar"`` for the per-macro-cycle reference).
+is only available for the ``"coefficient"`` codec and requires square
+frames, as the architecture does.
 
 The pipeline is also the compression engine of the persistent archive
 layer (:mod:`repro.archive`): :class:`~repro.archive.writer.ArchiveWriter`
@@ -51,19 +55,44 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..arch.accelerator import AcceleratorRunReport, DwtAccelerator
-from ..arch.config import ArchitectureConfig
 from ..filters.catalog import get_bank
 from .codec import CompressedImage, LosslessWaveletCodec
-from .s_transform import CompressedSImage, STransformCodec
+from .s_transform import CompressedSImage
+from .spec import CodecSpec, codec_names, reject_spec_overrides
 
 __all__ = [
     "PipelineStats",
     "CompressedBatch",
     "CODEC_NAMES",
+    "TRANSFORMS",
+    "ENCODE_STAGES",
+    "DECODE_STAGES",
     "max_dyadic_scales",
+    "Stage",
+    "DecorrelateStage",
+    "EntropyEncodeStage",
+    "EntropyDecodeStage",
+    "ReconstructStage",
+    "StagePipeline",
+    "CodecResources",
+    "FrameJob",
+    "encode_pipeline",
+    "decode_pipeline",
     "compress_frames",
     "decompress_frames",
 ]
+
+def __getattr__(name: str):
+    # CODEC_NAMES is kept for backward compatibility as a module attribute;
+    # resolving it through the registry on access (instead of snapshotting a
+    # tuple at import time) keeps it truthful if a codec family is
+    # registered after this module was imported.  Note that
+    # ``from repro.coding.pipeline import CODEC_NAMES`` still binds the
+    # value current at that moment — use :func:`repro.coding.codec_names`
+    # for a call-time view.
+    if name == "CODEC_NAMES":
+        return codec_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Transform-stage back ends of the batched pipeline.
 TRANSFORMS = ("software", "accelerator")
@@ -75,7 +104,12 @@ DECODE_STAGES = ("entropy_decode", "inverse")
 
 @dataclass
 class PipelineStats:
-    """Wall-clock accounting of one batched pipeline run."""
+    """Wall-clock accounting of one batched pipeline run.
+
+    ``stage_seconds`` sums each stage's wall clock across frames — and, for
+    parallel runs, across worker processes, so it reads as *CPU seconds*
+    there while ``wall_seconds`` keeps the batch's elapsed time.
+    """
 
     frames: int = 0
     pixels: int = 0
@@ -85,13 +119,45 @@ class PipelineStats:
     #: One run report per frame when the accelerator transform is used
     #: (empty on the software-transform path).
     accelerator_reports: List[AcceleratorRunReport] = field(default_factory=list)
+    #: Worker processes that produced these stats (1 = serial).
+    workers: int = 1
+    #: Elapsed wall clock of the whole batch when it ran in parallel
+    #: (0.0 on the serial path, where ``total_seconds`` is the wall clock).
+    wall_seconds: float = 0.0
 
     def add_stage(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold another run's stats into this one (counts and per-stage time).
+
+        Runs merge sequentially: once either side carries a parallel wall
+        clock, the merged ``wall_seconds`` is the *sum of both sides'
+        elapsed time* (a serial side contributes its stage-second sum), so
+        ``elapsed_seconds`` never drops a serial batch's time.
+        """
+        if self.wall_seconds > 0.0 or other.wall_seconds > 0.0:
+            combined_wall = self.elapsed_seconds + other.elapsed_seconds
+        else:
+            combined_wall = 0.0  # all-serial: elapsed stays the stage sum
+        self.frames += other.frames
+        self.pixels += other.pixels
+        self.raw_bytes += other.raw_bytes
+        self.compressed_bytes += other.compressed_bytes
+        for stage, seconds in other.stage_seconds.items():
+            self.add_stage(stage, seconds)
+        self.accelerator_reports.extend(other.accelerator_reports)
+        self.workers = max(self.workers, other.workers)
+        self.wall_seconds = combined_wall
+
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Batch wall clock: ``wall_seconds`` when parallel, stage sum otherwise."""
+        return self.wall_seconds if self.wall_seconds > 0.0 else self.total_seconds
 
     @property
     def compression_ratio(self) -> float:
@@ -100,7 +166,7 @@ class PipelineStats:
         return self.raw_bytes / self.compressed_bytes
 
     def throughput_mpixels_per_s(self) -> float:
-        seconds = self.total_seconds
+        seconds = self.elapsed_seconds
         return self.pixels / seconds / 1e6 if seconds > 0 else 0.0
 
     def render(self) -> str:
@@ -113,8 +179,18 @@ class PipelineStats:
         for stage, seconds in self.stage_seconds.items():
             share = 100.0 * seconds / self.total_seconds if self.total_seconds else 0.0
             lines.append(f"  {stage:<15} {1e3 * seconds:8.1f} ms  ({share:5.1f}%)")
+        if self.wall_seconds > 0.0:
+            # Parallel run: the stage rows above sum worker CPU time, so
+            # print that denominator explicitly next to the elapsed total.
+            lines.append(
+                f"  {'cpu total':<15} {1e3 * self.total_seconds:8.1f} ms  "
+                f"(across {self.workers} workers)"
+            )
+            label = "elapsed"
+        else:
+            label = "total"
         lines.append(
-            f"  {'total':<15} {1e3 * self.total_seconds:8.1f} ms  "
+            f"  {label:<15} {1e3 * self.elapsed_seconds:8.1f} ms  "
             f"({self.throughput_mpixels_per_s():.1f} Mpixel/s)"
         )
         return "\n".join(lines)
@@ -122,7 +198,12 @@ class PipelineStats:
 
 @dataclass
 class CompressedBatch:
-    """Compressed representation of a batch of frames plus encode statistics."""
+    """Compressed representation of a batch of frames plus encode statistics.
+
+    ``spec`` is the full :class:`CodecSpec` the batch was produced with;
+    ``codec``/``engine``/``codec_options``/``transform`` mirror it for
+    backward compatibility with pre-spec call sites.
+    """
 
     codec: str
     engine: str
@@ -130,9 +211,39 @@ class CompressedBatch:
     streams: List[Union[CompressedImage, CompressedSImage]]
     stats: PipelineStats
     transform: str = "software"
+    spec: Optional[CodecSpec] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: CodecSpec,
+        streams: List[Union[CompressedImage, CompressedSImage]],
+        stats: Optional[PipelineStats] = None,
+    ) -> "CompressedBatch":
+        """Build a batch whose legacy mirror fields all derive from ``spec``."""
+        return cls(
+            codec=spec.codec,
+            engine=spec.engine,
+            codec_options=spec.codec_kwargs(),
+            streams=streams,
+            stats=stats if stats is not None else PipelineStats(),
+            transform=spec.transform,
+            spec=spec,
+        )
 
     def __len__(self) -> int:
         return len(self.streams)
+
+    def resolved_spec(self) -> CodecSpec:
+        """The batch's spec, rebuilt from the legacy fields when unset."""
+        if self.spec is not None:
+            return self.spec
+        return CodecSpec.from_kwargs(
+            codec=self.codec,
+            engine=self.engine,
+            transform=self.transform,
+            **self.codec_options,
+        )
 
     @property
     def compressed_bytes(self) -> int:
@@ -164,35 +275,6 @@ def max_dyadic_scales(shape: Tuple[int, int], limit: int = 16) -> int:
     return scales
 
 
-#: Codec families the pipeline (and the archive container format) support.
-CODEC_NAMES = ("s-transform", "coefficient")
-
-
-def _make_codec(codec: str, scales: int, engine: str, options: Dict):
-    if codec == "s-transform":
-        return STransformCodec(scales=scales, engine=engine, **options)
-    if codec == "coefficient":
-        return LosslessWaveletCodec(scales=scales, engine=engine, **options)
-    raise ValueError(f"unknown codec {codec!r} (expected one of {CODEC_NAMES})")
-
-
-class _CodecCache:
-    """Per-scales codec instances (plan/word-length setup is amortised)."""
-
-    def __init__(self, codec: str, engine: str, options: Dict) -> None:
-        self.codec = codec
-        self.engine = engine
-        self.options = dict(options)
-        self._instances: Dict[int, object] = {}
-
-    def for_scales(self, scales: int):
-        if scales not in self._instances:
-            self._instances[scales] = _make_codec(
-                self.codec, scales, self.engine, self.options
-            )
-        return self._instances[scales]
-
-
 def _frame_scales(shape: Tuple[int, int], requested: int) -> int:
     supported = max_dyadic_scales(shape)
     scales = min(requested, supported)
@@ -203,22 +285,34 @@ def _frame_scales(shape: Tuple[int, int], requested: int) -> int:
     return scales
 
 
-class _AcceleratorCache:
-    """Per-(size, scales) accelerator instances sharing the codec's plan.
+# ---------------------------------------------------------------------------
+# Shared resources: per-scales codec and per-geometry accelerator instances
+# ---------------------------------------------------------------------------
 
-    The accelerator is built from the codec's filter bank and word-length
-    plan, so its pyramids are bit-identical to the codec's own software
-    transform and the entropy-coded streams stay wire-compatible across
-    transforms.
+class CodecResources:
+    """Codec and accelerator instances for one :class:`CodecSpec`.
+
+    Codec construction amortises the word-length plan; accelerator
+    construction amortises the architecture model.  Both are keyed by the
+    per-frame geometry (scales, size) because the spec's requested depth is
+    clamped per frame.
     """
 
-    def __init__(self, engine: str) -> None:
-        self.engine = engine
-        self._instances: Dict[Tuple[int, int], DwtAccelerator] = {}
+    def __init__(self, spec: CodecSpec) -> None:
+        self.spec = spec
+        self._codecs: Dict[int, object] = {}
+        self._accelerators: Dict[Tuple[int, int], DwtAccelerator] = {}
 
-    def for_codec(self, codec: LosslessWaveletCodec, size: int, scales: int) -> DwtAccelerator:
+    def codec_for(self, scales: int):
+        if scales not in self._codecs:
+            self._codecs[scales] = self.spec.build_codec(scales)
+        return self._codecs[scales]
+
+    def accelerator_for(
+        self, codec: LosslessWaveletCodec, size: int, scales: int
+    ) -> DwtAccelerator:
         key = (size, scales)
-        if key not in self._instances:
+        if key not in self._accelerators:
             # The architecture config looks the bank up by name, so the
             # codec's bank must be the catalog instance of that name — a
             # custom bank object would silently filter with different taps.
@@ -231,27 +325,43 @@ class _AcceleratorCache:
                     "transform='accelerator' requires a Table I catalog filter "
                     f"bank; the codec uses a custom bank {codec.bank.name!r}"
                 )
-            config = ArchitectureConfig(
-                image_size=size, scales=scales, bank_name=codec.bank.name
+            self._accelerators[key] = DwtAccelerator.from_spec(
+                self.spec, image_size=size, scales=scales, plan=codec.plan
             )
-            self._instances[key] = DwtAccelerator(
-                config, plan=codec.plan, engine=self.engine
-            )
-        return self._instances[key]
+        return self._accelerators[key]
 
 
-def _check_transform(transform: str, codec: str) -> str:
-    if transform not in TRANSFORMS:
-        raise ValueError(
-            f"unknown transform {transform!r} (expected one of {TRANSFORMS})"
-        )
-    if transform == "accelerator" and codec != "coefficient":
-        raise ValueError(
-            "transform='accelerator' is only available for the 'coefficient' "
-            "codec: the architecture model computes the filter-bank DWT, not "
-            f"the {codec!r} codec's transform"
-        )
-    return transform
+@dataclass
+class FrameJob:
+    """Everything a stage needs to process one frame."""
+
+    spec: CodecSpec
+    resources: CodecResources
+    codec: object
+    scales: int
+    frame_shape: Tuple[int, int]
+    stats: PipelineStats
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+class Stage:
+    """One step of the pipeline: a named ``value -> value`` transformation.
+
+    Stages are stateless; per-frame state travels in the :class:`FrameJob`.
+    :meth:`StagePipeline.run` times each stage and folds the wall clock into
+    ``job.stats`` under :attr:`name`.
+    """
+
+    name = "stage"
+
+    def process(self, value, job: FrameJob):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
 
 
 def _accelerator_frame(frame: np.ndarray, codec: LosslessWaveletCodec) -> np.ndarray:
@@ -264,13 +374,134 @@ def _accelerator_frame(frame: np.ndarray, codec: LosslessWaveletCodec) -> np.nda
     return codec.validate_image(frame)
 
 
+class DecorrelateStage(Stage):
+    """Frame → subband pyramid (software transform or accelerator model)."""
+
+    name = "transform"
+
+    def process(self, frame: np.ndarray, job: FrameJob):
+        if job.spec.transform == "accelerator":
+            frame = _accelerator_frame(frame, job.codec)
+            accelerator = job.resources.accelerator_for(
+                job.codec, frame.shape[0], job.scales
+            )
+            pyramid, report = accelerator.forward(frame)
+            job.stats.accelerator_reports.append(report)
+            return pyramid
+        return job.codec.forward_transform(frame)
+
+
+class EntropyEncodeStage(Stage):
+    """Subband pyramid → entropy-coded compressed stream."""
+
+    name = "entropy_encode"
+
+    def process(self, pyramid, job: FrameJob):
+        return job.codec.encode_pyramid(pyramid, job.frame_shape)
+
+
+class EntropyDecodeStage(Stage):
+    """Compressed stream → subband pyramid."""
+
+    name = "entropy_decode"
+
+    def process(self, stream, job: FrameJob):
+        return job.codec.decode_pyramid(stream)
+
+
+class ReconstructStage(Stage):
+    """Subband pyramid → reconstructed frame (bit for bit)."""
+
+    name = "inverse"
+
+    def process(self, pyramid, job: FrameJob):
+        if job.spec.transform == "accelerator":
+            accelerator = job.resources.accelerator_for(
+                job.codec, job.frame_shape[0], job.scales
+            )
+            frame, report = accelerator.inverse(pyramid)
+            job.stats.accelerator_reports.append(report)
+            return frame
+        return job.codec.inverse_transform(pyramid)
+
+
+class StagePipeline:
+    """An ordered composition of stages with per-stage timing."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, value, job: FrameJob):
+        """Push one value through every stage, timing each into ``job.stats``."""
+        for stage in self.stages:
+            began = time.perf_counter()
+            value = stage.process(value, job)
+            job.stats.add_stage(stage.name, time.perf_counter() - began)
+        return value
+
+
+def encode_pipeline() -> StagePipeline:
+    """The standard encode composition: decorrelate → map + entropy code."""
+    return StagePipeline([DecorrelateStage(), EntropyEncodeStage()])
+
+
+def decode_pipeline() -> StagePipeline:
+    """The standard decode composition: entropy decode → reconstruct."""
+    return StagePipeline([EntropyDecodeStage(), ReconstructStage()])
+
+
+# ---------------------------------------------------------------------------
+# Batched entry points
+# ---------------------------------------------------------------------------
+
+def _resolve_spec(
+    spec: Optional[CodecSpec],
+    codec: Optional[str],
+    scales: Optional[int],
+    engine: Optional[str],
+    transform: Optional[str],
+    transform_engine: Optional[str],
+    codec_options: Dict,
+) -> CodecSpec:
+    if spec is not None:
+        # The legacy keywords all default to None so an explicit value is
+        # distinguishable — mixing them with spec= is rejected instead of
+        # silently losing the keyword.
+        reject_spec_overrides(
+            codec_options,
+            codec=codec,
+            scales=scales,
+            engine=engine,
+            transform=transform,
+            transform_engine=transform_engine,
+        )
+        return spec
+    return CodecSpec.from_kwargs(
+        codec=codec if codec is not None else "s-transform",
+        scales=scales if scales is not None else 4,
+        engine=engine if engine is not None else "fast",
+        transform=transform if transform is not None else "software",
+        transform_engine=transform_engine if transform_engine is not None else "fast",
+        **codec_options,
+    )
+
+
 def compress_frames(
     frames: Sequence[np.ndarray],
-    codec: str = "s-transform",
-    scales: int = 4,
-    engine: str = "fast",
-    transform: str = "software",
-    transform_engine: str = "fast",
+    codec: Optional[str] = None,
+    scales: Optional[int] = None,
+    engine: Optional[str] = None,
+    transform: Optional[str] = None,
+    transform_engine: Optional[str] = None,
+    spec: Optional[CodecSpec] = None,
+    workers: int = 1,
     **codec_options,
 ) -> CompressedBatch:
     """Losslessly compress a batch of integer frames end to end.
@@ -279,84 +510,97 @@ def compress_frames(
     ``min(scales, deepest depth its geometry supports)``.  Per-stage
     wall-clock totals are accumulated in the returned batch's ``stats``.
 
+    The configuration is either a ready-made ``spec``
+    (:class:`~repro.coding.spec.CodecSpec`) or the legacy keywords, which
+    are folded into one via :meth:`CodecSpec.from_kwargs` (omitted
+    keywords mean s-transform codec, 4 scales, fast engines, software
+    transform).  Passing ``spec`` together with any explicit keyword is an
+    error, never a silent override.
+
+    ``workers=N`` (N > 1) shards the batch across a process pool
+    (:class:`~repro.coding.executor.ParallelExecutor`); the streams are
+    byte-identical to the serial run and ``stats.wall_seconds`` records the
+    parallel elapsed time.
+
     ``transform="accelerator"`` replaces the software transform stage with
     the cycle-accurate accelerator model (``"coefficient"`` codec, square
     frames); its per-frame run reports land in ``stats.accelerator_reports``
     and the streams stay bit-identical to the software path.
-    ``transform_engine`` selects the accelerator engine (``"fast"`` by
-    default, or ``"scalar"``).
     """
-    _check_transform(transform, codec)
-    cache = _CodecCache(codec, engine, codec_options)
-    accelerators = _AcceleratorCache(transform_engine)
+    spec = _resolve_spec(
+        spec, codec, scales, engine, transform, transform_engine, codec_options
+    )
+    if workers != 1:
+        from .executor import ParallelExecutor
+
+        return ParallelExecutor(workers).compress(frames, spec)
+    resources = CodecResources(spec)
+    pipeline = encode_pipeline()
     stats = PipelineStats()
     streams: List[Union[CompressedImage, CompressedSImage]] = []
     for frame in frames:
         frame = np.asarray(frame)
-        frame_scales = _frame_scales(frame.shape, scales)
-        instance = cache.for_scales(frame_scales)
-        began = time.perf_counter()
-        if transform == "accelerator":
-            frame = _accelerator_frame(frame, instance)
-            accelerator = accelerators.for_codec(instance, frame.shape[0], frame_scales)
-            pyramid, report = accelerator.forward(frame)
-            stats.accelerator_reports.append(report)
-        else:
-            pyramid = instance.forward_transform(frame)
-        transformed = time.perf_counter()
-        stream = instance.encode_pyramid(pyramid, frame.shape)
-        encoded = time.perf_counter()
-        stats.add_stage("transform", transformed - began)
-        stats.add_stage("entropy_encode", encoded - transformed)
+        frame_scales = _frame_scales(frame.shape, spec.scales)
+        job = FrameJob(
+            spec=spec,
+            resources=resources,
+            codec=resources.codec_for(frame_scales),
+            scales=frame_scales,
+            frame_shape=(int(frame.shape[0]), int(frame.shape[1])),
+            stats=stats,
+        )
+        stream = pipeline.run(frame, job)
         stats.frames += 1
         stats.pixels += int(frame.size)
         stats.raw_bytes += stream.original_bytes
         stats.compressed_bytes += stream.compressed_bytes
         streams.append(stream)
-    return CompressedBatch(
-        codec=codec,
-        engine=engine,
-        codec_options=dict(codec_options),
-        streams=streams,
-        stats=stats,
-        transform=transform,
-    )
+    return CompressedBatch.from_spec(spec, streams, stats)
 
 
 def decompress_frames(
     batch: CompressedBatch,
     engine: Optional[str] = None,
     transform: Optional[str] = None,
-    transform_engine: str = "fast",
+    transform_engine: Optional[str] = None,
+    workers: int = 1,
 ) -> Tuple[List[np.ndarray], PipelineStats]:
     """Reconstruct every frame of a batch bit for bit.
 
-    Returns ``(frames, stats)``; ``engine`` overrides the batch's engine and
-    ``transform`` its transform back end (the streams are wire-compatible
+    Returns ``(frames, stats)``; ``engine`` overrides the batch's engine,
+    ``transform`` its transform back end and ``transform_engine`` its
+    accelerator engine — each only when given, so an omitted override
+    keeps the batch spec's stored value (the streams are wire-compatible
     across engines *and* transforms, because the accelerator model is
-    bit-identical to the software transform).
+    bit-identical to the software transform).  ``workers=N`` decodes the
+    batch through the process-pool executor.
     """
-    transform = _check_transform(transform or batch.transform, batch.codec)
-    cache = _CodecCache(batch.codec, engine or batch.engine, batch.codec_options)
-    accelerators = _AcceleratorCache(transform_engine)
+    base = batch.resolved_spec()
+    spec = base.replace(
+        engine=engine or batch.engine,
+        transform=transform or batch.transform,
+        transform_engine=(
+            transform_engine if transform_engine is not None else base.transform_engine
+        ),
+    )
+    if workers != 1:
+        from .executor import ParallelExecutor
+
+        return ParallelExecutor(workers).decompress(batch, spec=spec)
+    resources = CodecResources(spec)
+    pipeline = decode_pipeline()
     stats = PipelineStats()
     frames: List[np.ndarray] = []
     for stream in batch.streams:
-        instance = cache.for_scales(stream.scales)
-        began = time.perf_counter()
-        pyramid = instance.decode_pyramid(stream)
-        decoded = time.perf_counter()
-        if transform == "accelerator":
-            accelerator = accelerators.for_codec(
-                instance, stream.image_shape[0], stream.scales
-            )
-            frame, report = accelerator.inverse(pyramid)
-            stats.accelerator_reports.append(report)
-        else:
-            frame = instance.inverse_transform(pyramid)
-        finished = time.perf_counter()
-        stats.add_stage("entropy_decode", decoded - began)
-        stats.add_stage("inverse", finished - decoded)
+        job = FrameJob(
+            spec=spec,
+            resources=resources,
+            codec=resources.codec_for(stream.scales),
+            scales=stream.scales,
+            frame_shape=(int(stream.image_shape[0]), int(stream.image_shape[1])),
+            stats=stats,
+        )
+        frame = pipeline.run(stream, job)
         stats.frames += 1
         stats.pixels += int(frame.size)
         stats.raw_bytes += stream.original_bytes

@@ -100,6 +100,40 @@ def test_coefficient_pack_roundtrip(tmp_path, pgm_dir, capsys):
     assert np.array_equal(read_pgm(out), read_pgm(inputs[0]))
 
 
+def test_pack_with_workers_matches_serial(tmp_path, capsys):
+    """--workers N packs a byte-identical archive (just sharded)."""
+    serial = tmp_path / "serial.dwta"
+    parallel = tmp_path / "parallel.dwta"
+    assert main(["pack", str(serial), "--synthetic", "4", "--size", "32"]) == 0
+    assert main(["pack", str(parallel), "--synthetic", "4", "--size", "32", "--workers", "2"]) == 0
+    assert "2 workers" in capsys.readouterr().out
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_pack_rejects_non_positive_workers(tmp_path, capsys):
+    archive = tmp_path / "w0.dwta"
+    with pytest.raises(SystemExit):
+        main(["pack", str(archive), "--synthetic", "2", "--size", "32", "--workers", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+    assert not archive.exists()  # rejected before the file was created
+
+
+def test_list_verbose_prints_spec(tmp_path, capsys):
+    archive = tmp_path / "verbose.dwta"
+    assert main(["pack", str(archive), "--synthetic", "2", "--size", "32", "--codec", "coefficient", "--scales", "2"]) == 0
+    capsys.readouterr()
+
+    assert main(["list", str(archive), "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "spec:" in out and "bank=F2" in out and "scales=2" in out
+
+    assert main(["list", str(archive), "--json", "--verbose"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert records[0]["spec"]["codec"] == "coefficient"
+    assert records[0]["spec"]["bank"] == "F2"
+    assert records[0]["spec"]["use_rle"] is True
+
+
 def test_errors_exit_nonzero(tmp_path, capsys):
     missing = tmp_path / "missing.dwta"
     assert main(["verify", str(missing)]) == 1
