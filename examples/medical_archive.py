@@ -20,7 +20,12 @@ everything in memory:
   slice's payload bytes — the reader counts them), decode a slice range,
   and bulk-decode everything through the batched pipeline,
 * verify integrity (checksums + deep decode) and export one slice to a
-  16-bit PGM file as a PACS hand-off would.
+  16-bit PGM file as a PACS hand-off would,
+* then scale the same workload out: **stream** a live feed into a
+  **sharded archive set** (one codec configuration spanning several
+  container files behind a name router) under a bounded-memory queue,
+  random-access one slice by routing straight to its shard, and verify
+  the set shard by shard.
 
 The same flow is scriptable from the shell::
 
@@ -28,6 +33,8 @@ The same flow is scriptable from the shell::
     python -m repro.archive list archive.dwta --verbose
     python -m repro.archive extract archive.dwta slice_004 -o slice.pgm
     python -m repro.archive verify archive.dwta --deep
+    python -m repro.archive pack set.dwts --synthetic 8 --shards 4 --workers 4
+    python -m repro.archive verify set.dwts --deep --workers 4
 
 Run with:  python examples/medical_archive.py [output_directory]
 """
@@ -40,7 +47,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.archive import ArchiveReader, ArchiveWriter
+from repro.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    ShardedArchiveReader,
+    ShardedArchiveWriter,
+    ingest_frames,
+)
 from repro.coding import CodecSpec
 from repro.imaging import archive_dataset, ct_slice_series, read_pgm, write_pgm
 
@@ -123,6 +136,36 @@ def main(output_directory: str | None = None) -> None:
         write_pgm(pgm_path, slice_004, max_value=4095)
         assert np.array_equal(read_pgm(pgm_path), frames[4]), "PGM round trip must be exact"
         print(f"slice_004 exported to {pgm_path}")
+
+    # -- scale out: stream the same series into a sharded archive set -------------------
+    # One manifest + 4 container files; frames route to shards by name, a
+    # bounded queue (backpressure) keeps at most 3 undecoded frames in
+    # memory, and the stored payload bytes are identical to the
+    # single-file archive above.
+    set_path = output_dir / "ct_series.dwts"
+    feed = ((name, dataset.get(name)) for name in names)  # a "live" feed
+    with ShardedArchiveWriter.create(set_path, shards=4, spec=spec, overwrite=True) as writer:
+        report = ingest_frames(writer, feed, queue_depth=3)
+    print(
+        f"\nStreamed {report.frames} slices into {set_path.name} "
+        f"({writer.shard_count} shards; peak {report.max_in_flight} of "
+        f"{report.queue_depth} frames in flight)"
+    )
+
+    with ShardedArchiveReader(set_path) as sharded:
+        probe = "slice_004"
+        routed = sharded.decode(probe)
+        assert np.array_equal(routed, frames[4]), "routed access must be lossless"
+        print(
+            f"Routed random access to {probe}: opened shard(s) "
+            f"{sharded.opened_shards} only, read {sharded.bytes_read} payload bytes"
+        )
+        set_report = sharded.verify(deep=True)
+        print(
+            f"Set integrity: {set_report['frames']} frames across "
+            f"{set_report['shards']} shards OK (deep verify, damage would be "
+            "isolated per shard)"
+        )
 
     print(f"\nArchive and exports written to {output_dir}")
 

@@ -2,40 +2,61 @@
 
 The paper motivates its fixed-point DWT accelerator with the storage and
 *retrieval* of medical image archives; this package is the storage half of
-that scenario.  An archive is a single file holding many losslessly
+that scenario.  An archive is a container holding many losslessly
 compressed frames behind an index table, so one frame (or a slice range)
 can be located, checksummed and decoded without reading anything else:
 
-``ArchiveWriter``
-    Creates or appends to an archive, compressing frames through the
-    batched pipeline (:func:`repro.coding.pipeline.compress_frames`) or
-    archiving pre-compressed batches/streams as is.
-``ArchiveReader``
-    Lists frames, randomly accesses single frames or ranges, reassembles
-    stored streams into pipeline batches, and verifies integrity.
+``ArchiveWriter`` / ``ArchiveReader``
+    Create/append and list/random-access/verify one container.  Both talk
+    to a **storage backend** (:mod:`repro.archive.backend`) rather than a
+    raw file handle — paths resolve to :class:`FileBackend`, tests and
+    staging flows can use :class:`MemoryBackend`, and the bytes are
+    identical across backends.
+``ShardedArchiveWriter`` / ``ShardedArchiveReader``
+    A *sharded archive set* (:mod:`repro.archive.sharding`): one
+    :class:`~repro.coding.spec.CodecSpec` spanning N containers behind a
+    manifest and a deterministic by-name shard router.  Packs run one
+    end-to-end worker per shard; random access opens exactly one shard;
+    damage to one shard is isolated from the rest.
+``StreamingIngestor`` / ``ingest_frames`` / ``ingest_async`` / ``iter_compress``
+    Streaming ingest (:mod:`repro.archive.ingest`): frames flow from a
+    feed through a bounded queue with backpressure straight into (sharded)
+    writers, never materialising the full batch.
 ``FrameInfo``
     One frame's index entry (geometry, codec/filter/word-length metadata,
     payload location and CRC-32).
 
-The on-disk format is defined byte for byte in :mod:`repro.archive.format`
-(and documented in ``docs/archive_format.md``); frame payloads are framed
-through :mod:`repro.coding.bitstream` in :mod:`repro.archive.serialize`.
+The on-disk formats — container and shard-set manifest — are defined byte
+for byte in :mod:`repro.archive.format` (and documented in
+``docs/archive_format.md``); frame payloads are framed through
+:mod:`repro.coding.bitstream` in :mod:`repro.archive.serialize`.
 A CLI front end runs the scenario end to end against real files::
 
     python -m repro.archive pack archive.dwta scans/*.pgm
-    python -m repro.archive list archive.dwta
-    python -m repro.archive extract archive.dwta slice_004 -o slice.pgm
-    python -m repro.archive verify archive.dwta --deep
+    python -m repro.archive pack set.dwts scans/*.pgm --shards 4 --workers 4
+    python -m repro.archive list set.dwts
+    python -m repro.archive extract set.dwts slice_004 -o slice.pgm
+    python -m repro.archive verify set.dwts --deep --workers 4
 """
 
+from .backend import FileBackend, MemoryBackend, StorageBackend, resolve_backend
 from .format import (
     MAGIC,
+    MANIFEST_MAGIC,
     VERSION,
     ArchiveError,
     ArchiveFormatError,
     ArchiveIntegrityError,
     FrameInfo,
+    ShardManifest,
     TruncatedArchiveError,
+)
+from .ingest import (
+    IngestReport,
+    StreamingIngestor,
+    ingest_async,
+    ingest_frames,
+    iter_compress,
 )
 from .reader import ArchiveReader, VerifyReport
 from .serialize import (
@@ -45,19 +66,48 @@ from .serialize import (
     serialize_stream,
     spec_for_stream,
 )
+from .sharding import (
+    HashRouter,
+    RangeRouter,
+    ShardedArchiveReader,
+    ShardedArchiveWriter,
+    ShardRouter,
+    is_sharded,
+    make_router,
+    open_archive,
+)
 from .writer import ArchiveWriter
 
 __all__ = [
     "MAGIC",
+    "MANIFEST_MAGIC",
     "VERSION",
     "ArchiveError",
     "ArchiveFormatError",
     "ArchiveIntegrityError",
     "TruncatedArchiveError",
     "FrameInfo",
+    "ShardManifest",
+    "StorageBackend",
+    "FileBackend",
+    "MemoryBackend",
+    "resolve_backend",
     "ArchiveReader",
     "VerifyReport",
     "ArchiveWriter",
+    "ShardRouter",
+    "HashRouter",
+    "RangeRouter",
+    "make_router",
+    "is_sharded",
+    "open_archive",
+    "ShardedArchiveWriter",
+    "ShardedArchiveReader",
+    "IngestReport",
+    "StreamingIngestor",
+    "ingest_frames",
+    "ingest_async",
+    "iter_compress",
     "serialize_stream",
     "deserialize_stream",
     "deserialize_stream_with_spec",

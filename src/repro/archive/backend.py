@@ -1,0 +1,161 @@
+"""Storage backends: where an archive container's bytes live.
+
+The writer and reader used to call ``open(path, ...)`` directly, welding the
+container format to the local filesystem.  This module puts a small seam
+between the two: a :class:`StorageBackend` names one container and hands out
+binary file objects for it, and :class:`~repro.archive.writer.ArchiveWriter`
+/ :class:`~repro.archive.reader.ArchiveReader` perform exactly the same
+seeks, reads and writes against whatever the backend returns.  The bytes a
+backend stores are byte-identical across backends — the container format
+(:mod:`repro.archive.format`) never sees the backend, only a file object —
+so archives move freely between them.
+
+Two backends ship:
+
+``FileBackend``
+    One file on the local filesystem; what every path-based call site gets
+    (paths are resolved through :func:`resolve_backend`, so the historical
+    ``ArchiveWriter.create("x.dwta")`` API is unchanged, file for file and
+    byte for byte).
+``MemoryBackend``
+    An in-process byte buffer with file semantics: writes persist across
+    open/close cycles of the *backend object*, which makes it the natural
+    scratch target for tests and for staging an archive before uploading it
+    somewhere a future backend (object store, remote block device) would
+    address.
+
+Backends hand out ordinary binary file objects, so a new backend only has
+to implement the four small methods of :class:`StorageBackend`; everything
+above the seam (append crash-safety, random access, sharding, streaming
+ingest) works unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, Union
+
+__all__ = [
+    "StorageBackend",
+    "FileBackend",
+    "MemoryBackend",
+    "resolve_backend",
+]
+
+
+class StorageBackend:
+    """One archive container's byte store.
+
+    A backend *names* a container and opens binary streams over it; it holds
+    no format knowledge.  The returned objects must support ``read``,
+    ``write``, ``seek``, ``tell``, ``flush``, ``truncate`` and ``close`` —
+    the full set the writer and reader use.
+    """
+
+    def exists(self) -> bool:
+        """Whether the container currently holds any bytes."""
+        raise NotImplementedError
+
+    def create(self) -> BinaryIO:
+        """Open the container for writing from scratch (truncating)."""
+        raise NotImplementedError
+
+    def open_read(self) -> BinaryIO:
+        """Open the container read-only."""
+        raise NotImplementedError
+
+    def open_modify(self) -> BinaryIO:
+        """Open the existing container for in-place read/write (append)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location, used in error messages and ``repr``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class FileBackend(StorageBackend):
+    """A container stored as one file on the local filesystem."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def create(self) -> BinaryIO:
+        return open(self.path, "wb")
+
+    def open_read(self) -> BinaryIO:
+        return open(self.path, "rb")
+
+    def open_modify(self) -> BinaryIO:
+        return open(self.path, "r+b")
+
+    def describe(self) -> str:
+        return str(self.path)
+
+
+class _MemoryFile(io.BytesIO):
+    """A BytesIO whose contents persist back into its backend on close/flush."""
+
+    def __init__(self, backend: "MemoryBackend", initial: bytes) -> None:
+        super().__init__(initial)
+        self._backend = backend
+
+    def flush(self) -> None:
+        super().flush()
+        self._backend._blob = self.getvalue()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._backend._blob = self.getvalue()
+        super().close()
+
+
+class MemoryBackend(StorageBackend):
+    """A container stored in an in-process byte buffer.
+
+    Open/close cycles see each other's writes (the buffer lives on the
+    backend object), so the writer → reader hand-off works exactly as it
+    does on disk; the stored bytes are exposed as :meth:`getvalue` and are
+    byte-identical to what :class:`FileBackend` would have written.
+    """
+
+    def __init__(self, initial: bytes = b"", name: str = "<memory>") -> None:
+        self._blob = bytes(initial)
+        self.name = name
+
+    def exists(self) -> bool:
+        return bool(self._blob)
+
+    def create(self) -> BinaryIO:
+        self._blob = b""
+        return _MemoryFile(self, b"")
+
+    def open_read(self) -> BinaryIO:
+        if not self._blob:
+            raise FileNotFoundError(f"memory container {self.name!r} is empty")
+        return io.BytesIO(self._blob)
+
+    def open_modify(self) -> BinaryIO:
+        if not self._blob:
+            raise FileNotFoundError(f"memory container {self.name!r} is empty")
+        return _MemoryFile(self, self._blob)
+
+    def describe(self) -> str:
+        return self.name
+
+    def getvalue(self) -> bytes:
+        """The container's current bytes (what a file would hold on disk)."""
+        return self._blob
+
+
+def resolve_backend(target: Union[str, Path, StorageBackend]) -> StorageBackend:
+    """Coerce a writer/reader target into a backend (paths → files)."""
+    if isinstance(target, StorageBackend):
+        return target
+    return FileBackend(target)

@@ -5,17 +5,27 @@ Runs the medical-archive scenario end to end against real files:
 ``pack``
     Compress PGM files (or a synthetic CT series) into an archive, creating
     it or appending to it; ``--workers N`` shards the batch across a
-    process pool (byte-identical output).
+    process pool (byte-identical output).  ``--shards N`` creates a
+    *sharded archive set* instead (manifest + N containers, one end-to-end
+    worker per shard when ``--workers`` > 1), and ``--stream`` feeds the
+    frames through the bounded-queue streaming ingest front end
+    (``--queue-depth`` raw frames in memory at most) instead of batching.
 ``list``
     Show the index table — per-frame codec/filter metadata and sizes —
     without decoding anything (``--json`` for machine-readable output,
     ``--verbose`` to print each frame's stored ``CodecSpec``).
 ``extract``
     Random-access decode selected frames (by name or index) and write them
-    as 16-bit PGM files; only the requested frames' payloads are read.
+    as 16-bit PGM files; only the requested frames' payloads are read —
+    on a sharded set, only the routed shard is even opened.
 ``verify``
     Check every frame's checksum; ``--deep`` additionally decodes every
-    frame and cross-checks its geometry against the index.
+    frame and cross-checks its geometry against the index; ``--workers N``
+    parallelises across shards/frames.  On a sharded set, damage is
+    isolated per shard: every healthy shard is still verified and reported.
+
+``list``, ``extract`` and ``verify`` accept either a single container or a
+shard-set manifest — the two are told apart by their magic bytes.
 
 Exit status is 0 on success and 1 on any archive error (bad format,
 truncation, checksum mismatch), reported as a single-line message on
@@ -34,8 +44,9 @@ from ..coding.spec import codec_names
 from ..imaging.dataset import archive_dataset
 from ..imaging.io_pgm import read_pgm, write_pgm
 from .format import ArchiveError
-from .reader import ArchiveReader
+from .ingest import ingest_frames
 from .serialize import frame_spec
+from .sharding import ShardedArchiveReader, ShardedArchiveWriter, is_sharded, open_archive
 from .writer import ArchiveWriter
 
 __all__ = ["main", "build_parser"]
@@ -75,7 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="decomposition depth (default 4; with --append, inherited)",
     )
-    pack.add_argument("--bank", default="F2", help="filter bank for the coefficient codec")
+    pack.add_argument(
+        "--bank",
+        default=None,
+        help="filter bank for the coefficient codec (default F2)",
+    )
     pack.add_argument(
         "--no-rle",
         action="store_true",
@@ -98,7 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="compress across N worker processes (default 1 = serial; "
-        "streams are byte-identical either way)",
+        "streams are byte-identical either way; with --shards, one "
+        "end-to-end worker per shard)",
+    )
+    pack.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="create a sharded archive set: ARCHIVE becomes the manifest "
+        "and N container files are created next to it (hash-routed by "
+        "frame name; per-frame bytes identical to a single archive)",
+    )
+    pack.add_argument(
+        "--stream",
+        action="store_true",
+        help="feed frames through the streaming ingest front end (bounded "
+        "memory: at most --queue-depth raw frames held at once) instead "
+        "of materialising the whole batch",
+    )
+    pack.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=4,
+        help="streaming ingest read-ahead bound (default 4; only with --stream)",
     )
     pack.add_argument(
         "--synthetic",
@@ -136,29 +174,99 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--deep", action="store_true", help="also decode every frame and check geometry"
     )
+    verify.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="verify across N worker processes (one per shard on a sharded "
+        "set, frame-sharded on a single archive; default 1 = serial)",
+    )
     return parser
+
+
+def _unique_names(names: List[str], taken_names) -> List[str]:
+    # Appending a second series can reuse source names (slice_000, ...);
+    # suffix duplicates so every stored frame keeps a unique name.
+    taken = set(taken_names)
+    unique: List[str] = []
+    for name in names:
+        candidate, suffix = name, 1
+        while candidate in taken:
+            candidate = f"{name}_{suffix}"
+            suffix += 1
+        taken.add(candidate)
+        unique.append(candidate)
+    return unique
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
     if bool(args.inputs) == bool(args.synthetic):
         raise SystemExit("pack needs either input PGM files or --synthetic N, not both")
+    if args.shards and args.append:
+        raise SystemExit(
+            "--shards applies when creating a set; --append reads the shard "
+            "layout from the existing manifest"
+        )
+    if args.stream and args.workers > 1:
+        raise SystemExit("--stream ingests serially; drop --workers")
     if args.synthetic:
         dataset = archive_dataset(slices=args.synthetic, size=args.size, seed=args.seed)
         names = dataset.names()
-        frames = [dataset.get(name) for name in names]
         bit_depth = args.bit_depth or dataset.bit_depth
+
+        def load(position: int):
+            return dataset.get(names[position])
+
     else:
-        names, frames, max_values = [], [], []
-        for input_path in args.inputs:
-            image, max_value = read_pgm(input_path, return_max_value=True)
-            names.append(Path(input_path).stem)
-            frames.append(image)
-            max_values.append(max_value)
-        bit_depth = args.bit_depth or max(value.bit_length() for value in max_values)
+        paths = list(args.inputs)
+        names = [Path(p).stem for p in paths]
+        if args.stream:
+            if args.bit_depth:
+                bit_depth = args.bit_depth
+            else:
+                # Streaming never materialises the batch, so the bit depth
+                # is taken from the first input (or given explicitly).
+                _, max_value = read_pgm(paths[0], return_max_value=True)
+                bit_depth = max_value.bit_length()
+        else:
+            images, max_values = [], []
+            for input_path in paths:
+                image, max_value = read_pgm(input_path, return_max_value=True)
+                images.append(image)
+                max_values.append(max_value)
+            bit_depth = args.bit_depth or max(value.bit_length() for value in max_values)
+
+        def load(position: int):
+            if not args.stream:
+                return images[position]
+            return read_pgm(paths[position])
+
     options = {"bit_depth": bit_depth}
     if args.codec == "coefficient":
-        options.update(bank=args.bank, use_rle=not args.no_rle)
-    if args.append:
+        options.update(bank=args.bank or "F2", use_rle=not args.no_rle)
+    if args.append and is_sharded(args.archive):
+        overridden = [
+            flag
+            for flag, given in (
+                ("--codec", args.codec is not None),
+                ("--scales", args.scales is not None),
+                ("--bit-depth", args.bit_depth is not None),
+                ("--bank", args.bank is not None),
+                ("--no-rle", args.no_rle),
+            )
+            if given
+        ]
+        if overridden:
+            # Never silently drop an explicit flag: the sharded set's
+            # configuration is the manifest's, end of story.
+            raise SystemExit(
+                "a sharded set inherits its configuration from the manifest; "
+                f"drop {'/'.join(overridden)} when appending"
+            )
+        writer = ShardedArchiveWriter.append(
+            args.archive, workers=args.workers, engine=args.engine
+        )
+    elif args.append:
         # codec/scales stay None unless given explicitly, so the writer
         # inherits the archive's own configuration.
         writer = ArchiveWriter.append(
@@ -166,6 +274,17 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             codec=args.codec,
             scales=args.scales,
             engine=args.engine,
+            workers=args.workers,
+            **options,
+        )
+    elif args.shards:
+        writer = ShardedArchiveWriter.create(
+            args.archive,
+            shards=args.shards,
+            codec=args.codec or "s-transform",
+            scales=args.scales if args.scales is not None else 4,
+            engine=args.engine,
+            overwrite=args.overwrite,
             workers=args.workers,
             **options,
         )
@@ -180,31 +299,36 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             **options,
         )
     with writer:
-        # Appending a second series can reuse source names (slice_000, ...);
-        # suffix duplicates so every stored frame keeps a unique name.
-        taken = set(writer.frame_names)
-        unique: List[str] = []
-        for name in names:
-            candidate, suffix = name, 1
-            while candidate in taken:
-                candidate = f"{name}_{suffix}"
-                suffix += 1
-            taken.add(candidate)
-            unique.append(candidate)
-        entries = writer.append_batch(frames, names=unique)
-        stats = writer.stats
-    workers_note = f", {stats.workers} workers" if stats.workers > 1 else ""
+        unique = _unique_names(names, writer.frame_names)
+        if args.stream:
+            feed = ((unique[i], load(i)) for i in range(len(unique)))
+            report = ingest_frames(writer, feed, queue_depth=args.queue_depth)
+            stats, packed = report.stats, report.frames
+            mode_note = (
+                f", streamed (peak {report.max_in_flight} of "
+                f"{report.queue_depth} frames in flight)"
+            )
+        else:
+            entries = writer.append_batch(
+                [load(i) for i in range(len(unique))], names=unique
+            )
+            stats, packed = writer.stats, len(entries)
+            mode_note = f", {stats.workers} workers" if stats.workers > 1 else ""
+    shard_note = (
+        f" ({writer.shard_count} shards)" if isinstance(writer, ShardedArchiveWriter) else ""
+    )
     print(
-        f"packed {len(entries)} frames into {args.archive} "
+        f"packed {packed} frames into {args.archive}{shard_note} "
         f"({stats.raw_bytes / 1024:.1f} kB -> {stats.compressed_bytes / 1024:.1f} kB, "
-        f"ratio {stats.compression_ratio:.2f}{workers_note})"
+        f"ratio {stats.compression_ratio:.2f}{mode_note})"
     )
     print(stats.render())
     return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    with ArchiveReader(args.archive) as reader:
+    with open_archive(args.archive) as reader:
+        sharded = isinstance(reader, ShardedArchiveReader)
         if args.json:
             records = []
             for e in reader:
@@ -222,6 +346,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "raw_bytes": e.raw_bytes,
                     "crc32": f"{e.crc32:08x}",
                 }
+                if sharded:
+                    record["shard"] = reader.router.route(e.name)
                 if args.verbose:
                     record["spec"] = frame_spec(e).to_dict()
                 records.append(record)
@@ -231,7 +357,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
             f"{'idx':>4} {'name':<20} {'codec':<12} {'size':<10} "
             f"{'sc':>2} {'bits':>4} {'raw kB':>8} {'stored kB':>10} {'ratio':>6}"
         )
-        print(f"{args.archive}: {len(reader)} frames, format v{reader.header.version}")
+        if sharded:
+            print(
+                f"{args.archive}: {len(reader)} frames in {reader.shard_count} "
+                f"shards ({reader.manifest.router}-routed), "
+                f"manifest v{reader.manifest.version}"
+            )
+        else:
+            print(f"{args.archive}: {len(reader)} frames, format v{reader.header.version}")
         print(header)
         print("-" * len(header))
         for e in reader:
@@ -254,7 +387,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    with ArchiveReader(args.archive) as reader:
+    with open_archive(args.archive) as reader:
         keys: List = list(args.frames) if args.frames else list(range(len(reader)))
         keys = [int(key) if isinstance(key, str) and key.lstrip("-").isdigit() else key for key in keys]
         output = Path(args.output)
@@ -272,9 +405,29 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    with ArchiveReader(args.archive) as reader:
-        report = reader.verify(deep=args.deep)
     mode = "deep (checksums + full decode)" if args.deep else "checksums"
+    with open_archive(args.archive) as reader:
+        if isinstance(reader, ShardedArchiveReader):
+            # strict=False: scan every shard and report, instead of raising
+            # at the first damaged one — damage is isolated, not contagious.
+            report = reader.verify(deep=args.deep, workers=args.workers, strict=False)
+            failures = report["failures"]
+            if failures:
+                for shard_name, error in sorted(failures.items()):
+                    print(f"error: shard {shard_name}: {error}", file=sys.stderr)
+                print(
+                    f"{args.archive}: {len(failures)} of {report['shards']} shards "
+                    f"DAMAGED; {report['frames']} frames in the other shards "
+                    f"verified clean ({mode})"
+                )
+                return 1
+            print(
+                f"{args.archive}: OK — {report['frames']} frames across "
+                f"{report['shards']} shards, {report['payload_bytes']} payload "
+                f"bytes verified ({mode})"
+            )
+            return 0
+        report = reader.verify(deep=args.deep, workers=args.workers)
     print(
         f"{args.archive}: OK — {report['frames']} frames, "
         f"{report['payload_bytes']} payload bytes verified ({mode})"
@@ -294,10 +447,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ArchiveError, OSError, KeyError) as exc:
+    except (ArchiveError, OSError, KeyError, ValueError) as exc:
         # KeyError's str() wraps the message in quotes; OSError's carries
-        # the strerror and filename.
-        message = exc.args[0] if isinstance(exc, (ArchiveError, KeyError)) else str(exc)
+        # the strerror and filename.  ValueError covers configuration
+        # mismatches raised by the codec layer (e.g. frame values outside
+        # the declared bit depth) — still the single-line/exit-1 contract,
+        # not a traceback.
+        message = (
+            exc.args[0]
+            if isinstance(exc, (ArchiveError, KeyError, ValueError)) and exc.args
+            else str(exc)
+        )
         print(f"error: {message}", file=sys.stderr)
         return 1
 

@@ -26,6 +26,25 @@ valid, and pointed to, until the new one is on disk) and finishes with a
 fresh index plus a patched header.  A header whose ``index_offset`` is zero
 marks an archive that was never finalised (the writer crashed before
 ``close``), which the reader reports as a clean error instead of garbage.
+
+This module also defines the **shard-set manifest** — the small companion
+file that turns N independent containers into one sharded archive set
+(:mod:`repro.archive.sharding`).  The manifest stores the router kind, the
+shard file names (relative to the manifest) and the set-level
+:class:`~repro.coding.spec.CodecSpec` as JSON, all protected by a trailing
+CRC-32::
+
+    +-----------------------------+  offset 0
+    |  magic "RPRDWTM\\0" (8)      |
+    |  version u16, router u8,    |
+    |  flags u8, shard_count u32  |
+    +-----------------------------+  offset 16
+    |  spec_len u32 + spec JSON   |
+    |  per shard: u16 len + name  |
+    |  u16 n + range boundaries   |
+    +-----------------------------+
+    |  crc32 of everything above  |
+    +-----------------------------+  EOF
 """
 
 from __future__ import annotations
@@ -59,6 +78,13 @@ __all__ = [
     "pack_index",
     "unpack_index",
     "read_index",
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
+    "ROUTER_IDS",
+    "ROUTERS_BY_ID",
+    "ShardManifest",
+    "pack_manifest",
+    "unpack_manifest",
 ]
 
 #: File magic: identifies a repro DWT archive.  The trailing byte is NUL so
@@ -325,6 +351,160 @@ def unpack_index(data: bytes, frame_count: int) -> List[FrameInfo]:
             f"{frame_count} entries"
         )
     return entries
+
+
+# ---------------------------------------------------------------------------
+# Shard-set manifest
+# ---------------------------------------------------------------------------
+
+#: File magic of a shard-set manifest (M = manifest); distinct from the
+#: container magic so a reader can tell the two apart from the first 8 bytes.
+MANIFEST_MAGIC = b"RPRDWTM\x00"
+
+#: Current manifest format version.  Readers reject newer versions.
+MANIFEST_VERSION = 1
+
+#: Router identifiers stored in the manifest (see
+#: :mod:`repro.archive.sharding` for the routing rules themselves).
+ROUTER_IDS = {"hash": 0, "range": 1}
+ROUTERS_BY_ID = {v: k for k, v in ROUTER_IDS.items()}
+
+#: Fixed manifest prefix: magic, version, router_id, flags, shard_count —
+#: 8+2+1+1+4 = 16 bytes (followed by the variable body and a trailing CRC).
+_MANIFEST_STRUCT = struct.Struct("<8sHBBI")
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Parsed shard-set manifest: everything needed to open the set.
+
+    ``shard_names`` are container file names relative to the manifest's own
+    directory; ``spec_json`` is the set-level codec configuration
+    (:meth:`~repro.coding.spec.CodecSpec.to_json`), stored so every shard —
+    including still-empty ones — appends with the configuration the set was
+    created with.  ``boundaries`` are the range router's cutoff names
+    (empty for the hash router).
+    """
+
+    version: int
+    router: str
+    shard_names: Tuple[str, ...]
+    spec_json: str
+    boundaries: Tuple[str, ...] = ()
+
+
+def _pack_str(text: str, label: str) -> bytes:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ValueError(f"{label} too long ({len(data)} bytes)")
+    return struct.pack("<H", len(data)) + data
+
+
+def pack_manifest(manifest: ShardManifest) -> bytes:
+    """Serialise a shard-set manifest (trailing CRC covers all other bytes)."""
+    if manifest.router not in ROUTER_IDS:
+        raise ValueError(
+            f"unknown router {manifest.router!r} (expected one of {sorted(ROUTER_IDS)})"
+        )
+    if manifest.router == "range" and len(manifest.boundaries) != len(manifest.shard_names) - 1:
+        raise ValueError(
+            f"range router over {len(manifest.shard_names)} shards needs "
+            f"{len(manifest.shard_names) - 1} boundaries, got {len(manifest.boundaries)}"
+        )
+    if manifest.router == "hash" and manifest.boundaries:
+        raise ValueError("hash router takes no boundaries")
+    spec_data = manifest.spec_json.encode("utf-8")
+    parts = [
+        _MANIFEST_STRUCT.pack(
+            MANIFEST_MAGIC,
+            manifest.version,
+            ROUTER_IDS[manifest.router],
+            0,
+            len(manifest.shard_names),
+        ),
+        struct.pack("<I", len(spec_data)),
+        spec_data,
+    ]
+    for name in manifest.shard_names:
+        parts.append(_pack_str(name, "shard file name"))
+    parts.append(struct.pack("<H", len(manifest.boundaries)))
+    for boundary in manifest.boundaries:
+        parts.append(_pack_str(boundary, "range boundary"))
+    body = b"".join(parts)
+    return body + struct.pack("<I", crc32(body))
+
+
+def unpack_manifest(data: bytes) -> ShardManifest:
+    """Parse and validate a shard-set manifest."""
+    if len(data) < _MANIFEST_STRUCT.size + 4:
+        raise TruncatedArchiveError(
+            f"file too short for a shard-set manifest ({len(data)} bytes)"
+        )
+    magic, version, router_id, _flags, shard_count = _MANIFEST_STRUCT.unpack_from(data, 0)
+    if magic != MANIFEST_MAGIC:
+        raise ArchiveFormatError(f"not a shard-set manifest: bad magic {magic!r}")
+    (stored_crc,) = struct.unpack_from("<I", data, len(data) - 4)
+    if stored_crc != crc32(data[:-4]):
+        raise ArchiveIntegrityError("shard-set manifest checksum mismatch")
+    if version > MANIFEST_VERSION:
+        raise ArchiveFormatError(
+            f"manifest format version {version} is newer than supported "
+            f"({MANIFEST_VERSION})"
+        )
+    if router_id not in ROUTERS_BY_ID:
+        raise ArchiveFormatError(f"manifest has unknown router id {router_id}")
+    if shard_count < 1:
+        raise ArchiveFormatError("manifest declares zero shards")
+    pos = _MANIFEST_STRUCT.size
+    end = len(data) - 4
+
+    def take_str(label: str) -> str:
+        nonlocal pos
+        try:
+            (length,) = struct.unpack_from("<H", data, pos)
+        except struct.error as exc:
+            raise TruncatedArchiveError(f"manifest ends inside {label}") from exc
+        pos += 2
+        raw = data[pos : pos + length]
+        if len(raw) != length or pos + length > end:
+            raise TruncatedArchiveError(f"manifest ends inside {label}")
+        pos += length
+        return raw.decode("utf-8")
+
+    try:
+        (spec_len,) = struct.unpack_from("<I", data, pos)
+    except struct.error as exc:
+        raise TruncatedArchiveError("manifest ends inside the spec block") from exc
+    pos += 4
+    spec_raw = data[pos : pos + spec_len]
+    if len(spec_raw) != spec_len or pos + spec_len > end:
+        raise TruncatedArchiveError("manifest ends inside the spec block")
+    pos += spec_len
+    shard_names = tuple(take_str(f"shard name {i}") for i in range(shard_count))
+    try:
+        (boundary_count,) = struct.unpack_from("<H", data, pos)
+    except struct.error as exc:
+        raise TruncatedArchiveError("manifest ends inside the boundary table") from exc
+    pos += 2
+    boundaries = tuple(take_str(f"boundary {i}") for i in range(boundary_count))
+    if pos != end:
+        raise ArchiveFormatError(
+            f"manifest has {end - pos} trailing bytes before its checksum"
+        )
+    router = ROUTERS_BY_ID[router_id]
+    expected = shard_count - 1 if router == "range" else 0
+    if boundary_count != expected:
+        raise ArchiveFormatError(
+            f"{router} router over {shard_count} shards declares "
+            f"{boundary_count} boundaries (expected {expected})"
+        )
+    return ShardManifest(
+        version=version,
+        router=router,
+        shard_names=shard_names,
+        spec_json=spec_raw.decode("utf-8"),
+        boundaries=boundaries,
+    )
 
 
 def read_index(fh: BinaryIO, header: Header, file_size: int) -> List[FrameInfo]:

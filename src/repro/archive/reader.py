@@ -19,14 +19,19 @@ per-stage wall-clock stats as in-memory pipeline runs.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..coding.pipeline import CompressedBatch, PipelineStats, decompress_frames
+from ..coding.pipeline import (
+    CodecResources,
+    CompressedBatch,
+    PipelineStats,
+    decompress_frames,
+)
 from ..coding.spec import CodecSpec
+from .backend import FileBackend, StorageBackend, resolve_backend
 from .format import (
     ArchiveFormatError,
     ArchiveIntegrityError,
@@ -46,6 +51,7 @@ from .serialize import (
 __all__ = ["ArchiveReader", "VerifyReport"]
 
 PathLike = Union[str, Path]
+Target = Union[str, Path, StorageBackend]
 FrameKey = Union[int, str, FrameInfo]
 
 
@@ -60,7 +66,8 @@ class ArchiveReader:
     Parameters
     ----------
     path:
-        Archive file to open.
+        Archive file to open — a filesystem path or any
+        :class:`~repro.archive.backend.StorageBackend`.
     engine:
         Entropy-coding engine for decoding (``"fast"`` or ``"scalar"``).
     verify_checksums:
@@ -69,18 +76,22 @@ class ArchiveReader:
     """
 
     def __init__(
-        self, path: PathLike, engine: str = "fast", verify_checksums: bool = True
+        self, path: Target, engine: str = "fast", verify_checksums: bool = True
     ) -> None:
-        self.path = Path(path)
+        #: Storage backend holding the container's bytes (paths resolve to
+        #: :class:`~repro.archive.backend.FileBackend`).
+        self.backend = resolve_backend(path)
+        self.path = Path(self.backend.describe())
         self.engine = engine
         self.verify_checksums = verify_checksums
         #: Total payload bytes read so far (random access reads only the
         #: requested frames' payloads; this counter is the evidence).
         self.bytes_read = 0
-        self._fh = open(self.path, "rb")
+        self._fh = self.backend.open_read()
         try:
             self.header = read_header(self._fh)
-            size = os.fstat(self._fh.fileno()).st_size
+            self._fh.seek(0, 2)
+            size = self._fh.tell()
             self.frames: List[FrameInfo] = read_index(self._fh, self.header, size)
         except Exception:
             self._fh.close()
@@ -163,7 +174,10 @@ class ArchiveReader:
     def _codec_for(self, entry: FrameInfo):
         key = (entry.codec, entry.scales, entry.bit_depth, entry.bank_name, entry.use_rle)
         if key not in self._codecs:
-            self._codecs[key] = self.spec_for(entry).build_codec()
+            # Fetched through the process-wide resource LRU, so the codec's
+            # word-length planning amortises across readers and CLI calls.
+            spec = self.spec_for(entry)
+            self._codecs[key] = CodecResources(spec).codec_for(entry.scales)
         return self._codecs[key]
 
     def decode(self, key: FrameKey) -> np.ndarray:
@@ -216,29 +230,66 @@ class ArchiveReader:
         return decompress_frames(self.to_batch(keys), workers=workers)
 
     # -- integrity ----------------------------------------------------------------------
-    def verify(self, deep: bool = False) -> VerifyReport:
+    def _verify_frame(self, entry: FrameInfo, deep: bool) -> int:
+        """Verify one frame (checksum, optionally a full decode); returns
+        its payload size in bytes."""
+        payload = self.read_payload(entry)
+        if not self.verify_checksums and crc32(payload) != entry.crc32:
+            # read_payload checksums every read unless the reader was
+            # opened with verify_checksums=False; only then check here.
+            raise ArchiveIntegrityError(
+                f"frame {entry.name!r}: payload checksum mismatch"
+            )
+        if deep:
+            image = self._codec_for(entry).decode(deserialize_stream(payload))
+            if tuple(image.shape) != entry.shape:
+                raise ArchiveFormatError(
+                    f"frame {entry.name!r}: decoded shape {tuple(image.shape)} "
+                    f"disagrees with the index entry {entry.shape}"
+                )
+        return len(payload)
+
+    def verify(self, deep: bool = False, workers: int = 1) -> VerifyReport:
         """Check every frame's checksum; with ``deep``, decode each frame too.
 
         Raises :class:`ArchiveIntegrityError` / :class:`ArchiveFormatError`
         on the first failure; returns a summary when the archive is sound.
+
+        ``workers`` > 1 shards the frames across a process pool (file-backed
+        archives only — other backends fall back to serial): each worker
+        reopens the archive and verifies its share, so deep verification
+        parallelises the way ``pack --workers`` does.  The payload reads
+        then happen in the workers, so this reader's ``bytes_read`` counter
+        does not advance.
         """
+        if workers > 1 and len(self.frames) > 1 and isinstance(self.backend, FileBackend):
+            return self._verify_parallel(deep, workers)
         payload_bytes = 0
         for entry in self.frames:
-            payload = self.read_payload(entry)
-            if not self.verify_checksums and crc32(payload) != entry.crc32:
-                # read_payload checksums every read unless the reader was
-                # opened with verify_checksums=False; only then check here.
-                raise ArchiveIntegrityError(
-                    f"frame {entry.name!r}: payload checksum mismatch"
+            payload_bytes += self._verify_frame(entry, deep)
+        return VerifyReport(frames=len(self.frames), payload_bytes=payload_bytes, deep=deep)
+
+    def _verify_parallel(self, deep: bool, workers: int) -> VerifyReport:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..coding.executor import pool_context, shard_indices
+
+        shards = shard_indices(len(self.frames), workers)
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _verify_frames_worker,
+                    str(self.backend.path),
+                    indices,
+                    deep,
+                    self.engine,
+                    self.verify_checksums,
                 )
-            payload_bytes += len(payload)
-            if deep:
-                image = self._codec_for(entry).decode(deserialize_stream(payload))
-                if tuple(image.shape) != entry.shape:
-                    raise ArchiveFormatError(
-                        f"frame {entry.name!r}: decoded shape {tuple(image.shape)} "
-                        f"disagrees with the index entry {entry.shape}"
-                    )
+                for indices in shards
+            ]
+            payload_bytes = sum(future.result() for future in futures)
         return VerifyReport(frames=len(self.frames), payload_bytes=payload_bytes, deep=deep)
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -250,3 +301,11 @@ class ArchiveReader:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def _verify_frames_worker(
+    path: str, indices: Sequence[int], deep: bool, engine: str, verify_checksums: bool
+) -> int:
+    """Process-pool entry point: verify a subset of one archive's frames."""
+    with ArchiveReader(path, engine=engine, verify_checksums=verify_checksums) as reader:
+        return sum(reader._verify_frame(reader.frames[i], deep) for i in indices)

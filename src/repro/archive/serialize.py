@@ -60,6 +60,7 @@ __all__ = [
     "codec_name_for_stream",
     "frame_spec",
     "spec_for_stream",
+    "payload_spec",
     "serialize_stream",
     "deserialize_stream",
     "deserialize_stream_with_spec",
@@ -280,3 +281,58 @@ def deserialize_stream(payload: bytes) -> CompressedStream:
     """Reconstruct the compressed stream from one archive frame payload."""
     stream, _ = deserialize_stream_with_spec(payload)
     return stream
+
+
+def payload_spec(payload: bytes) -> CodecSpec:
+    """Recover just the :class:`CodecSpec` from a payload's meta block.
+
+    A triage entry point: answers "what configuration wrote these bytes"
+    by parsing only the meta block — chunk *descriptors* are read for the
+    RLE policy but the entropy-coded chunk bytes are never touched or
+    validated, so this works even when the payload's chunk region is
+    truncated (the common damage mode the sharded verify isolates).
+    """
+    if len(payload) < 4:
+        raise ArchiveFormatError("frame payload shorter than its length prefix")
+    (meta_len,) = struct.unpack_from("<I", payload, 0)
+    meta = payload[4 : 4 + meta_len]
+    if len(meta) != meta_len:
+        raise ArchiveFormatError(
+            f"frame payload declares a {meta_len}-byte meta block but only "
+            f"{len(meta)} bytes follow"
+        )
+    reader = BitReader(meta)
+    try:
+        codec_id = reader.read_uint(8)
+        if codec_id not in CODEC_NAMES_BY_ID:
+            raise ArchiveFormatError(f"frame payload has unknown codec id {codec_id}")
+        family = get_family(CODEC_NAMES_BY_ID[codec_id])
+        scales = reader.read_uint(8)
+        reader.read_uint(32), reader.read_uint(32)  # geometry, not part of the spec
+        bit_depth = reader.read_uint(8)
+        if not family.uses_bank:
+            return CodecSpec(codec=family.name, scales=scales, bit_depth=bit_depth)
+        bank_name = _read_ascii(reader)
+        # Skip the stored word-length plan (word length, accumulator,
+        # per-scale integer bits) — triage must not require it to validate.
+        for _ in range(2 + scales):
+            reader.read_uint(8)
+        use_rle = False
+        for _ in range(reader.read_uint(16)):
+            reader.read_uint(8), reader.read_uint(8)  # kind, scale
+            reader.read_uint(32), reader.read_uint(32)  # shape
+            use_rle = bool(reader.read_uint(8)) or use_rle
+            reader.read_uint(32), reader.read_uint(32)  # payload/run lengths
+        return CodecSpec(
+            codec=family.name,
+            scales=scales,
+            bit_depth=bit_depth,
+            bank=bank_name,
+            use_rle=use_rle,
+        )
+    except (EOFError, KeyError) as exc:
+        raise ArchiveFormatError("frame payload meta block is malformed") from exc
+    except (ValueError, TypeError) as exc:
+        raise ArchiveFormatError(
+            f"frame payload metadata does not form a valid codec configuration ({exc})"
+        ) from exc

@@ -1,0 +1,748 @@
+"""Sharded archive sets: one codec configuration spanning N container files.
+
+A single container file caps an archive at one file and one filesystem, and
+caps parallel ingest at "many workers funnel into one writer".  A *sharded
+archive set* lifts both: a small manifest file (byte layout in
+:mod:`repro.archive.format`) names N ordinary single-file containers — the
+shards — plus a deterministic **shard router** that maps every frame name
+to exactly one shard.  Each shard is a complete, self-contained archive
+(the existing tools read it unchanged), and the set-level API mirrors the
+single-archive API:
+
+``ShardedArchiveWriter``
+    Creates or appends to a set; :meth:`~ShardedArchiveWriter.append_batch`
+    with ``workers`` > 1 runs **one end-to-end worker per shard** — each
+    worker process compresses *and writes* its own shard, so ingest scales
+    without a shared writer bottleneck — and produces byte-identical shard
+    files to the serial path.
+``ShardedArchiveReader``
+    Lists the whole set, randomly accesses one frame by routing its name to
+    its shard (only that shard is opened and only that payload is read —
+    the per-shard ``bytes_read`` counters are the evidence), bulk-decodes
+    through the batched pipeline, and verifies shard by shard with damage
+    *isolated*: a truncated or corrupted shard is reported while every
+    healthy shard still verifies and serves reads.
+
+Routing is by frame *name*, never by position, so the assignment is stable
+across appends and processes:
+
+* ``hash`` (default): CRC-32 of the UTF-8 name modulo the shard count —
+  stateless and uniform;
+* ``range``: lexicographic ranges split by ``shards - 1`` boundary names
+  (frame ``name`` goes to the first shard whose boundary exceeds it), for
+  sets whose names encode a meaningful order (series, dates).
+
+Because compression is per-frame deterministic, packing the same frames
+into 1 shard or N shards yields **identical per-frame payload bytes**; only
+their grouping differs.  The set-level frame order (listing, bulk decode)
+is lexicographic by name, which is likewise shard-count independent —
+``tests/archive/test_sharding.py`` proves both invariances.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from bisect import bisect_right
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..coding.executor import pool_context
+from ..coding.pipeline import (
+    CompressedBatch,
+    PipelineStats,
+    compress_frames,
+    decompress_frames,
+)
+from ..coding.spec import CodecSpec, reject_spec_overrides
+from .format import (
+    MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+    ArchiveError,
+    ArchiveFormatError,
+    ArchiveIntegrityError,
+    FrameInfo,
+    ShardManifest,
+    pack_manifest,
+    unpack_manifest,
+)
+from .reader import ArchiveReader, FrameKey, VerifyReport
+from .serialize import CompressedStream
+from .writer import ArchiveWriter
+
+__all__ = [
+    "ShardRouter",
+    "HashRouter",
+    "RangeRouter",
+    "make_router",
+    "router_for_manifest",
+    "shard_file_names",
+    "is_sharded",
+    "open_archive",
+    "ShardedArchiveWriter",
+    "ShardedArchiveReader",
+]
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Routers
+# ---------------------------------------------------------------------------
+
+class ShardRouter:
+    """Deterministic frame-name → shard-index mapping."""
+
+    kind = "router"
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = int(shard_count)
+
+    def route(self, name: str) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(shards={self.shard_count})"
+
+
+class HashRouter(ShardRouter):
+    """CRC-32 of the UTF-8 frame name modulo the shard count.
+
+    CRC-32 (not Python's ``hash``) so the assignment is identical across
+    processes, interpreter runs and platforms — a requirement for a mapping
+    that is baked into file placement.
+    """
+
+    kind = "hash"
+
+    def route(self, name: str) -> int:
+        return (zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF) % self.shard_count
+
+
+class RangeRouter(ShardRouter):
+    """Lexicographic range sharding by ``shards - 1`` sorted boundary names.
+
+    Frame ``name`` routes to ``bisect_right(boundaries, name)``: names
+    strictly below the first boundary go to shard 0, and so on.  Useful
+    when frame names encode series order and locality per shard matters.
+    """
+
+    kind = "range"
+
+    def __init__(self, shard_count: int, boundaries: Sequence[str]) -> None:
+        super().__init__(shard_count)
+        self.boundaries = tuple(boundaries)
+        if len(self.boundaries) != shard_count - 1:
+            raise ValueError(
+                f"range router over {shard_count} shards needs "
+                f"{shard_count - 1} boundaries, got {len(self.boundaries)}"
+            )
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("range boundaries must be sorted")
+
+    def route(self, name: str) -> int:
+        return bisect_right(self.boundaries, name)
+
+
+def make_router(
+    kind: str, shard_count: int, boundaries: Sequence[str] = ()
+) -> ShardRouter:
+    """Build a router by manifest kind name."""
+    if kind == "hash":
+        if boundaries:
+            raise ValueError("hash router takes no boundaries")
+        return HashRouter(shard_count)
+    if kind == "range":
+        return RangeRouter(shard_count, boundaries)
+    raise ValueError(f"unknown router {kind!r} (expected 'hash' or 'range')")
+
+
+def router_for_manifest(manifest: ShardManifest) -> ShardRouter:
+    """The router a stored manifest describes."""
+    return make_router(manifest.router, len(manifest.shard_names), manifest.boundaries)
+
+
+# ---------------------------------------------------------------------------
+# Set layout helpers
+# ---------------------------------------------------------------------------
+
+def shard_file_names(manifest_path: PathLike, shard_count: int) -> List[str]:
+    """Default shard file names for a manifest: ``<stem>.shard<i>.dwta``."""
+    stem = Path(manifest_path).stem
+    return [f"{stem}.shard{i:03d}.dwta" for i in range(shard_count)]
+
+
+def is_sharded(path: PathLike) -> bool:
+    """Whether ``path`` is a shard-set manifest (checked by magic bytes)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MANIFEST_MAGIC)) == MANIFEST_MAGIC
+    except OSError:
+        return False
+
+
+def open_archive(
+    path: PathLike, engine: str = "fast", verify_checksums: bool = True
+) -> Union[ArchiveReader, "ShardedArchiveReader"]:
+    """Open a single archive *or* a sharded set, decided by the file magic.
+
+    This is what lets the CLI (``list``/``extract``/``verify``) take either
+    kind of target transparently.
+    """
+    if is_sharded(path):
+        return ShardedArchiveReader(path, engine=engine, verify_checksums=verify_checksums)
+    return ArchiveReader(path, engine=engine, verify_checksums=verify_checksums)
+
+
+def _read_manifest(path: Path) -> ShardManifest:
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise ArchiveFormatError(f"no shard-set manifest at {path}") from None
+    return unpack_manifest(data)
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module level so they pickle for the process pool)
+# ---------------------------------------------------------------------------
+
+def _append_shard_worker(
+    path: str, spec: CodecSpec, frames: List[np.ndarray], names: List[str]
+) -> Tuple[List[FrameInfo], PipelineStats]:
+    """One end-to-end shard worker: compress *and* write one shard's frames."""
+    with ArchiveWriter.append(path, spec=spec) as writer:
+        entries = writer.append_batch(frames, names=names)
+        return entries, writer.stats
+
+
+def _verify_shard_worker(
+    path: str, deep: bool, engine: str, verify_checksums: bool
+) -> Dict:
+    """Verify one whole shard, mapping any damage to a failure record."""
+    try:
+        with ArchiveReader(path, engine=engine, verify_checksums=verify_checksums) as reader:
+            report = reader.verify(deep=deep)
+            return {
+                "ok": True,
+                "frames": report["frames"],
+                "payload_bytes": report["payload_bytes"],
+            }
+    except (ArchiveError, OSError) as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+class ShardedArchiveWriter:
+    """Writes a sharded archive set; use :meth:`create` or :meth:`append`.
+
+    The set shares one :class:`~repro.coding.spec.CodecSpec` (stored in the
+    manifest, so even empty shards know their configuration) and one router.
+    Frames are routed by name; each shard is an ordinary
+    :class:`~repro.archive.writer.ArchiveWriter` container and inherits its
+    crash-safety: an interrupted append leaves every shard either in its
+    pre-append state or finalised with its new frames — never torn.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        manifest: ShardManifest,
+        spec: CodecSpec,
+        names: set,
+        total: int,
+        workers: int = 1,
+    ) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+        #: The set-level compression configuration (from the manifest).
+        self.spec = spec
+        self.router = router_for_manifest(manifest)
+        #: Default worker count for :meth:`append_batch` (1 = serial).
+        self.workers = int(workers)
+        #: Aggregated pipeline stats of every append on this writer.
+        self.stats = PipelineStats()
+        self.shard_paths: List[Path] = [
+            self.path.parent / name for name in manifest.shard_names
+        ]
+        self._writers: Dict[int, ArchiveWriter] = {}
+        self._names = names
+        self._total = total
+        self._closed = False
+
+    # -- construction -------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: PathLike,
+        shards: int = 2,
+        router: str = "hash",
+        boundaries: Sequence[str] = (),
+        spec: Optional[CodecSpec] = None,
+        overwrite: bool = False,
+        workers: int = 1,
+        codec: Optional[str] = None,
+        scales: Optional[int] = None,
+        engine: Optional[str] = None,
+        **codec_options,
+    ) -> "ShardedArchiveWriter":
+        """Create a new set: N empty finalised shards plus the manifest.
+
+        ``path`` is the manifest file (conventionally ``*.dwts``); shard
+        containers are created next to it.  Configuration defaults match
+        :meth:`ArchiveWriter.create`; ``spec`` and the legacy keywords are
+        mutually exclusive, as everywhere else.
+        """
+        if spec is None:
+            spec = CodecSpec.from_kwargs(
+                codec=codec if codec is not None else "s-transform",
+                scales=scales if scales is not None else 4,
+                engine=engine if engine is not None else "fast",
+                **codec_options,
+            )
+        else:
+            reject_spec_overrides(codec_options, codec=codec, scales=scales, engine=engine)
+        path = Path(path)
+        if path.exists() and not overwrite:
+            raise FileExistsError(
+                f"shard-set manifest {path} already exists (pass overwrite=True)"
+            )
+        manifest = ShardManifest(
+            version=MANIFEST_VERSION,
+            router=router,
+            shard_names=tuple(shard_file_names(path, shards)),
+            spec_json=spec.to_json(),
+            boundaries=tuple(boundaries),
+        )
+        router_for_manifest(manifest)  # validate router/boundaries up front
+        # Every shard is born a valid (empty, finalised) archive, so the set
+        # is complete and readable from the instant the manifest lands.
+        for name in manifest.shard_names:
+            ArchiveWriter.create(path.parent / name, spec=spec, overwrite=overwrite).close()
+        path.write_bytes(pack_manifest(manifest))
+        return cls(path, manifest, spec, names=set(), total=0, workers=workers)
+
+    @classmethod
+    def append(
+        cls, path: PathLike, workers: int = 1, engine: Optional[str] = None
+    ) -> "ShardedArchiveWriter":
+        """Open an existing set to add frames; configuration comes from the
+        manifest, so appends always match how the set was created.
+        ``engine`` may override the entropy-coding engine — an execution
+        choice, not a format one (streams are byte-identical either way)."""
+        path = Path(path)
+        manifest = _read_manifest(path)
+        spec = CodecSpec.from_json(manifest.spec_json)
+        if engine is not None:
+            spec = spec.replace(engine=engine)
+        names: set = set()
+        total = 0
+        for shard_name in manifest.shard_names:
+            with ArchiveReader(path.parent / shard_name) as reader:
+                names.update(reader.names())
+                total += len(reader)
+        return cls(path, manifest, spec, names=names, total=total, workers=workers)
+
+    # -- shard plumbing -----------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_paths)
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def frame_names(self) -> List[str]:
+        """Names of every frame stored in the set so far."""
+        return sorted(self._names)
+
+    def _writer(self, shard: int) -> ArchiveWriter:
+        if shard not in self._writers:
+            self._writers[shard] = ArchiveWriter.append(
+                self.shard_paths[shard], spec=self.spec
+            )
+        return self._writers[shard]
+
+    def _flush_shards(self) -> None:
+        """Finalise any in-process shard writers (before pooled appends)."""
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    def _resolve_names(
+        self, count: int, names: Optional[Sequence[str]]
+    ) -> List[str]:
+        if names is None:
+            resolved = []
+            for offset in range(count):
+                name = f"frame_{self._total + offset:05d}"
+                while name in self._names or name in resolved:
+                    name += "_"
+                resolved.append(name)
+            return resolved
+        if len(names) != count:
+            raise ValueError(f"{len(names)} names for {count} frames")
+        seen = set()
+        for name in names:
+            if name in self._names or name in seen:
+                raise ValueError(f"archive set already has a frame named {name!r}")
+            seen.add(name)
+        return list(names)
+
+    # -- adding frames ------------------------------------------------------------------
+    def add_stream(self, stream: CompressedStream, name: Optional[str] = None) -> FrameInfo:
+        """Archive one already-compressed stream, routed to its shard.
+
+        This is the streaming-ingest entry point: frames arrive one at a
+        time (:mod:`repro.archive.ingest`) and flow straight into the right
+        shard's writer without any set-level buffering.
+        """
+        if self._closed:
+            raise ValueError("sharded archive writer is closed")
+        (name,) = self._resolve_names(1, None if name is None else [name])
+        entry = self._writer(self.router.route(name)).add_stream(stream, name)
+        self._names.add(name)
+        self._total += 1
+        return entry
+
+    def append_batch(
+        self,
+        frames: Sequence[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+    ) -> List[FrameInfo]:
+        """Compress and archive ``frames``, one pipeline run per shard.
+
+        Serially the shards are filled one after another; with ``workers``
+        > 1 every non-empty shard gets its own end-to-end worker process
+        (compress + write), the true "one worker per shard" scale-out.  The
+        shard files are byte-identical either way.  Returns the new index
+        entries in input order (``entry.index`` is shard-local).
+        """
+        if self._closed:
+            raise ValueError("sharded archive writer is closed")
+        frames = [np.asarray(frame) for frame in frames]
+        workers = self.workers if workers is None else int(workers)
+        resolved = self._resolve_names(len(frames), names)
+        groups: Dict[int, List[int]] = {}
+        for position, name in enumerate(resolved):
+            groups.setdefault(self.router.route(name), []).append(position)
+        entries: List[Optional[FrameInfo]] = [None] * len(frames)
+        if workers > 1 and len(groups) > 1:
+            self._run_shard_pool(groups, frames, resolved, entries, workers)
+        else:
+            for shard in sorted(groups):
+                positions = groups[shard]
+                batch = compress_frames(
+                    [frames[i] for i in positions], spec=self.spec
+                )
+                shard_entries = self._writer(shard).add_batch(
+                    batch, names=[resolved[i] for i in positions]
+                )
+                for position, entry in zip(positions, shard_entries):
+                    entries[position] = entry
+                self.stats.merge(batch.stats)
+        self._names.update(resolved)
+        self._total += len(frames)
+        return [entry for entry in entries if entry is not None]
+
+    def add_frames(
+        self,
+        frames: Sequence[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+    ) -> List[FrameInfo]:
+        """Alias of :meth:`append_batch` (single-archive API parity)."""
+        return self.append_batch(frames, names=names, workers=workers)
+
+    def _run_shard_pool(
+        self,
+        groups: Dict[int, List[int]],
+        frames: List[np.ndarray],
+        names: List[str],
+        entries: List[Optional[FrameInfo]],
+        workers: int,
+    ) -> None:
+        """One worker per shard: each process compresses and writes its shard."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Workers reopen the shard files, so in-process writers must have
+        # finalised first (their frames stay; this is an ordinary close).
+        self._flush_shards()
+        shard_order = sorted(groups)
+        began = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shard_order)), mp_context=pool_context()
+        ) as pool:
+            futures = {
+                shard: pool.submit(
+                    _append_shard_worker,
+                    str(self.shard_paths[shard]),
+                    self.spec,
+                    [frames[i] for i in groups[shard]],
+                    [names[i] for i in groups[shard]],
+                )
+                for shard in shard_order
+            }
+            results = {shard: future.result() for shard, future in futures.items()}
+        wall = time.perf_counter() - began
+        merged = PipelineStats()
+        for shard in shard_order:
+            shard_entries, shard_stats = results[shard]
+            for position, entry in zip(groups[shard], shard_entries):
+                entries[position] = entry
+            merged.merge(shard_stats)
+        merged.workers = min(workers, len(shard_order))
+        merged.wall_seconds = wall
+        self.stats.merge(merged)
+
+    # -- finalisation -------------------------------------------------------------------
+    def close(self) -> None:
+        """Finalise every open shard writer."""
+        if self._closed:
+            return
+        self._flush_shards()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+class ShardedArchiveReader:
+    """Opens a sharded set for listing, routed random access and verification.
+
+    Shards open lazily: random access by *name* routes through the manifest
+    router and touches exactly one shard file — ``opened_shards`` and the
+    summed ``bytes_read`` counter prove it.  Set-level listing and bulk
+    decoding order frames lexicographically by name, which is independent
+    of the shard count (so re-sharding a set never changes what
+    :meth:`decode_all` returns).
+    """
+
+    def __init__(
+        self, path: PathLike, engine: str = "fast", verify_checksums: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self.engine = engine
+        self.verify_checksums = verify_checksums
+        self.manifest = _read_manifest(self.path)
+        self.spec = CodecSpec.from_json(self.manifest.spec_json)
+        self.router = router_for_manifest(self.manifest)
+        self.shard_paths: List[Path] = [
+            self.path.parent / name for name in self.manifest.shard_names
+        ]
+        self._readers: Dict[int, ArchiveReader] = {}
+        self._entries: Optional[List[Tuple[int, FrameInfo]]] = None
+
+    # -- shard plumbing -----------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_paths)
+
+    @property
+    def opened_shards(self) -> List[int]:
+        """Indices of the shards actually opened so far (lazy evidence)."""
+        return sorted(self._readers)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total payload bytes read across every opened shard."""
+        return sum(reader.bytes_read for reader in self._readers.values())
+
+    def _reader(self, shard: int) -> ArchiveReader:
+        if shard not in self._readers:
+            self._readers[shard] = ArchiveReader(
+                self.shard_paths[shard],
+                engine=self.engine,
+                verify_checksums=self.verify_checksums,
+            )
+        return self._readers[shard]
+
+    def _all_entries(self) -> List[Tuple[int, FrameInfo]]:
+        """Every frame of the set as ``(shard, entry)``, name-sorted."""
+        if self._entries is None:
+            pairs = [
+                (shard, entry)
+                for shard in range(self.shard_count)
+                for entry in self._reader(shard).frames
+            ]
+            pairs.sort(key=lambda pair: pair[1].name)
+            self._entries = pairs
+        return self._entries
+
+    # -- listing ------------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._all_entries())
+
+    def __iter__(self) -> Iterator[FrameInfo]:
+        return (entry for _, entry in self._all_entries())
+
+    @property
+    def frames(self) -> List[FrameInfo]:
+        return [entry for _, entry in self._all_entries()]
+
+    def names(self) -> List[str]:
+        return [entry.name for _, entry in self._all_entries()]
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(entry.length for _, entry in self._all_entries())
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(entry.raw_bytes for _, entry in self._all_entries())
+
+    # -- routed access ------------------------------------------------------------------
+    def _locate(self, key: FrameKey) -> Tuple[int, FrameInfo]:
+        """Resolve a key to ``(shard, entry)``; string keys route directly
+        (touching only the target shard), integers index the name-sorted
+        set listing, and :class:`FrameInfo` objects route by their name."""
+        if isinstance(key, FrameInfo):
+            key = key.name
+        if isinstance(key, str):
+            shard = self.router.route(key)
+            return shard, self._reader(shard).find(key)
+        if isinstance(key, (int, np.integer)):
+            entries = self._all_entries()
+            try:
+                return entries[key]
+            except IndexError as exc:
+                raise KeyError(
+                    f"archive set has {len(entries)} frames, no index {key}"
+                ) from exc
+        raise TypeError(f"cannot resolve frame key {key!r}")
+
+    def find(self, key: FrameKey) -> FrameInfo:
+        """Resolve a frame by name, set-wide index, or identity."""
+        return self._locate(key)[1]
+
+    def read_payload(self, key: FrameKey) -> bytes:
+        shard, entry = self._locate(key)
+        return self._reader(shard).read_payload(entry)
+
+    def read_stream(self, key: FrameKey) -> CompressedStream:
+        shard, entry = self._locate(key)
+        return self._reader(shard).read_stream(entry)
+
+    def spec_for(self, key: FrameKey) -> CodecSpec:
+        shard, entry = self._locate(key)
+        return self._reader(shard).spec_for(entry)
+
+    def decode(self, key: FrameKey) -> np.ndarray:
+        """Random-access decode: route by name, open one shard, read one
+        payload."""
+        shard, entry = self._locate(key)
+        return self._reader(shard).decode(entry)
+
+    # -- bulk path ----------------------------------------------------------------------
+    def to_batch(self, keys: Optional[Sequence[FrameKey]] = None) -> CompressedBatch:
+        """Reassemble (selected) stored streams into one pipeline batch,
+        in name-sorted set order."""
+        located = (
+            [self._locate(key) for key in keys]
+            if keys is not None
+            else list(self._all_entries())
+        )
+        configs = {
+            (e.codec, e.bit_depth, e.bank_name, e.use_rle) for _, e in located
+        }
+        if len(configs) > 1:
+            raise ValueError(
+                "frames use mixed codec configurations; decode them "
+                f"individually instead ({sorted(configs)})"
+            )
+        if located:
+            spec = self._reader(located[0][0]).spec_for(located[0][1])
+        else:
+            spec = self.spec.replace(engine=self.engine)
+        return CompressedBatch(
+            codec=spec.codec,
+            engine=spec.engine,
+            codec_options=spec.codec_kwargs(),
+            streams=[self._reader(shard).read_stream(entry) for shard, entry in located],
+            stats=PipelineStats(),
+            spec=spec,
+        )
+
+    def decode_all(
+        self, keys: Optional[Sequence[FrameKey]] = None, workers: int = 1
+    ) -> Tuple[List[np.ndarray], PipelineStats]:
+        """Decode every (selected) frame through the batched pipeline."""
+        return decompress_frames(self.to_batch(keys), workers=workers)
+
+    # -- integrity ----------------------------------------------------------------------
+    def verify(
+        self, deep: bool = False, workers: int = 1, strict: bool = True
+    ) -> VerifyReport:
+        """Verify the set shard by shard, isolating damage.
+
+        Every shard is checked (checksums; with ``deep`` also a full decode
+        of every frame) even when an earlier shard fails, so one truncated
+        or corrupted shard never hides the health of the rest.  ``workers``
+        > 1 verifies shards concurrently, one worker process per shard.
+
+        Returns a :class:`VerifyReport` with set totals plus ``shards`` and
+        a ``failures`` mapping (shard file name → error).  With ``strict``
+        (the default) a non-empty ``failures`` raises
+        :class:`ArchiveIntegrityError` naming the damaged shards.
+        """
+        args = [
+            (str(path), deep, self.engine, self.verify_checksums)
+            for path in self.shard_paths
+        ]
+        if workers > 1 and len(args) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(args)), mp_context=pool_context()
+            ) as pool:
+                results = list(pool.map(_verify_shard_worker, *zip(*args)))
+        else:
+            results = [_verify_shard_worker(*arg) for arg in args]
+        frames = payload_bytes = 0
+        failures: Dict[str, str] = {}
+        for shard_name, result in zip(self.manifest.shard_names, results):
+            if result["ok"]:
+                frames += result["frames"]
+                payload_bytes += result["payload_bytes"]
+            else:
+                failures[shard_name] = result["error"]
+        report = VerifyReport(
+            frames=frames,
+            payload_bytes=payload_bytes,
+            deep=deep,
+            shards=self.shard_count,
+            failures=failures,
+        )
+        if strict and failures:
+            damaged = ", ".join(sorted(failures))
+            raise ArchiveIntegrityError(
+                f"{len(failures)} of {self.shard_count} shards failed "
+                f"verification ({damaged}); the other shards verified clean"
+            )
+        return report
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def close(self) -> None:
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+    def __enter__(self) -> "ShardedArchiveReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

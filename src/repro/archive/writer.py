@@ -1,5 +1,12 @@
 """Archive creation and append: the write side of the container.
 
+The writer addresses its container through a storage backend
+(:mod:`repro.archive.backend`): every path-based call is resolved to a
+:class:`~repro.archive.backend.FileBackend`, so the historical path API is
+unchanged and the bytes written are identical, while tests and staging
+flows can target a :class:`~repro.archive.backend.MemoryBackend` (or any
+future backend) without touching the writer.
+
 :class:`ArchiveWriter` streams frame payloads to disk as they are added and
 finalises the container on :meth:`~ArchiveWriter.close` by writing the index
 table and patching the header.  Until ``close`` runs a *created* archive's
@@ -40,6 +47,7 @@ import numpy as np
 
 from ..coding.pipeline import CompressedBatch, PipelineStats, compress_frames
 from ..coding.spec import CodecSpec, reject_spec_overrides
+from .backend import StorageBackend, resolve_backend
 from .format import (
     HEADER_SIZE,
     VERSION,
@@ -61,6 +69,8 @@ from .serialize import (
 __all__ = ["ArchiveWriter"]
 
 PathLike = Union[str, Path]
+#: A writer/reader target: a filesystem path or any storage backend.
+Target = Union[str, Path, StorageBackend]
 
 
 class ArchiveWriter:
@@ -76,14 +86,16 @@ class ArchiveWriter:
 
     def __init__(
         self,
-        path: PathLike,
+        backend: Target,
         fh,
         entries: List[FrameInfo],
         offset: int,
         spec: CodecSpec,
         workers: int = 1,
     ) -> None:
-        self.path = Path(path)
+        #: Storage backend holding the container's bytes.
+        self.backend = resolve_backend(backend)
+        self.path = Path(self.backend.describe())
         #: The writer's full compression configuration.
         self.spec = spec
         #: Default worker count for :meth:`append_batch` (1 = serial).
@@ -118,7 +130,7 @@ class ArchiveWriter:
     @classmethod
     def create(
         cls,
-        path: PathLike,
+        path: Target,
         codec: Optional[str] = None,
         scales: Optional[int] = None,
         engine: Optional[str] = None,
@@ -142,10 +154,12 @@ class ArchiveWriter:
             )
         else:
             reject_spec_overrides(codec_options, codec=codec, scales=scales, engine=engine)
-        path = Path(path)
-        if path.exists() and not overwrite:
-            raise FileExistsError(f"archive {path} already exists (pass overwrite=True)")
-        fh = open(path, "wb")
+        backend = resolve_backend(path)
+        if backend.exists() and not overwrite:
+            raise FileExistsError(
+                f"archive {backend.describe()} already exists (pass overwrite=True)"
+            )
+        fh = backend.create()
         fh.write(
             pack_header(
                 Header(
@@ -158,12 +172,12 @@ class ArchiveWriter:
                 )
             )
         )
-        return cls(path, fh, [], HEADER_SIZE, spec, workers=workers)
+        return cls(backend, fh, [], HEADER_SIZE, spec, workers=workers)
 
     @classmethod
     def append(
         cls,
-        path: PathLike,
+        path: Target,
         codec: Optional[str] = None,
         scales: Optional[int] = None,
         engine: Optional[str] = None,
@@ -177,8 +191,8 @@ class ArchiveWriter:
         (codec, scales, bank, bit depth, RLE choice), so an appended series
         stays homogeneous unless overridden explicitly.
         """
-        path = Path(path)
-        fh = open(path, "r+b")
+        backend = resolve_backend(path)
+        fh = backend.open_modify()
         try:
             header = read_header(fh)
             fh.seek(0, 2)
@@ -207,7 +221,7 @@ class ArchiveWriter:
             # the header keeps pointing at it) until close() — so a crash
             # mid-append leaves the archive exactly as it was.
             fh.seek(0, 2)
-            return cls(path, fh, entries, fh.tell(), spec, workers=workers)
+            return cls(backend, fh, entries, fh.tell(), spec, workers=workers)
         except BaseException:
             fh.close()
             raise

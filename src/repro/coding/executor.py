@@ -47,7 +47,7 @@ from .pipeline import (
 )
 from .spec import CodecSpec, reject_spec_overrides
 
-__all__ = ["ParallelExecutor", "default_workers"]
+__all__ = ["ParallelExecutor", "default_workers", "pool_context", "shard_indices"]
 
 
 def default_workers() -> int:
@@ -58,7 +58,7 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _pool_context():
+def pool_context():
     """Prefer fork (workers inherit loaded modules); fall back to default."""
     try:
         return multiprocessing.get_context("fork")
@@ -81,7 +81,7 @@ def _decompress_shard(
     return decompress_frames(CompressedBatch.from_spec(spec, streams))
 
 
-def _shard_indices(count: int, shards: int) -> List[List[int]]:
+def shard_indices(count: int, shards: int) -> List[List[int]]:
     """Round-robin deal of ``count`` items onto at most ``shards`` shards.
 
     Round-robin (not contiguous split) so mixed-size batches balance: big
@@ -111,10 +111,10 @@ class ParallelExecutor:
     # -- helpers ------------------------------------------------------------------------
     def _run_sharded(self, task, spec: CodecSpec, items: List) -> Tuple[List, PipelineStats]:
         """Fan ``items`` out over the pool; return per-item results in order."""
-        shards = _shard_indices(len(items), self.workers)
+        shards = shard_indices(len(items), self.workers)
         began = time.perf_counter()
         with ProcessPoolExecutor(
-            max_workers=len(shards), mp_context=_pool_context()
+            max_workers=len(shards), mp_context=pool_context()
         ) as pool:
             futures = [
                 pool.submit(task, spec, [items[i] for i in indices])

@@ -48,9 +48,11 @@ archives and in-memory batches share one codec path and one stats model.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -78,8 +80,11 @@ __all__ = [
     "FrameJob",
     "encode_pipeline",
     "decode_pipeline",
+    "encode_frame",
     "compress_frames",
     "decompress_frames",
+    "resource_cache_info",
+    "clear_resource_cache",
 ]
 
 def __getattr__(name: str):
@@ -286,24 +291,116 @@ def _frame_scales(shape: Tuple[int, int], requested: int) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Shared resources: per-scales codec and per-geometry accelerator instances
+# Shared resources: process-wide LRU of codec and accelerator instances
 # ---------------------------------------------------------------------------
+
+class _InstanceLRU:
+    """Thread-safe LRU of built instances, keyed by hashable tuples.
+
+    The factory runs outside the lock (construction — word-length planning,
+    architecture modelling — is the expensive part); a build race is
+    resolved by keeping the first instance to land.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._items: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_create(self, key: Tuple, factory: Callable[[], object]):
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self.hits += 1
+                return self._items[key]
+        value = factory()
+        with self._lock:
+            existing = self._items.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._items[key] = value
+            while len(self._items) > self.maxsize:
+                self._items.popitem(last=False)
+        return value
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._items),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide instance cache: codec construction amortises the word-length
+#: plan across batches, CLI invocations in one process, ingest threads —
+#: and, via fork, across the executor's and the sharded writer's worker
+#: processes, which inherit the parent's warm cache.  Codecs only: their
+#: state is fixed at construction, so one instance can serve concurrent
+#: runs.  Accelerators stay per-:class:`CodecResources` — a
+#: :class:`DwtAccelerator` run mutates its DRAM model and counters, so a
+#: shared instance would corrupt concurrent encodes (and each one pins an
+#: image-sized frame buffer, which a process-wide cache would never free).
+_RESOURCE_CACHE = _InstanceLRU(maxsize=64)
+
+
+def resource_cache_info() -> Dict[str, int]:
+    """Size/hit statistics of the process-wide codec/accelerator cache."""
+    return _RESOURCE_CACHE.info()
+
+
+def clear_resource_cache() -> None:
+    """Empty the process-wide codec/accelerator cache (tests, memory)."""
+    _RESOURCE_CACHE.clear()
+
+
+def _shared_cacheable(spec: CodecSpec) -> bool:
+    """Whether a spec may key the process-wide cache.
+
+    Specs carrying live objects (a :class:`BiorthogonalBank` instance, a
+    word-length ``plan`` extra) compare by name/identity, so two of them
+    can collide in a shared cache while meaning different coefficients;
+    those stay in the per-:class:`CodecResources` caches instead.
+    """
+    return not spec.extras and (spec.bank is None or isinstance(spec.bank, str))
+
 
 class CodecResources:
     """Codec and accelerator instances for one :class:`CodecSpec`.
 
-    Codec construction amortises the word-length plan; accelerator
-    construction amortises the architecture model.  Both are keyed by the
-    per-frame geometry (scales, size) because the spec's requested depth is
-    clamped per frame.
+    Codecs are fetched from the process-wide LRU keyed by
+    ``(spec, scales)`` — the per-frame depth, because the spec's requested
+    depth is clamped per frame — so word-length planning amortises across
+    every pipeline run, archive call and shard worker in the process.
+    Specs that are not safely shareable (see :func:`_shared_cacheable`)
+    fall back to caches local to this object, which is exactly the old
+    per-run behaviour.  Accelerator instances are always local to this
+    object (keyed by ``(size, scales)``): an accelerator run mutates its
+    DRAM model, so sharing one across concurrent runs is unsafe.
     """
 
     def __init__(self, spec: CodecSpec) -> None:
         self.spec = spec
+        self._shared = _shared_cacheable(spec)
         self._codecs: Dict[int, object] = {}
         self._accelerators: Dict[Tuple[int, int], DwtAccelerator] = {}
 
     def codec_for(self, scales: int):
+        if self._shared:
+            return _RESOURCE_CACHE.get_or_create(
+                ("codec", self.spec, scales), lambda: self.spec.build_codec(scales)
+            )
         if scales not in self._codecs:
             self._codecs[scales] = self.spec.build_codec(scales)
         return self._codecs[scales]
@@ -311,8 +408,7 @@ class CodecResources:
     def accelerator_for(
         self, codec: LosslessWaveletCodec, size: int, scales: int
     ) -> DwtAccelerator:
-        key = (size, scales)
-        if key not in self._accelerators:
+        def build() -> DwtAccelerator:
             # The architecture config looks the bank up by name, so the
             # codec's bank must be the catalog instance of that name — a
             # custom bank object would silently filter with different taps.
@@ -325,9 +421,13 @@ class CodecResources:
                     "transform='accelerator' requires a Table I catalog filter "
                     f"bank; the codec uses a custom bank {codec.bank.name!r}"
                 )
-            self._accelerators[key] = DwtAccelerator.from_spec(
+            return DwtAccelerator.from_spec(
                 self.spec, image_size=size, scales=scales, plan=codec.plan
             )
+
+        key = (size, scales)
+        if key not in self._accelerators:
+            self._accelerators[key] = build()
         return self._accelerators[key]
 
 
@@ -493,6 +593,40 @@ def _resolve_spec(
     )
 
 
+def encode_frame(
+    frame: np.ndarray,
+    spec: CodecSpec,
+    resources: CodecResources,
+    stats: PipelineStats,
+    pipeline: Optional[StagePipeline] = None,
+) -> Union[CompressedImage, CompressedSImage]:
+    """Compress one frame through the encode pipeline, folding its stage
+    timings and counters into ``stats``.
+
+    This is the single-frame unit :func:`compress_frames` loops over; the
+    streaming ingest front end (:mod:`repro.archive.ingest`) calls it
+    directly so frames can flow one at a time without a materialised batch.
+    """
+    if pipeline is None:
+        pipeline = encode_pipeline()
+    frame = np.asarray(frame)
+    frame_scales = _frame_scales(frame.shape, spec.scales)
+    job = FrameJob(
+        spec=spec,
+        resources=resources,
+        codec=resources.codec_for(frame_scales),
+        scales=frame_scales,
+        frame_shape=(int(frame.shape[0]), int(frame.shape[1])),
+        stats=stats,
+    )
+    stream = pipeline.run(frame, job)
+    stats.frames += 1
+    stats.pixels += int(frame.size)
+    stats.raw_bytes += stream.original_bytes
+    stats.compressed_bytes += stream.compressed_bytes
+    return stream
+
+
 def compress_frames(
     frames: Sequence[np.ndarray],
     codec: Optional[str] = None,
@@ -537,24 +671,9 @@ def compress_frames(
     resources = CodecResources(spec)
     pipeline = encode_pipeline()
     stats = PipelineStats()
-    streams: List[Union[CompressedImage, CompressedSImage]] = []
-    for frame in frames:
-        frame = np.asarray(frame)
-        frame_scales = _frame_scales(frame.shape, spec.scales)
-        job = FrameJob(
-            spec=spec,
-            resources=resources,
-            codec=resources.codec_for(frame_scales),
-            scales=frame_scales,
-            frame_shape=(int(frame.shape[0]), int(frame.shape[1])),
-            stats=stats,
-        )
-        stream = pipeline.run(frame, job)
-        stats.frames += 1
-        stats.pixels += int(frame.size)
-        stats.raw_bytes += stream.original_bytes
-        stats.compressed_bytes += stream.compressed_bytes
-        streams.append(stream)
+    streams: List[Union[CompressedImage, CompressedSImage]] = [
+        encode_frame(frame, spec, resources, stats, pipeline) for frame in frames
+    ]
     return CompressedBatch.from_spec(spec, streams, stats)
 
 

@@ -1,0 +1,94 @@
+"""Storage backends: file/memory parity, byte identity, writer/reader seam."""
+
+import numpy as np
+import pytest
+
+from repro.archive import (
+    ArchiveFormatError,
+    ArchiveReader,
+    ArchiveWriter,
+    FileBackend,
+    MemoryBackend,
+    resolve_backend,
+)
+from repro.imaging import ct_slice_series
+
+pytestmark = pytest.mark.archive
+
+
+def names_for(count):
+    return [f"slice_{i:03d}" for i in range(count)]
+
+
+def test_resolve_backend():
+    assert isinstance(resolve_backend("x.dwta"), FileBackend)
+    memory = MemoryBackend()
+    assert resolve_backend(memory) is memory
+
+
+def test_memory_backend_bytes_identical_to_file(tmp_path):
+    """The container format never sees the backend: same frames, same bytes."""
+    frames = ct_slice_series(count=5, size=32, seed=3)
+    path = tmp_path / "file.dwta"
+    memory = MemoryBackend()
+    for target in (path, memory):
+        with ArchiveWriter.create(target) as writer:
+            writer.append_batch(frames, names=names_for(5))
+    assert memory.getvalue() == path.read_bytes()
+
+
+def test_memory_backend_full_lifecycle():
+    frames = ct_slice_series(count=4, size=32, seed=6)
+    memory = MemoryBackend()
+    assert not memory.exists()
+    with ArchiveWriter.create(memory) as writer:
+        writer.append_batch(frames[:2], names=names_for(2))
+    assert memory.exists()
+    # Append through the same backend object, then read everything back.
+    with ArchiveWriter.append(memory) as writer:
+        writer.append_batch(frames[2:], names=["extra_0", "extra_1"])
+    with ArchiveReader(memory) as reader:
+        assert len(reader) == 4
+        assert np.array_equal(reader.decode("extra_1"), frames[3])
+        assert reader.verify(deep=True)["frames"] == 4
+
+
+def test_memory_backend_refuses_missing_container():
+    with pytest.raises(FileNotFoundError):
+        MemoryBackend().open_read()
+
+
+def test_create_refuses_existing_backend_container():
+    memory = MemoryBackend(name="scratch")
+    with ArchiveWriter.create(memory) as writer:
+        writer.append_batch(ct_slice_series(count=1, size=32))
+    with pytest.raises(FileExistsError, match="scratch"):
+        ArchiveWriter.create(memory)
+    # overwrite=True starts over.
+    with ArchiveWriter.create(memory, overwrite=True) as writer:
+        writer.append_batch(ct_slice_series(count=2, size=32))
+    with ArchiveReader(memory) as reader:
+        assert len(reader) == 2
+
+
+def test_memory_backend_damage_detection():
+    """Format errors surface identically regardless of the backend."""
+    memory = MemoryBackend()
+    with ArchiveWriter.create(memory) as writer:
+        writer.append_batch(ct_slice_series(count=1, size=32))
+    truncated = MemoryBackend(initial=memory.getvalue()[:-5])
+    with pytest.raises(ArchiveFormatError):
+        ArchiveReader(truncated)
+
+
+def test_file_and_memory_roundtrip_interchangeable(tmp_path):
+    """Bytes written through one backend open through the other."""
+    frames = ct_slice_series(count=3, size=32, seed=8)
+    memory = MemoryBackend()
+    with ArchiveWriter.create(memory) as writer:
+        writer.append_batch(frames, names=names_for(3))
+    path = tmp_path / "copied.dwta"
+    path.write_bytes(memory.getvalue())
+    with ArchiveReader(path) as reader:
+        for position, name in enumerate(names_for(3)):
+            assert np.array_equal(reader.decode(name), frames[position])

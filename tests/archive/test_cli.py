@@ -134,6 +134,128 @@ def test_list_verbose_prints_spec(tmp_path, capsys):
     assert records[0]["spec"]["use_rle"] is True
 
 
+def test_pack_sharded_list_extract_verify(tmp_path, capsys):
+    """--shards N: pack a sharded set and run every command against it."""
+    manifest = tmp_path / "set.dwts"
+    assert main(["pack", str(manifest), "--synthetic", "6", "--size", "32", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 shards" in out
+    assert sorted(p.name for p in tmp_path.glob("set.shard*.dwta")) == [
+        "set.shard000.dwta",
+        "set.shard001.dwta",
+        "set.shard002.dwta",
+    ]
+
+    assert main(["list", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "6 frames in 3 shards" in out and "hash-routed" in out
+
+    assert main(["list", str(manifest), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert [r["name"] for r in records] == [f"slice_{i:03d}" for i in range(6)]
+    assert {r["shard"] for r in records} <= {0, 1, 2}
+
+    out_pgm = tmp_path / "one.pgm"
+    assert main(["extract", str(manifest), "slice_004", "-o", str(out_pgm)]) == 0
+    assert out_pgm.exists()
+
+    assert main(["verify", str(manifest), "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "3 shards" in out
+
+
+def test_sharded_append_inherits_manifest(tmp_path, capsys):
+    manifest = tmp_path / "set.dwts"
+    assert main(["pack", str(manifest), "--synthetic", "3", "--size", "32", "--shards", "2", "--scales", "2"]) == 0
+    assert main(["pack", str(manifest), "--synthetic", "2", "--size", "32", "--seed", "7", "--append"]) == 0
+    capsys.readouterr()
+    assert main(["list", str(manifest), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert len(records) == 5
+    assert {r["scales"] for r in records} == {2}
+
+
+def test_sharded_append_rejects_config_overrides(tmp_path, capsys):
+    manifest = tmp_path / "set.dwts"
+    assert main(["pack", str(manifest), "--synthetic", "2", "--size", "32", "--shards", "2"]) == 0
+    capsys.readouterr()
+    base = ["pack", str(manifest), "--synthetic", "1", "--size", "32", "--append"]
+    # Every configuration flag is rejected loudly, never silently dropped.
+    for flags in (["--codec", "s-transform"], ["--scales", "3"], ["--bit-depth", "16"], ["--no-rle"]):
+        with pytest.raises(SystemExit, match="manifest"):
+            main([*base, *flags])
+    # --engine is an execution choice (byte-identical streams), so it passes.
+    assert main([*base, "--seed", "7", "--engine", "scalar"]) == 0
+
+
+def test_codec_value_errors_exit_cleanly(tmp_path, capsys):
+    """Codec-layer ValueErrors keep the single-line/exit-1 CLI contract."""
+    import numpy as np
+
+    from repro.imaging import write_pgm
+
+    deep = tmp_path / "deep.pgm"
+    write_pgm(deep, np.full((32, 32), 60000, dtype=np.int64), max_value=65535)
+    archive = tmp_path / "narrow.dwta"
+    assert main(["pack", str(archive), str(deep), "--bit-depth", "8"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sharded_pack_with_workers_matches_serial(tmp_path, capsys):
+    common = ["--synthetic", "6", "--size", "32", "--shards", "3"]
+    assert main(["pack", str(tmp_path / "serial.dwts"), *common]) == 0
+    assert main(["pack", str(tmp_path / "parallel.dwts"), *common, "--workers", "3"]) == 0
+    for a, b in zip(
+        sorted(tmp_path.glob("serial.shard*.dwta")),
+        sorted(tmp_path.glob("parallel.shard*.dwta")),
+    ):
+        assert a.read_bytes() == b.read_bytes()
+
+
+def test_stream_pack_matches_batch(tmp_path, capsys):
+    batch = tmp_path / "batch.dwta"
+    stream = tmp_path / "stream.dwta"
+    common = ["--synthetic", "5", "--size", "32"]
+    assert main(["pack", str(batch), *common]) == 0
+    assert main(["pack", str(stream), *common, "--stream", "--queue-depth", "2"]) == 0
+    assert "streamed" in capsys.readouterr().out
+    assert batch.read_bytes() == stream.read_bytes()
+
+
+def test_stream_pack_sharded(tmp_path, capsys):
+    manifest = tmp_path / "set.dwts"
+    assert main(["pack", str(manifest), "--synthetic", "4", "--size", "32", "--shards", "2", "--stream"]) == 0
+    capsys.readouterr()
+    assert main(["verify", str(manifest), "--deep"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_stream_rejects_workers(tmp_path):
+    with pytest.raises(SystemExit, match="serially"):
+        main(["pack", str(tmp_path / "x.dwta"), "--synthetic", "2", "--size", "32", "--stream", "--workers", "2"])
+
+
+def test_verify_workers_single_archive(tmp_path, capsys):
+    archive = tmp_path / "par.dwta"
+    assert main(["pack", str(archive), "--synthetic", "4", "--size", "32"]) == 0
+    capsys.readouterr()
+    assert main(["verify", str(archive), "--deep", "--workers", "2"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_sharded_isolates_damage(tmp_path, capsys):
+    manifest = tmp_path / "set.dwts"
+    assert main(["pack", str(manifest), "--synthetic", "6", "--size", "32", "--shards", "3"]) == 0
+    capsys.readouterr()
+    shards = sorted(tmp_path.glob("set.shard*.dwta"))
+    victim = shards[0]
+    victim.write_bytes(victim.read_bytes()[:-5])
+    assert main(["verify", str(manifest), "--deep"]) == 1
+    captured = capsys.readouterr()
+    assert victim.name in captured.err
+    assert "DAMAGED" in captured.out and "verified clean" in captured.out
+
+
 def test_errors_exit_nonzero(tmp_path, capsys):
     missing = tmp_path / "missing.dwta"
     assert main(["verify", str(missing)]) == 1
