@@ -1,0 +1,107 @@
+"""Self-healing benchmark: repair throughput and failover read overhead.
+
+Not a paper table: this is the perf claim behind
+:mod:`repro.archive.replication` — replication must make damage cheap to
+survive.  Two numbers matter:
+
+* **repair throughput** — a damaged shard copy is rebuilt by a byte copy
+  from its healthy sibling, so healing should run at storage bandwidth,
+  not at codec speed.  The benchmark corrupts one primary of a replicated
+  4-shard set, times ``repair_set`` end to end (detect via verify + byte
+  copy + re-verify), and reports MB/s over the rebuilt bytes.
+* **failover read latency** — a routed read that fails over to a replica
+  pays one wasted read plus one reader open.  The benchmark times the
+  same random-access read sequence against a clean set and against a set
+  with one damaged primary, and reports the per-read overhead factor.
+
+Correctness is always asserted (the rebuilt copy is byte-identical to the
+pre-damage bytes, strict verify passes, failover reads decode the right
+pixels); the numbers land in
+``benchmarks/reports/bench_archive_repair.json`` next to the other bench
+artifacts so the trajectory is diffable across PRs.  No throughput gate:
+both paths are dominated by I/O on any host, and the report itself is the
+evidence the CI chaos job uploads.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.archive import ReplicatedShardSet, ShardedArchiveReader, repair_set
+from repro.archive.format import HEADER_SIZE
+from repro.imaging import ct_slice_series
+
+pytestmark = pytest.mark.archive
+
+FRAME_COUNT = 32
+FRAME_SIZE = 128
+SHARDS = 4
+READ_PASSES = 3
+
+
+def _names(count):
+    return [f"slice_{i:03d}" for i in range(count)]
+
+
+def _read_all(path, names, frames):
+    """One timed pass of routed random-access reads, each validated."""
+    began = time.perf_counter()
+    with ShardedArchiveReader(path) as reader:
+        for position, name in enumerate(names):
+            assert np.array_equal(reader.decode(name), frames[position]), name
+        failovers = reader.failovers
+    return time.perf_counter() - began, failovers
+
+
+def test_repair_and_failover_throughput(tmp_path, save_json_record):
+    frames = ct_slice_series(count=FRAME_COUNT, size=FRAME_SIZE, seed=20260808)
+    names = _names(FRAME_COUNT)
+    path = tmp_path / "healer.dwts"
+    with ReplicatedShardSet.create(path, shards=SHARDS, replicas=1) as writer:
+        writer.append_batch(frames, names=names)
+
+    with ShardedArchiveReader(path) as reader:
+        victim = reader.copy_paths[reader.router.route(names[0])][0]
+    pristine = victim.read_bytes()
+
+    # Baseline: random-access reads against the clean set.
+    clean_seconds = min(_read_all(path, names, frames)[0] for _ in range(READ_PASSES))
+
+    # Damage one primary: every read still succeeds, via failover.
+    blob = bytearray(pristine)
+    blob[HEADER_SIZE + 2] ^= 0x11
+    victim.write_bytes(bytes(blob))
+    damaged_seconds, failovers = min(
+        (_read_all(path, names, frames) for _ in range(READ_PASSES)),
+        key=lambda pair: pair[0],
+    )
+    assert failovers >= 1, "damage never triggered a failover"
+
+    # Heal, timed end to end (verify + byte copy + re-verify).
+    began = time.perf_counter()
+    result = repair_set(path)
+    repair_seconds = time.perf_counter() - began
+    assert result.ok and victim.name in result.repaired
+    assert victim.read_bytes() == pristine, "repair is not byte-identical"
+    with ShardedArchiveReader(path) as reader:
+        assert not reader.verify(strict=True)["failures"]
+
+    repaired_bytes = len(pristine)
+    record = {
+        "frame_count": FRAME_COUNT,
+        "frame_size": FRAME_SIZE,
+        "shards": SHARDS,
+        "replicas": 1,
+        "byte_identical_repair": True,
+        "strict_verify_after_repair": True,
+        "repair_seconds": repair_seconds,
+        "repaired_bytes": repaired_bytes,
+        "repair_mb_per_s": repaired_bytes / repair_seconds / 1e6,
+        "clean_read_seconds": clean_seconds,
+        "failover_read_seconds": damaged_seconds,
+        "failover_overhead_factor": damaged_seconds / clean_seconds,
+        "failovers_per_pass": failovers,
+        "reads_per_pass": FRAME_COUNT,
+    }
+    save_json_record("bench_archive_repair", record)

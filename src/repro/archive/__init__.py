@@ -20,8 +20,16 @@ can be located, checksummed and decoded without reading anything else:
     damage to one shard is isolated from the rest.
 ``StreamingIngestor`` / ``ingest_frames`` / ``ingest_async`` / ``iter_compress``
     Streaming ingest (:mod:`repro.archive.ingest`): frames flow from a
-    feed through a bounded queue with backpressure straight into (sharded)
-    writers, never materialising the full batch.
+    feed through a bounded queue with backpressure straight into (sharded,
+    replicated) writers, never materialising the full batch.
+``ReplicatedShardSet`` / ``repair_set``
+    Self-healing replication (:mod:`repro.archive.replication`): every
+    shard kept in R+1 byte-identical copies (manifest v2 replica map),
+    appends fan out, routed reads run the retry → failover ladder
+    (:class:`RetryPolicy`, ``failovers`` counter), ``verify`` checks every
+    copy, and :func:`repair_set` rebuilds damaged copies from healthy
+    siblings.  :class:`FaultInjectionBackend` makes every failure mode a
+    deterministic, seeded test.
 ``FrameInfo``
     One frame's index entry (geometry, codec/filter/word-length metadata,
     payload location and CRC-32).
@@ -39,7 +47,16 @@ A CLI front end runs the scenario end to end against real files::
     python -m repro.archive verify set.dwts --deep --workers 4
 """
 
-from .backend import FileBackend, MemoryBackend, StorageBackend, resolve_backend
+from .backend import (
+    Fault,
+    FaultInjectionBackend,
+    FileBackend,
+    MemoryBackend,
+    RetryPolicy,
+    StorageBackend,
+    resolve_backend,
+    seeded_fault_plan,
+)
 from .format import (
     MAGIC,
     MANIFEST_MAGIC,
@@ -66,6 +83,12 @@ from .serialize import (
     serialize_stream,
     spec_for_stream,
 )
+from .replication import (
+    RepairReport,
+    ReplicatedShardSet,
+    repair_set,
+    shard_replica_names,
+)
 from .sharding import (
     HashRouter,
     RangeRouter,
@@ -75,6 +98,7 @@ from .sharding import (
     is_sharded,
     make_router,
     open_archive,
+    write_manifest,
 )
 from .writer import ArchiveWriter
 
@@ -92,6 +116,10 @@ __all__ = [
     "FileBackend",
     "MemoryBackend",
     "resolve_backend",
+    "RetryPolicy",
+    "Fault",
+    "FaultInjectionBackend",
+    "seeded_fault_plan",
     "ArchiveReader",
     "VerifyReport",
     "ArchiveWriter",
@@ -103,6 +131,11 @@ __all__ = [
     "open_archive",
     "ShardedArchiveWriter",
     "ShardedArchiveReader",
+    "write_manifest",
+    "ReplicatedShardSet",
+    "RepairReport",
+    "repair_set",
+    "shard_replica_names",
     "IngestReport",
     "StreamingIngestor",
     "ingest_frames",

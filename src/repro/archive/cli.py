@@ -21,11 +21,20 @@ Runs the medical-archive scenario end to end against real files:
 ``verify``
     Check every frame's checksum; ``--deep`` additionally decodes every
     frame and cross-checks its geometry against the index; ``--workers N``
-    parallelises across shards/frames.  On a sharded set, damage is
-    isolated per shard: every healthy shard is still verified and reported.
+    parallelises across shard copies/frames; ``--json`` emits the report
+    machine-readably (on a sharded set with a per-shard ``ok``/``damaged``
+    status map).  On a sharded set, damage is isolated per shard copy:
+    every healthy copy is still verified and reported, and exit status is
+    1 iff any shard is damaged.
+``repair``
+    Self-healing for replicated sets (``pack --shards N --replicas R``):
+    verify every copy, rebuild each damaged copy byte-identically from a
+    healthy sibling, and with ``--verify`` re-check the whole set.  Exit 0
+    iff every shard is healthy afterwards (``--json`` for the per-shard
+    ``ok``/``repaired``/``damaged`` statuses).
 
-``list``, ``extract`` and ``verify`` accept either a single container or a
-shard-set manifest — the two are told apart by their magic bytes.
+``list``, ``extract``, ``verify`` and ``repair`` accept either a single
+container or a shard-set manifest — told apart by their magic bytes.
 
 Exit status is 0 on success and 1 on any archive error (bad format,
 truncation, checksum mismatch), reported as a single-line message on
@@ -126,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "frame name; per-frame bytes identical to a single archive)",
     )
     pack.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=None,
+        metavar="R",
+        help="with --shards: keep R byte-identical replicas of every shard "
+        "(reads fail over to a replica on damage; 'repair' rebuilds "
+        "damaged copies from the survivors)",
+    )
+    pack.add_argument(
         "--stream",
         action="store_true",
         help="feed frames through the streaming ingest front end (bounded "
@@ -178,8 +196,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=_positive_int,
         default=1,
-        help="verify across N worker processes (one per shard on a sharded "
-        "set, frame-sharded on a single archive; default 1 = serial)",
+        help="verify across N worker processes (one per shard copy on a "
+        "sharded set, frame-sharded on a single archive; default 1 = serial)",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (sharded sets: per-shard status map)",
+    )
+
+    repair = sub.add_parser(
+        "repair", help="rebuild damaged shard copies from healthy replicas"
+    )
+    repair.add_argument("archive", help="shard-set manifest (replicated sets heal)")
+    repair.add_argument(
+        "--deep",
+        action="store_true",
+        help="detect damage with a full decode, not just checksums",
+    )
+    repair.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="verify across N worker processes while detecting damage",
+    )
+    repair.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-verify the whole set strictly after repairing",
+    )
+    repair.add_argument(
+        "--json", action="store_true", help="machine-readable repair report"
     )
     return parser
 
@@ -207,6 +254,8 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             "--shards applies when creating a set; --append reads the shard "
             "layout from the existing manifest"
         )
+    if args.replicas and not args.shards:
+        raise SystemExit("--replicas needs --shards (it replicates shard files)")
     if args.stream and args.workers > 1:
         raise SystemExit("--stream ingests serially; drop --workers")
     if args.synthetic:
@@ -278,16 +327,31 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             **options,
         )
     elif args.shards:
-        writer = ShardedArchiveWriter.create(
-            args.archive,
-            shards=args.shards,
-            codec=args.codec or "s-transform",
-            scales=args.scales if args.scales is not None else 4,
-            engine=args.engine,
-            overwrite=args.overwrite,
-            workers=args.workers,
-            **options,
-        )
+        if args.replicas:
+            from .replication import ReplicatedShardSet
+
+            writer = ReplicatedShardSet.create(
+                args.archive,
+                shards=args.shards,
+                replicas=args.replicas,
+                codec=args.codec or "s-transform",
+                scales=args.scales if args.scales is not None else 4,
+                engine=args.engine,
+                overwrite=args.overwrite,
+                workers=args.workers,
+                **options,
+            )
+        else:
+            writer = ShardedArchiveWriter.create(
+                args.archive,
+                shards=args.shards,
+                codec=args.codec or "s-transform",
+                scales=args.scales if args.scales is not None else 4,
+                engine=args.engine,
+                overwrite=args.overwrite,
+                workers=args.workers,
+                **options,
+            )
     else:
         writer = ArchiveWriter.create(
             args.archive,
@@ -408,15 +472,38 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     mode = "deep (checksums + full decode)" if args.deep else "checksums"
     with open_archive(args.archive) as reader:
         if isinstance(reader, ShardedArchiveReader):
-            # strict=False: scan every shard and report, instead of raising
+            # strict=False: scan every copy and report, instead of raising
             # at the first damaged one — damage is isolated, not contagious.
             report = reader.verify(deep=args.deep, workers=args.workers, strict=False)
             failures = report["failures"]
-            if failures:
-                for shard_name, error in sorted(failures.items()):
-                    print(f"error: shard {shard_name}: {error}", file=sys.stderr)
+            damaged = sorted(
+                name
+                for name, status in report["shard_status"].items()
+                if status == "damaged"
+            )
+            if args.json:
                 print(
-                    f"{args.archive}: {len(failures)} of {report['shards']} shards "
+                    json.dumps(
+                        {
+                            "archive": args.archive,
+                            "ok": not damaged,
+                            "frames": report["frames"],
+                            "payload_bytes": report["payload_bytes"],
+                            "deep": report["deep"],
+                            "shards": report["shards"],
+                            "copies": report["copies"],
+                            "shard_status": report["shard_status"],
+                            "failures": failures,
+                        },
+                        indent=2,
+                    )
+                )
+                return 1 if damaged else 0
+            if failures:
+                for copy_name, error in sorted(failures.items()):
+                    print(f"error: shard {copy_name}: {error}", file=sys.stderr)
+                print(
+                    f"{args.archive}: {len(damaged)} of {report['shards']} shards "
                     f"DAMAGED; {report['frames']} frames in the other shards "
                     f"verified clean ({mode})"
                 )
@@ -428,6 +515,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
             return 0
         report = reader.verify(deep=args.deep, workers=args.workers)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "archive": args.archive,
+                    "ok": True,
+                    "frames": report["frames"],
+                    "payload_bytes": report["payload_bytes"],
+                    "deep": report["deep"],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"{args.archive}: OK — {report['frames']} frames, "
         f"{report['payload_bytes']} payload bytes verified ({mode})"
@@ -435,11 +536,51 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .replication import repair_set
+
+    if not is_sharded(args.archive):
+        raise SystemExit(
+            f"{args.archive} is not a shard-set manifest; repair heals "
+            "replicated sharded sets (pack --shards N --replicas R)"
+        )
+    result = repair_set(args.archive, deep=args.deep, workers=args.workers)
+    verified = None
+    if args.verify and result.ok:
+        with ShardedArchiveReader(args.archive) as reader:
+            post = reader.verify(deep=args.deep, workers=args.workers, strict=False)
+        verified = not post["failures"]
+    if args.json:
+        record = result.to_dict()
+        record["archive"] = args.archive
+        if verified is not None:
+            record["verified"] = verified
+        print(json.dumps(record, indent=2))
+    else:
+        for copy_name, source in sorted(result.repaired.items()):
+            print(f"repaired {copy_name} from {source}")
+        for copy_name in sorted(result.unrepairable):
+            print(f"error: {copy_name} unrepairable (no healthy copy)", file=sys.stderr)
+        counts = {
+            status: sum(1 for s in result.shard_status.values() if s == status)
+            for status in ("ok", "repaired", "damaged")
+        }
+        note = " — set re-verified clean" if verified else ""
+        print(
+            f"{args.archive}: {counts['ok']} shards ok, "
+            f"{counts['repaired']} repaired, {counts['damaged']} damaged{note}"
+        )
+    if verified is False:  # pragma: no cover - repair_set re-verifies already
+        return 1
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "pack": _cmd_pack,
     "list": _cmd_list,
     "extract": _cmd_extract,
     "verify": _cmd_verify,
+    "repair": _cmd_repair,
 }
 
 

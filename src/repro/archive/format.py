@@ -30,9 +30,11 @@ marks an archive that was never finalised (the writer crashed before
 This module also defines the **shard-set manifest** — the small companion
 file that turns N independent containers into one sharded archive set
 (:mod:`repro.archive.sharding`).  The manifest stores the router kind, the
-shard file names (relative to the manifest) and the set-level
-:class:`~repro.coding.spec.CodecSpec` as JSON, all protected by a trailing
-CRC-32::
+shard file names (relative to the manifest), the set-level
+:class:`~repro.coding.spec.CodecSpec` as JSON and — since version 2 — a
+**replica map** (per primary shard, the names of its byte-identical replica
+containers, for read failover and verify-driven repair in
+:mod:`repro.archive.replication`), all protected by a trailing CRC-32::
 
     +-----------------------------+  offset 0
     |  magic "RPRDWTM\\0" (8)      |
@@ -42,9 +44,16 @@ CRC-32::
     |  spec_len u32 + spec JSON   |
     |  per shard: u16 len + name  |
     |  u16 n + range boundaries   |
+    |  per shard: u16 replica     |
+    |    count + u16 len + name   |  (version >= 2 only)
     +-----------------------------+
     |  crc32 of everything above  |
     +-----------------------------+  EOF
+
+The replica table is a parse-breaking addition for version-1 readers, so
+it rides a version bump per the rules in ``docs/archive_format.md``;
+version-1 manifests (no replica table) are still read, as an
+unreplicated set.
 """
 
 from __future__ import annotations
@@ -361,8 +370,11 @@ def unpack_index(data: bytes, frame_count: int) -> List[FrameInfo]:
 #: container magic so a reader can tell the two apart from the first 8 bytes.
 MANIFEST_MAGIC = b"RPRDWTM\x00"
 
-#: Current manifest format version.  Readers reject newer versions.
-MANIFEST_VERSION = 1
+#: Current manifest format version.  Readers reject newer versions; they
+#: keep reading version 1 (no replica table → an unreplicated set).
+#: Version 2 added the per-shard replica map — a parse-breaking addition,
+#: hence the bump.
+MANIFEST_VERSION = 2
 
 #: Router identifiers stored in the manifest (see
 #: :mod:`repro.archive.sharding` for the routing rules themselves).
@@ -383,7 +395,11 @@ class ShardManifest:
     (:meth:`~repro.coding.spec.CodecSpec.to_json`), stored so every shard —
     including still-empty ones — appends with the configuration the set was
     created with.  ``boundaries`` are the range router's cutoff names
-    (empty for the hash router).
+    (empty for the hash router).  ``replica_names`` is the replica map
+    (version >= 2): one tuple of replica container file names per primary
+    shard, empty for an unreplicated set; every copy of a shard is
+    byte-identical by construction (write fan-out), which is what makes
+    read failover and byte-copy repair sound.
     """
 
     version: int
@@ -391,6 +407,12 @@ class ShardManifest:
     shard_names: Tuple[str, ...]
     spec_json: str
     boundaries: Tuple[str, ...] = ()
+    replica_names: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def replicas(self) -> int:
+        """Replica count per shard (0 for an unreplicated set)."""
+        return max((len(names) for names in self.replica_names), default=0)
 
 
 def _pack_str(text: str, label: str) -> bytes:
@@ -413,6 +435,17 @@ def pack_manifest(manifest: ShardManifest) -> bytes:
         )
     if manifest.router == "hash" and manifest.boundaries:
         raise ValueError("hash router takes no boundaries")
+    if manifest.replica_names:
+        if manifest.version < 2:
+            raise ValueError(
+                "replica maps need manifest version >= 2 "
+                f"(got version {manifest.version})"
+            )
+        if len(manifest.replica_names) != len(manifest.shard_names):
+            raise ValueError(
+                f"replica map covers {len(manifest.replica_names)} shards, "
+                f"set has {len(manifest.shard_names)}"
+            )
     spec_data = manifest.spec_json.encode("utf-8")
     parts = [
         _MANIFEST_STRUCT.pack(
@@ -430,6 +463,14 @@ def pack_manifest(manifest: ShardManifest) -> bytes:
     parts.append(struct.pack("<H", len(manifest.boundaries)))
     for boundary in manifest.boundaries:
         parts.append(_pack_str(boundary, "range boundary"))
+    if manifest.version >= 2:
+        # Replica map: one u16-counted name list per primary shard (all
+        # zeros for an unreplicated set).
+        replica_map = manifest.replica_names or ((),) * len(manifest.shard_names)
+        for replicas in replica_map:
+            parts.append(struct.pack("<H", len(replicas)))
+            for name in replicas:
+                parts.append(_pack_str(name, "replica file name"))
     body = b"".join(parts)
     return body + struct.pack("<I", crc32(body))
 
@@ -487,6 +528,25 @@ def unpack_manifest(data: bytes) -> ShardManifest:
         raise TruncatedArchiveError("manifest ends inside the boundary table") from exc
     pos += 2
     boundaries = tuple(take_str(f"boundary {i}") for i in range(boundary_count))
+    replica_names: Tuple[Tuple[str, ...], ...] = ()
+    if version >= 2:
+        replica_map = []
+        for shard in range(shard_count):
+            try:
+                (replica_count,) = struct.unpack_from("<H", data, pos)
+            except struct.error as exc:
+                raise TruncatedArchiveError(
+                    f"manifest ends inside shard {shard}'s replica table"
+                ) from exc
+            pos += 2
+            replica_map.append(
+                tuple(
+                    take_str(f"shard {shard} replica {i}")
+                    for i in range(replica_count)
+                )
+            )
+        if any(replica_map):
+            replica_names = tuple(replica_map)
     if pos != end:
         raise ArchiveFormatError(
             f"manifest has {end - pos} trailing bytes before its checksum"
@@ -504,6 +564,7 @@ def unpack_manifest(data: bytes) -> ShardManifest:
         shard_names=shard_names,
         spec_json=spec_raw.decode("utf-8"),
         boundaries=boundaries,
+        replica_names=replica_names,
     )
 
 

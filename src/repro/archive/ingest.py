@@ -31,7 +31,11 @@ Every front end accepts feed items as bare frames (auto-named by the
 writer) or ``(name, frame)`` pairs (named — and, for a sharded writer,
 routed by that name).  The compressed streams are byte-identical to a
 batch pack of the same frames in the same order: streaming changes *when*
-memory is used, never what lands on disk.
+memory is used, never what lands on disk.  This holds for a
+:class:`~repro.archive.replication.ReplicatedShardSet` too: its routed
+``add_stream`` fans each stream out to the shard's primary and replicas in
+order, so streamed ingest keeps every copy byte-identical — with the same
+bounded-memory guarantee, since the fan-out happens after compression.
 """
 
 from __future__ import annotations

@@ -19,8 +19,9 @@ per-stage wall-clock stats as in-memory pipeline runs.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from ..coding.pipeline import (
     decompress_frames,
 )
 from ..coding.spec import CodecSpec
-from .backend import FileBackend, StorageBackend, resolve_backend
+from .backend import FileBackend, RetryPolicy, StorageBackend, resolve_backend
 from .format import (
     ArchiveFormatError,
     ArchiveIntegrityError,
@@ -73,10 +74,22 @@ class ArchiveReader:
     verify_checksums:
         Check each payload's CRC-32 on every read (default).  Disable only
         for benchmarking the raw retrieval path.
+    retry:
+        A :class:`~repro.archive.backend.RetryPolicy` applied to backend
+        reads (open and payload retrieval), absorbing *transient*
+        ``OSError`` faults with bounded exponential backoff; absorbed
+        faults are counted in ``reader.retries``.  ``None`` (the default)
+        disables retrying.  Persistent damage (checksum mismatches) is
+        never retried.
     """
 
     def __init__(
-        self, path: Target, engine: str = "fast", verify_checksums: bool = True
+        self,
+        path: Target,
+        engine: str = "fast",
+        verify_checksums: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         #: Storage backend holding the container's bytes (paths resolve to
         #: :class:`~repro.archive.backend.FileBackend`).
@@ -84,19 +97,43 @@ class ArchiveReader:
         self.path = Path(self.backend.describe())
         self.engine = engine
         self.verify_checksums = verify_checksums
+        #: Retry policy for backend reads (single attempt when ``None``).
+        self.retry = retry if retry is not None else RetryPolicy.none()
         #: Total payload bytes read so far (random access reads only the
         #: requested frames' payloads; this counter is the evidence).
         self.bytes_read = 0
-        self._fh = self.backend.open_read()
-        try:
-            self.header = read_header(self._fh)
-            self._fh.seek(0, 2)
-            size = self._fh.tell()
-            self.frames: List[FrameInfo] = read_index(self._fh, self.header, size)
-        except Exception:
-            self._fh.close()
-            raise
+        #: Transient read faults absorbed by the retry policy so far.
+        self.retries = 0
+        # External retry observer (the sharded reader's set-level counter);
+        # called even when the open itself ultimately fails, so absorbed
+        # faults are never lost with a reader that was never constructed.
+        self._retry_listener = on_retry
+        # Payload reads are a seek+read pair on one shared handle; the lock
+        # makes the pair atomic so concurrent readers never interleave.
+        self._io_lock = threading.Lock()
+        self._fh, self.header, self.frames = self.retry.run(
+            self._open, on_retry=self._note_retry
+        )
         self._codecs: Dict[Tuple, object] = {}
+
+    def _open(self):
+        """One open attempt: header + index, closing the handle on failure."""
+        fh = self.backend.open_read()
+        try:
+            header = read_header(fh)
+            fh.seek(0, 2)
+            size = fh.tell()
+            frames: List[FrameInfo] = read_index(fh, header, size)
+        except Exception:
+            fh.close()
+            raise
+        return fh, header, frames
+
+    def _note_retry(self, exc: BaseException) -> None:
+        with self._io_lock:
+            self.retries += 1
+        if self._retry_listener is not None:
+            self._retry_listener(exc)
 
     # -- listing ------------------------------------------------------------------------
     def __len__(self) -> int:
@@ -136,14 +173,20 @@ class ArchiveReader:
     def read_payload(self, key: FrameKey) -> bytes:
         """Read one frame's payload bytes (and nothing else) off disk."""
         entry = self.find(key)
-        self._fh.seek(entry.offset)
-        payload = self._fh.read(entry.length)
+
+        def _read() -> bytes:
+            with self._io_lock:
+                self._fh.seek(entry.offset)
+                return self._fh.read(entry.length)
+
+        payload = self.retry.run(_read, on_retry=self._note_retry)
         if len(payload) != entry.length:
             raise TruncatedArchiveError(
                 f"frame {entry.name!r}: payload ends after "
                 f"{len(payload)} of {entry.length} bytes"
             )
-        self.bytes_read += len(payload)
+        with self._io_lock:
+            self.bytes_read += len(payload)
         if self.verify_checksums and crc32(payload) != entry.crc32:
             raise ArchiveIntegrityError(
                 f"frame {entry.name!r}: payload checksum mismatch "

@@ -41,11 +41,13 @@ is lexicographic by name, which is likewise shard-count independent —
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 import zlib
 from bisect import bisect_right
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +59,7 @@ from ..coding.pipeline import (
     decompress_frames,
 )
 from ..coding.spec import CodecSpec, reject_spec_overrides
+from .backend import RetryPolicy, StorageBackend
 from .format import (
     MANIFEST_MAGIC,
     MANIFEST_VERSION,
@@ -65,6 +68,7 @@ from .format import (
     ArchiveIntegrityError,
     FrameInfo,
     ShardManifest,
+    crc32 as _crc32,
     pack_manifest,
     unpack_manifest,
 )
@@ -79,6 +83,7 @@ __all__ = [
     "make_router",
     "router_for_manifest",
     "shard_file_names",
+    "write_manifest",
     "is_sharded",
     "open_archive",
     "ShardedArchiveWriter",
@@ -176,6 +181,26 @@ def shard_file_names(manifest_path: PathLike, shard_count: int) -> List[str]:
     return [f"{stem}.shard{i:03d}.dwta" for i in range(shard_count)]
 
 
+def write_manifest(path: PathLike, manifest: ShardManifest) -> None:
+    """Write a manifest crash-safely: temp file + atomic rename.
+
+    The bytes land in ``<name>.tmp`` *in the same directory* (so the rename
+    cannot cross filesystems), are fsynced, and replace the target with one
+    atomic :func:`os.replace` — mirroring the container's own crash-safe
+    append.  A writer killed mid-rewrite therefore leaves either the old
+    manifest or the new one, never a torn half-file; at worst a stale
+    ``.tmp`` remains, which the next write simply overwrites.
+    """
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    data = pack_manifest(manifest)
+    with open(temp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(temp, path)
+
+
 def is_sharded(path: PathLike) -> bool:
     """Whether ``path`` is a shard-set manifest (checked by magic bytes)."""
     try:
@@ -211,25 +236,47 @@ def _read_manifest(path: Path) -> ShardManifest:
 # ---------------------------------------------------------------------------
 
 def _append_shard_worker(
-    path: str, spec: CodecSpec, frames: List[np.ndarray], names: List[str]
+    paths: List[str], spec: CodecSpec, frames: List[np.ndarray], names: List[str]
 ) -> Tuple[List[FrameInfo], PipelineStats]:
-    """One end-to-end shard worker: compress *and* write one shard's frames."""
-    with ArchiveWriter.append(path, spec=spec) as writer:
-        entries = writer.append_batch(frames, names=names)
-        return entries, writer.stats
+    """One end-to-end shard worker: compress once, write every copy.
+
+    ``paths`` is the shard's write fan-out — the primary container first,
+    then its replicas (empty past the primary for an unreplicated set).
+    Each copy receives the *same* streams in the same order against the
+    same starting bytes, which is what makes the copies byte-identical.
+    """
+    batch = compress_frames(frames, spec=spec)
+    entries: Optional[List[FrameInfo]] = None
+    for path in paths:
+        with ArchiveWriter.append(path, spec=spec) as writer:
+            copy_entries = writer.add_batch(batch, names=names)
+        if entries is None:
+            entries = copy_entries
+    return entries or [], batch.stats
 
 
-def _verify_shard_worker(
-    path: str, deep: bool, engine: str, verify_checksums: bool
+def _verify_copy_worker(
+    target, deep: bool, engine: str, verify_checksums: bool
 ) -> Dict:
-    """Verify one whole shard, mapping any damage to a failure record."""
+    """Verify one shard *copy*, mapping any damage to a failure record.
+
+    Besides the totals, a healthy copy reports a ``digest`` — CRC-32 over
+    its sorted (frame name, payload CRC) pairs, free from the index alone —
+    so the set-level verify can detect copies that are individually valid
+    but *diverged* from their siblings (e.g. a replica left stale by a
+    writer killed between copy finalisations).
+    """
     try:
-        with ArchiveReader(path, engine=engine, verify_checksums=verify_checksums) as reader:
+        with ArchiveReader(target, engine=engine, verify_checksums=verify_checksums) as reader:
             report = reader.verify(deep=deep)
+            digest_src = "\n".join(
+                f"{e.name}:{e.crc32:08x}" for e in sorted(reader.frames, key=lambda e: e.name)
+            )
             return {
                 "ok": True,
                 "frames": report["frames"],
                 "payload_bytes": report["payload_bytes"],
+                "digest": _crc32(digest_src.encode("utf-8")),
             }
     except (ArchiveError, OSError) as exc:
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -320,12 +367,27 @@ class ShardedArchiveWriter:
             spec_json=spec.to_json(),
             boundaries=tuple(boundaries),
         )
+        return cls._init_set(path, manifest, spec, overwrite, workers)
+
+    @classmethod
+    def _init_set(
+        cls,
+        path: Path,
+        manifest: ShardManifest,
+        spec: CodecSpec,
+        overwrite: bool,
+        workers: int,
+    ) -> "ShardedArchiveWriter":
+        """Materialise a new set: every container (primaries and replicas)
+        plus the crash-safely written manifest."""
         router_for_manifest(manifest)  # validate router/boundaries up front
-        # Every shard is born a valid (empty, finalised) archive, so the set
-        # is complete and readable from the instant the manifest lands.
-        for name in manifest.shard_names:
-            ArchiveWriter.create(path.parent / name, spec=spec, overwrite=overwrite).close()
-        path.write_bytes(pack_manifest(manifest))
+        # Every container is born a valid (empty, finalised) archive, so the
+        # set is complete and readable from the instant the manifest lands.
+        replica_map = manifest.replica_names or ((),) * len(manifest.shard_names)
+        for shard, name in enumerate(manifest.shard_names):
+            for copy in (name, *replica_map[shard]):
+                ArchiveWriter.create(path.parent / copy, spec=spec, overwrite=overwrite).close()
+        write_manifest(path, manifest)
         return cls(path, manifest, spec, names=set(), total=0, workers=workers)
 
     @classmethod
@@ -335,9 +397,17 @@ class ShardedArchiveWriter:
         """Open an existing set to add frames; configuration comes from the
         manifest, so appends always match how the set was created.
         ``engine`` may override the entropy-coding engine — an execution
-        choice, not a format one (streams are byte-identical either way)."""
+        choice, not a format one (streams are byte-identical either way).
+
+        A manifest with a replica map opens as a
+        :class:`~repro.archive.replication.ReplicatedShardSet`, so appends
+        fan out to every copy no matter which class opened the set."""
         path = Path(path)
         manifest = _read_manifest(path)
+        if cls is ShardedArchiveWriter and manifest.replica_names:
+            from .replication import ReplicatedShardSet
+
+            return ReplicatedShardSet.append(path, workers=workers, engine=engine)
         spec = CodecSpec.from_json(manifest.spec_json)
         if engine is not None:
             spec = spec.replace(engine=engine)
@@ -361,6 +431,11 @@ class ShardedArchiveWriter:
     def frame_names(self) -> List[str]:
         """Names of every frame stored in the set so far."""
         return sorted(self._names)
+
+    def _shard_write_paths(self, shard: int) -> List[str]:
+        """The files one shard's appends land in (primary only here; the
+        replicated subclass adds the shard's replicas)."""
+        return [str(self.shard_paths[shard])]
 
     def _writer(self, shard: int) -> ArchiveWriter:
         if shard not in self._writers:
@@ -483,7 +558,7 @@ class ShardedArchiveWriter:
             futures = {
                 shard: pool.submit(
                     _append_shard_worker,
-                    str(self.shard_paths[shard]),
+                    self._shard_write_paths(shard),
                     self.spec,
                     [frames[i] for i in groups[shard]],
                     [names[i] for i in groups[shard]],
@@ -530,21 +605,69 @@ class ShardedArchiveReader:
     decoding order frames lexicographically by name, which is independent
     of the shard count (so re-sharding a set never changes what
     :meth:`decode_all` returns).
+
+    On a *replicated* set (manifest with a replica map) every routed read
+    runs the full failure-handling ladder:
+
+    1. **retry** — transient ``OSError`` faults on a copy are absorbed by
+       the reader's :class:`~repro.archive.backend.RetryPolicy` (bounded
+       attempts, exponential backoff), counted in ``retries``;
+    2. **failover** — persistent damage (``ArchiveIntegrityError``,
+       truncation, ``OSError`` past its retries) drops the copy and
+       reopens the next one, counted in ``failovers``; every copy is
+       byte-identical, so index entries carry over unchanged;
+    3. only when *every* copy of the shard fails does the error propagate
+       (and :mod:`repro.archive.replication` can then not repair either).
+
+    One reader instance may be shared by many threads: per-copy payload
+    reads are atomic (seek+read under the copy reader's lock) and the
+    shard map, ``bytes_read``/``retries``/``failovers`` counters and
+    failover transitions are guarded by one set-level lock, so concurrent
+    routed reads never cross-talk.
     """
 
+    #: Error classes that mean "this copy is damaged or unreachable" and
+    #: trigger failover to the next copy.  Deliberately broad within the
+    #: archive taxonomy: corruption surfaces as integrity *and* format
+    #: errors (bad magic, torn index, payload/index disagreement).
+    _FAILOVER_ERRORS = (ArchiveError, OSError)
+
     def __init__(
-        self, path: PathLike, engine: str = "fast", verify_checksums: bool = True
+        self,
+        path: PathLike,
+        engine: str = "fast",
+        verify_checksums: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        backend_factory: Optional[Callable[[Path], StorageBackend]] = None,
     ) -> None:
         self.path = Path(path)
         self.engine = engine
         self.verify_checksums = verify_checksums
+        #: Retry policy handed to every per-copy reader (transient faults).
+        self.retry = retry if retry is not None else RetryPolicy.none()
+        #: Optional hook mapping a copy's path to the backend to open it
+        #: through — the fault-injection seam
+        #: (:class:`~repro.archive.backend.FaultInjectionBackend`).
+        self.backend_factory = backend_factory
         self.manifest = _read_manifest(self.path)
         self.spec = CodecSpec.from_json(self.manifest.spec_json)
         self.router = router_for_manifest(self.manifest)
         self.shard_paths: List[Path] = [
             self.path.parent / name for name in self.manifest.shard_names
         ]
+        replica_map = self.manifest.replica_names or ((),) * len(self.shard_paths)
+        #: Per shard: every copy's path, primary first.
+        self.copy_paths: List[List[Path]] = [
+            [primary, *(self.path.parent / name for name in replicas)]
+            for primary, replicas in zip(self.shard_paths, replica_map)
+        ]
+        #: Routed reads that had to switch to another copy after damage.
+        self.failovers = 0
         self._readers: Dict[int, ArchiveReader] = {}
+        self._active: Dict[int, int] = {}
+        self._retired_bytes = 0
+        self._retry_count = 0
+        self._lock = threading.RLock()
         self._entries: Optional[List[Tuple[int, FrameInfo]]] = None
 
     # -- shard plumbing -----------------------------------------------------------------
@@ -553,35 +676,117 @@ class ShardedArchiveReader:
         return len(self.shard_paths)
 
     @property
+    def replicas(self) -> int:
+        """Replicas per shard (0 for an unreplicated set)."""
+        return self.manifest.replicas
+
+    @property
     def opened_shards(self) -> List[int]:
         """Indices of the shards actually opened so far (lazy evidence)."""
-        return sorted(self._readers)
+        with self._lock:
+            return sorted(self._readers)
 
     @property
     def bytes_read(self) -> int:
-        """Total payload bytes read across every opened shard."""
-        return sum(reader.bytes_read for reader in self._readers.values())
+        """Total payload bytes read across every copy ever opened."""
+        with self._lock:
+            return self._retired_bytes + sum(
+                reader.bytes_read for reader in self._readers.values()
+            )
+
+    @property
+    def retries(self) -> int:
+        """Transient faults absorbed by retry across every copy touched —
+        including copies whose open ultimately failed (their reader never
+        existed, but the absorbed faults still count)."""
+        with self._lock:
+            return self._retry_count
+
+    def _note_retry(self, exc: BaseException) -> None:
+        with self._lock:
+            self._retry_count += 1
+
+    def _open_copy(self, shard: int, copy: int) -> ArchiveReader:
+        path = self.copy_paths[shard][copy]
+        target = self.backend_factory(path) if self.backend_factory else path
+        return ArchiveReader(
+            target,
+            engine=self.engine,
+            verify_checksums=self.verify_checksums,
+            retry=self.retry,
+            on_retry=self._note_retry,
+        )
+
+    def _fail_over(self, shard: int, failed_copy: int) -> bool:
+        """After damage on ``failed_copy``, advance the shard to its next
+        copy; ``False`` when there is no other copy to go to.  Must be
+        called under the lock; no-op if another thread already switched."""
+        copies = self.copy_paths[shard]
+        if len(copies) == 1:
+            return False
+        if self._active.get(shard, 0) == failed_copy:
+            reader = self._readers.pop(shard, None)
+            if reader is not None:
+                self._retire(reader)
+            self._active[shard] = (failed_copy + 1) % len(copies)
+            self.failovers += 1
+        return True
+
+    def _retire(self, reader: ArchiveReader) -> None:
+        self._retired_bytes += reader.bytes_read
+        try:
+            reader.close()
+        except Exception:  # pragma: no cover - best-effort close of a dead copy
+            pass
+
+    def _shard_op(self, shard: int, op: Callable[[ArchiveReader], object]):
+        """Run ``op`` against one shard, failing over across its copies.
+
+        Damage (:data:`_FAILOVER_ERRORS`) on the active copy — at open or
+        mid-operation — drops it and retries the operation on the next
+        copy, at most once per copy; anything else (``KeyError`` for a
+        missing frame, configuration ``ValueError``) propagates untouched.
+        """
+        attempts = len(self.copy_paths[shard])
+        last_exc: Optional[BaseException] = None
+        for _ in range(attempts):
+            with self._lock:
+                copy = self._active.setdefault(shard, 0)
+                reader = self._readers.get(shard)
+                if reader is None:
+                    try:
+                        reader = self._open_copy(shard, copy)
+                    except self._FAILOVER_ERRORS as exc:
+                        last_exc = exc
+                        if not self._fail_over(shard, copy):
+                            raise
+                        continue
+                    self._readers[shard] = reader
+            try:
+                return op(reader)
+            except self._FAILOVER_ERRORS as exc:
+                last_exc = exc
+                with self._lock:
+                    if not self._fail_over(shard, copy):
+                        raise
+        raise last_exc
 
     def _reader(self, shard: int) -> ArchiveReader:
-        if shard not in self._readers:
-            self._readers[shard] = ArchiveReader(
-                self.shard_paths[shard],
-                engine=self.engine,
-                verify_checksums=self.verify_checksums,
-            )
-        return self._readers[shard]
+        """The shard's currently active copy reader (opening it if needed)."""
+        return self._shard_op(shard, lambda reader: reader)
 
     def _all_entries(self) -> List[Tuple[int, FrameInfo]]:
         """Every frame of the set as ``(shard, entry)``, name-sorted."""
-        if self._entries is None:
-            pairs = [
-                (shard, entry)
-                for shard in range(self.shard_count)
-                for entry in self._reader(shard).frames
-            ]
-            pairs.sort(key=lambda pair: pair[1].name)
-            self._entries = pairs
-        return self._entries
+        with self._lock:
+            if self._entries is None:
+                pairs = [
+                    (shard, entry)
+                    for shard in range(self.shard_count)
+                    for entry in self._shard_op(shard, lambda r: list(r.frames))
+                ]
+                pairs.sort(key=lambda pair: pair[1].name)
+                self._entries = pairs
+            return self._entries
 
     # -- listing ------------------------------------------------------------------------
     def __len__(self) -> int:
@@ -614,7 +819,7 @@ class ShardedArchiveReader:
             key = key.name
         if isinstance(key, str):
             shard = self.router.route(key)
-            return shard, self._reader(shard).find(key)
+            return shard, self._shard_op(shard, lambda r: r.find(key))
         if isinstance(key, (int, np.integer)):
             entries = self._all_entries()
             try:
@@ -631,21 +836,24 @@ class ShardedArchiveReader:
 
     def read_payload(self, key: FrameKey) -> bytes:
         shard, entry = self._locate(key)
-        return self._reader(shard).read_payload(entry)
+        return self._shard_op(shard, lambda r: r.read_payload(entry))
 
     def read_stream(self, key: FrameKey) -> CompressedStream:
         shard, entry = self._locate(key)
-        return self._reader(shard).read_stream(entry)
+        return self._shard_op(shard, lambda r: r.read_stream(entry))
 
     def spec_for(self, key: FrameKey) -> CodecSpec:
         shard, entry = self._locate(key)
-        return self._reader(shard).spec_for(entry)
+        return self._shard_op(shard, lambda r: r.spec_for(entry))
 
     def decode(self, key: FrameKey) -> np.ndarray:
         """Random-access decode: route by name, open one shard, read one
-        payload."""
+        payload.  On a replicated set a damaged copy is retried on its
+        replica transparently (``failovers`` counts each switch); index
+        entries carry across copies because every copy is byte-identical.
+        """
         shard, entry = self._locate(key)
-        return self._reader(shard).decode(entry)
+        return self._shard_op(shard, lambda r: r.decode(entry))
 
     # -- bulk path ----------------------------------------------------------------------
     def to_batch(self, keys: Optional[Sequence[FrameKey]] = None) -> CompressedBatch:
@@ -665,14 +873,18 @@ class ShardedArchiveReader:
                 f"individually instead ({sorted(configs)})"
             )
         if located:
-            spec = self._reader(located[0][0]).spec_for(located[0][1])
+            first_shard, first_entry = located[0]
+            spec = self._shard_op(first_shard, lambda r: r.spec_for(first_entry))
         else:
             spec = self.spec.replace(engine=self.engine)
         return CompressedBatch(
             codec=spec.codec,
             engine=spec.engine,
             codec_options=spec.codec_kwargs(),
-            streams=[self._reader(shard).read_stream(entry) for shard, entry in located],
+            streams=[
+                self._shard_op(shard, lambda r, e=entry: r.read_stream(e))
+                for shard, entry in located
+            ],
             stats=PipelineStats(),
             spec=spec,
         )
@@ -687,51 +899,99 @@ class ShardedArchiveReader:
     def verify(
         self, deep: bool = False, workers: int = 1, strict: bool = True
     ) -> VerifyReport:
-        """Verify the set shard by shard, isolating damage.
+        """Verify the set copy by copy, isolating damage.
 
-        Every shard is checked (checksums; with ``deep`` also a full decode
-        of every frame) even when an earlier shard fails, so one truncated
-        or corrupted shard never hides the health of the rest.  ``workers``
-        > 1 verifies shards concurrently, one worker process per shard.
+        Every shard *copy* (primary and replicas) is checked (checksums;
+        with ``deep`` also a full decode of every frame) even when an
+        earlier one fails, so one truncated or corrupted copy never hides
+        the health of the rest.  Healthy copies of one shard are also
+        cross-checked against each other: a copy that is individually
+        valid but diverged from its most complete sibling (a stale replica
+        left by a torn fan-out append) is reported as damaged too, because
+        it must not serve reads or source a repair.  ``workers`` > 1
+        verifies copies concurrently, one worker process per copy
+        (``backend_factory`` forces the serial path — injected backends
+        do not cross process boundaries).
 
-        Returns a :class:`VerifyReport` with set totals plus ``shards`` and
-        a ``failures`` mapping (shard file name → error).  With ``strict``
-        (the default) a non-empty ``failures`` raises
-        :class:`ArchiveIntegrityError` naming the damaged shards.
+        Returns a :class:`VerifyReport` with set totals (counting each
+        shard's authoritative copy once) plus ``shards``, ``copies``, a
+        ``failures`` mapping (copy file name → error) and ``shard_status``
+        (primary shard file name → ``"ok"``/``"damaged"``).  With
+        ``strict`` (the default) any damage raises
+        :class:`ArchiveIntegrityError` naming the damaged shards.  The
+        per-copy failure report is exactly what
+        :func:`repro.archive.replication.repair_set` consumes to rebuild
+        damaged copies from their healthy siblings.
         """
-        args = [
-            (str(path), deep, self.engine, self.verify_checksums)
-            for path in self.shard_paths
+        copy_names: List[Tuple[int, str]] = []  # (shard, copy file name)
+        replica_map = self.manifest.replica_names or ((),) * self.shard_count
+        for shard, primary in enumerate(self.manifest.shard_names):
+            for name in (primary, *replica_map[shard]):
+                copy_names.append((shard, name))
+        targets = [
+            self.backend_factory(self.path.parent / name)
+            if self.backend_factory
+            else str(self.path.parent / name)
+            for _, name in copy_names
         ]
-        if workers > 1 and len(args) > 1:
+        args = [
+            (target, deep, self.engine, self.verify_checksums) for target in targets
+        ]
+        if workers > 1 and len(args) > 1 and self.backend_factory is None:
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(args)), mp_context=pool_context()
             ) as pool:
-                results = list(pool.map(_verify_shard_worker, *zip(*args)))
+                results = list(pool.map(_verify_copy_worker, *zip(*args)))
         else:
-            results = [_verify_shard_worker(*arg) for arg in args]
+            results = [_verify_copy_worker(*arg) for arg in args]
+
+        by_shard: Dict[int, List[Tuple[str, Dict]]] = {}
+        for (shard, name), result in zip(copy_names, results):
+            by_shard.setdefault(shard, []).append((name, result))
+
         frames = payload_bytes = 0
         failures: Dict[str, str] = {}
-        for shard_name, result in zip(self.manifest.shard_names, results):
-            if result["ok"]:
-                frames += result["frames"]
-                payload_bytes += result["payload_bytes"]
-            else:
-                failures[shard_name] = result["error"]
+        shard_status: Dict[str, str] = {}
+        for shard, primary in enumerate(self.manifest.shard_names):
+            copies = by_shard[shard]
+            healthy = [(name, res) for name, res in copies if res["ok"]]
+            for name, res in copies:
+                if not res["ok"]:
+                    failures[name] = res["error"]
+            if healthy:
+                # The authoritative copy: most frames wins (appends are
+                # monotone), primary wins ties.  Valid-but-diverged
+                # siblings are damage, not an alternate truth.
+                auth_name, auth = max(healthy, key=lambda item: item[1]["frames"])
+                for name, res in healthy:
+                    if res["digest"] != auth["digest"]:
+                        failures[name] = (
+                            f"StaleCopyError: copy holds {res['frames']} frames, "
+                            f"diverged from {auth_name} ({auth['frames']} frames)"
+                        )
+                frames += auth["frames"]
+                payload_bytes += auth["payload_bytes"]
+            damaged = [name for name, _ in copies if name in failures]
+            shard_status[primary] = "damaged" if damaged else "ok"
         report = VerifyReport(
             frames=frames,
             payload_bytes=payload_bytes,
             deep=deep,
             shards=self.shard_count,
+            copies=len(copy_names),
             failures=failures,
+            shard_status=shard_status,
         )
         if strict and failures:
-            damaged = ", ".join(sorted(failures))
+            damaged_shards = sorted(
+                name for name, status in shard_status.items() if status == "damaged"
+            )
             raise ArchiveIntegrityError(
-                f"{len(failures)} of {self.shard_count} shards failed "
-                f"verification ({damaged}); the other shards verified clean"
+                f"{len(damaged_shards)} of {self.shard_count} shards failed "
+                f"verification ({', '.join(damaged_shards)}); the other shards "
+                "verified clean"
             )
         return report
 

@@ -256,6 +256,121 @@ def test_verify_sharded_isolates_damage(tmp_path, capsys):
     assert "DAMAGED" in captured.out and "verified clean" in captured.out
 
 
+def _replicated_set(tmp_path, capsys, shards=3, replicas=1, frames=6):
+    manifest = tmp_path / "set.dwts"
+    assert (
+        main(
+            [
+                "pack",
+                str(manifest),
+                "--synthetic",
+                str(frames),
+                "--size",
+                "32",
+                "--shards",
+                str(shards),
+                "--replicas",
+                str(replicas),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    return manifest
+
+
+def test_pack_replicas_creates_copies(tmp_path, capsys):
+    manifest = _replicated_set(tmp_path, capsys)
+    primaries = sorted(p.name for p in tmp_path.glob("set.shard???.dwta"))
+    replicas = sorted(p.name for p in tmp_path.glob("set.shard???.r0.dwta"))
+    assert len(primaries) == 3 and len(replicas) == 3
+    for primary, replica in zip(primaries, replicas):
+        assert (tmp_path / primary).read_bytes() == (tmp_path / replica).read_bytes()
+    assert main(["verify", str(manifest), "--deep"]) == 0
+
+
+def test_pack_replicas_requires_shards(tmp_path):
+    with pytest.raises(SystemExit, match="--shards"):
+        main(["pack", str(tmp_path / "x.dwts"), "--synthetic", "2", "--size", "32", "--replicas", "1"])
+
+
+def test_verify_json_contract(tmp_path, capsys):
+    """--json: per-shard status map, exit 1 iff any shard is damaged."""
+    manifest = _replicated_set(tmp_path, capsys)
+    assert main(["verify", str(manifest), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert set(report["shard_status"].values()) == {"ok"}
+    assert report["copies"] == 6 and report["shards"] == 3
+
+    victim = sorted(tmp_path.glob("set.shard???.dwta"))[0]
+    victim.write_bytes(victim.read_bytes()[:-5])
+    assert main(["verify", str(manifest), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    assert report["shard_status"][victim.name] == "damaged"
+    assert victim.name in report["failures"]
+
+
+def test_verify_json_single_archive(tmp_path, capsys):
+    archive = tmp_path / "one.dwta"
+    assert main(["pack", str(archive), "--synthetic", "2", "--size", "32"]) == 0
+    capsys.readouterr()
+    assert main(["verify", str(archive), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True and report["frames"] == 2
+
+
+def test_repair_heals_and_exits_zero(tmp_path, capsys):
+    """The repair --verify contract: exit 0 after a successful heal."""
+    manifest = _replicated_set(tmp_path, capsys)
+    victim = sorted(tmp_path.glob("set.shard???.dwta"))[0]
+    pristine = victim.read_bytes()
+    victim.write_bytes(pristine[:-9])
+
+    assert main(["verify", str(manifest)]) == 1
+    capsys.readouterr()
+
+    assert main(["repair", str(manifest), "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert f"repaired {victim.name}" in out and "re-verified clean" in out
+    assert victim.read_bytes() == pristine
+
+    assert main(["verify", str(manifest), "--deep"]) == 0
+
+
+def test_repair_json_statuses(tmp_path, capsys):
+    manifest = _replicated_set(tmp_path, capsys)
+    victim = sorted(tmp_path.glob("set.shard???.dwta"))[0]
+    victim.write_bytes(victim.read_bytes()[:-9])
+    assert main(["repair", str(manifest), "--verify", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True and report["verified"] is True
+    assert report["shard_status"][victim.name] == "repaired"
+    assert set(report["shard_status"].values()) <= {"ok", "repaired"}
+    assert report["repaired"][victim.name].endswith(".r0.dwta")
+
+
+def test_repair_exits_one_when_unrepairable(tmp_path, capsys):
+    manifest = _replicated_set(tmp_path, capsys)
+    victims = sorted(tmp_path.glob("set.shard000.*dwta"))
+    assert len(victims) == 2  # primary + replica
+    for victim in victims:
+        victim.write_bytes(victim.read_bytes()[:-9])
+    assert main(["repair", str(manifest), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    assert report["shard_status"]["set.shard000.dwta"] == "damaged"
+    assert sorted(report["unrepairable"]) == [v.name for v in victims]
+
+
+def test_repair_rejects_single_archives(tmp_path, capsys):
+    archive = tmp_path / "single.dwta"
+    assert main(["pack", str(archive), "--synthetic", "1", "--size", "32"]) == 0
+    with pytest.raises(SystemExit, match="manifest"):
+        main(["repair", str(archive)])
+
+
 def test_errors_exit_nonzero(tmp_path, capsys):
     missing = tmp_path / "missing.dwta"
     assert main(["verify", str(missing)]) == 1

@@ -1,0 +1,286 @@
+"""Robustness primitives: RetryPolicy schedules and deterministic fault injection."""
+
+import errno
+import os
+
+import pytest
+
+from repro.archive import (
+    ArchiveIntegrityError,
+    ArchiveReader,
+    ArchiveWriter,
+    Fault,
+    FaultInjectionBackend,
+    FileBackend,
+    MemoryBackend,
+    RetryPolicy,
+    TruncatedArchiveError,
+    seeded_fault_plan,
+)
+from repro.imaging import ct_slice_series
+
+pytestmark = pytest.mark.archive
+
+# Chaos seeds: the CI chaos job widens this set via REPRO_FAULT_SEED.
+SEEDS = [3, 11, 42]
+if os.environ.get("REPRO_FAULT_SEED"):
+    SEEDS = sorted({*SEEDS, int(os.environ["REPRO_FAULT_SEED"])})
+
+
+class RecordingSleep:
+    """An injectable sleep that records the schedule instead of waiting."""
+
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, seconds):
+        self.delays.append(seconds)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exact(self):
+        sleep = RecordingSleep()
+        policy = RetryPolicy(attempts=4, base_delay=0.01, factor=2.0, sleep=sleep)
+        calls = []
+
+        def flaky():
+            calls.append(len(calls))
+            if len(calls) < 4:
+                raise OSError(errno.EIO, "transient")
+            return "payload"
+
+        assert policy.run(flaky) == "payload"
+        assert calls == [0, 1, 2, 3]
+        # Exponential: 0.01, 0.02, 0.04 — asserted, not trusted.
+        assert sleep.delays == pytest.approx([0.01, 0.02, 0.04])
+        assert policy.delays() == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.5, factor=4.0, max_delay=1.0, sleep=lambda s: None)
+        assert policy.delays() == pytest.approx([0.5, 1.0, 1.0, 1.0, 1.0])
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        sleep = RecordingSleep()
+        policy = RetryPolicy(attempts=3, base_delay=0.01, sleep=sleep)
+        with pytest.raises(OSError, match="persistent"):
+            policy.run(lambda: (_ for _ in ()).throw(OSError(errno.EIO, "persistent")))
+        assert len(sleep.delays) == 2  # slept between attempts, not after the last
+
+    def test_give_up_on_wins_over_retry_on(self):
+        """A missing file is not transient: no retries, no sleeping."""
+        sleep = RecordingSleep()
+        policy = RetryPolicy(attempts=5, sleep=sleep)
+
+        def missing():
+            raise FileNotFoundError("gone")
+
+        with pytest.raises(FileNotFoundError):
+            policy.run(missing)
+        assert sleep.delays == []
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        sleep = RecordingSleep()
+        policy = RetryPolicy(attempts=5, sleep=sleep)
+        with pytest.raises(ArchiveIntegrityError):
+            policy.run(lambda: (_ for _ in ()).throw(ArchiveIntegrityError("rot")))
+        assert sleep.delays == []
+
+    def test_on_retry_counts_absorbed_faults(self):
+        absorbed = []
+        policy = RetryPolicy(attempts=3, sleep=lambda s: None)
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise OSError(errno.EIO, "blip")
+            return state["calls"]
+
+        assert policy.run(flaky, on_retry=absorbed.append) == 3
+        assert len(absorbed) == 2
+        assert all(isinstance(exc, OSError) for exc in absorbed)
+
+    def test_none_is_single_attempt(self):
+        policy = RetryPolicy.none()
+        assert policy.attempts == 1 and policy.delays() == []
+        with pytest.raises(OSError):
+            policy.run(lambda: (_ for _ in ()).throw(OSError("once")))
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="gamma-ray")
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            Fault(kind="io-error", times=0)
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ValueError, match="mask"):
+            Fault(kind="bit-flip", mask=0)
+
+
+@pytest.fixture()
+def small_archive(tmp_path):
+    path = tmp_path / "faulty.dwta"
+    frames = ct_slice_series(count=3, size=32, seed=2)
+    with ArchiveWriter.create(path, scales=2) as writer:
+        writer.add_frames(frames, names=["a", "b", "c"])
+    return path, frames
+
+
+class TestFaultInjectionBackend:
+    def test_io_error_fires_on_exactly_the_nth_read(self):
+        backend = FaultInjectionBackend(
+            MemoryBackend(b"0123456789"), faults=(Fault(kind="io-error", at_read=2),)
+        )
+        fh = backend.open_read()
+        assert fh.read(2) == b"01"
+        assert fh.read(2) == b"23"
+        with pytest.raises(OSError):
+            fh.read(2)  # read #2 (0-based)
+        assert fh.read(2) == b"45"  # fires once, then heals
+        assert backend.reads == 4
+        assert [index for index, _ in backend.fired] == [2]
+
+    def test_fail_then_succeed_fires_k_times(self):
+        backend = FaultInjectionBackend(
+            MemoryBackend(b"abcdef"), faults=(Fault(kind="io-error", at_read=0, times=3),)
+        )
+        fh = backend.open_read()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                fh.read(1)
+        assert fh.read(1) == b"a"
+
+    def test_bit_flip_corrupts_the_read_not_the_store(self):
+        inner = MemoryBackend(b"\x00" * 8)
+        backend = FaultInjectionBackend(
+            inner, faults=(Fault(kind="bit-flip", offset=3, mask=0x80),)
+        )
+        fh = backend.open_read()
+        assert fh.read() == b"\x00\x00\x00\x80\x00\x00\x00\x00"
+        assert inner.getvalue() == b"\x00" * 8  # bit rot, not a write
+
+    def test_truncate_clamps_reads_and_end_seeks(self):
+        backend = FaultInjectionBackend(
+            MemoryBackend(b"0123456789"), faults=(Fault(kind="truncate", offset=4),)
+        )
+        fh = backend.open_read()
+        fh.seek(0, 2)
+        assert fh.tell() == 4
+        fh.seek(0)
+        assert fh.read() == b"0123"
+
+    def test_reader_surfaces_bit_flip_as_integrity_error(self, small_archive):
+        path, _ = small_archive
+        with ArchiveReader(path) as clean:
+            entry = clean.find("b")
+        backend = FaultInjectionBackend(
+            FileBackend(path),
+            faults=(Fault(kind="bit-flip", offset=entry.offset + 1, mask=0x04),),
+        )
+        with ArchiveReader(backend) as reader:
+            with pytest.raises(ArchiveIntegrityError, match="checksum"):
+                reader.read_payload("b")
+            # The other frames are untouched by the single flipped bit.
+            reader.read_payload("a")
+
+    def test_reader_surfaces_truncation(self, small_archive):
+        path, _ = small_archive
+        size = path.stat().st_size
+        backend = FaultInjectionBackend(
+            FileBackend(path), faults=(Fault(kind="truncate", offset=size - 5),)
+        )
+        with pytest.raises(TruncatedArchiveError):
+            ArchiveReader(backend)
+
+    def test_retry_absorbs_transient_io_error(self, small_archive):
+        """The fail-then-succeed shape the retry ladder exists for."""
+        path, frames = small_archive
+        backend = FaultInjectionBackend(
+            FileBackend(path), faults=(Fault(kind="io-error", at_read=2, times=2),)
+        )
+        sleep = RecordingSleep()
+        policy = RetryPolicy(attempts=3, base_delay=0.01, sleep=sleep)
+        with ArchiveReader(backend, retry=policy) as reader:
+            import numpy as np
+
+            assert np.array_equal(reader.decode("a"), frames[0])
+            assert reader.retries == 2
+        assert len(sleep.delays) == 2
+
+    def test_unretried_reader_fails_where_retried_succeeds(self, small_archive):
+        path, _ = small_archive
+
+        def faulted():
+            return FaultInjectionBackend(
+                FileBackend(path), faults=(Fault(kind="io-error", at_read=0, times=1),)
+            )
+
+        with pytest.raises(OSError):
+            ArchiveReader(faulted())
+        reader = ArchiveReader(faulted(), retry=RetryPolicy(attempts=2, sleep=lambda s: None))
+        assert reader.retries == 1
+        reader.close()
+
+
+class TestSeededPlans:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_plan(self, seed):
+        first = seeded_fault_plan(seed, file_size=4096, faults=4)
+        second = seeded_fault_plan(seed, file_size=4096, faults=4)
+        assert first == second
+        assert len(first) == 4
+
+    def test_different_seeds_differ(self):
+        plans = {tuple(seeded_fault_plan(seed, 4096, faults=3)) for seed in range(20)}
+        assert len(plans) > 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plan_fields_in_range(self, seed):
+        size = 512
+        for fault in seeded_fault_plan(seed, size, faults=16):
+            if fault.kind == "truncate":
+                assert 1 <= fault.offset < size
+            elif fault.kind == "bit-flip":
+                assert 0 <= fault.offset < size
+                assert fault.mask and fault.mask & (fault.mask - 1) == 0  # one bit
+            else:
+                assert 0 <= fault.at_read < 8 and 1 <= fault.times <= 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_run_replays_identically(self, seed, small_archive):
+        """The whole faulted read workload — not just the plan — replays
+        byte for byte from the seed: same fired log, same outcomes."""
+        path, _ = small_archive
+        plan = seeded_fault_plan(seed, path.stat().st_size, faults=2)
+
+        def run_once():
+            backend = FaultInjectionBackend(FileBackend(path), faults=plan)
+            outcomes = []
+            try:
+                reader = ArchiveReader(
+                    backend, retry=RetryPolicy(attempts=3, sleep=lambda s: None)
+                )
+            except Exception as exc:
+                return [f"open:{type(exc).__name__}"], backend.fired
+            with reader:
+                for name in ("a", "b", "c"):
+                    try:
+                        reader.read_payload(name)
+                        outcomes.append(f"{name}:ok")
+                    except Exception as exc:
+                        outcomes.append(f"{name}:{type(exc).__name__}")
+            return outcomes, backend.fired
+
+        assert run_once() == run_once()
+
+    def test_rejects_tiny_files(self):
+        with pytest.raises(ValueError, match="file_size"):
+            seeded_fault_plan(0, file_size=1)

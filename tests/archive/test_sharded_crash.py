@@ -9,6 +9,7 @@ from repro.archive import (
     ArchiveReader,
     ShardedArchiveReader,
     ShardedArchiveWriter,
+    write_manifest,
 )
 from repro.archive.format import HEADER_SIZE
 from repro.imaging import ct_slice_series
@@ -137,3 +138,46 @@ class TestInterruptedAppend:
         with ShardedArchiveReader(path) as reader:
             assert len(reader) == 12
             assert not reader.verify(deep=True)["failures"]
+
+
+class TestManifestCrashSafety:
+    def test_kill_mid_rewrite_leaves_the_old_manifest_intact(
+        self, victim_set, monkeypatch
+    ):
+        """A writer killed between writing the temp manifest and renaming it
+        (the only non-atomic window) must leave the original manifest byte
+        for byte — the set stays fully readable."""
+        import repro.archive.sharding as sharding
+
+        path, frames = victim_set
+        original = path.read_bytes()
+        with ShardedArchiveReader(path) as reader:
+            manifest = reader.manifest
+
+        def crash(src, dst):
+            raise KeyboardInterrupt("killed mid-rewrite")
+
+        monkeypatch.setattr(sharding.os, "replace", crash)
+        with pytest.raises(KeyboardInterrupt):
+            write_manifest(path, manifest)
+        monkeypatch.undo()
+
+        # The target was never touched; only a stale .tmp remains.
+        assert path.read_bytes() == original
+        assert path.with_name(path.name + ".tmp").exists()
+        with ShardedArchiveReader(path) as reader:
+            assert not reader.verify(deep=True)["failures"]
+            assert np.array_equal(reader.decode("slice_000"), frames[0])
+
+        # The next (uninterrupted) write overwrites the stale temp file.
+        write_manifest(path, manifest)
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert path.read_bytes() == original
+
+    def test_successful_write_leaves_no_temp_file(self, tmp_path, victim_set):
+        path, _ = victim_set
+        with ShardedArchiveReader(path) as reader:
+            write_manifest(path, reader.manifest)
+        assert not path.with_name(path.name + ".tmp").exists()
+        with ShardedArchiveReader(path) as reader:
+            assert reader.names() == names_for(9)
