@@ -37,19 +37,38 @@ def save_report(report_dir):
     return _save
 
 
+#: Prior records kept per report file — enough to see a trend across PRs
+#: without the files growing unboundedly.
+HISTORY_LIMIT = 20
+
+
 @pytest.fixture(scope="session")
 def save_json_record(report_dir):
     """Write a machine-readable benchmark record to ``reports/<name>.json``.
 
     Used by the perf-tracking benches (coding engine, codec speedup) so the
     throughput trajectory can be diffed across PRs, next to the rendered
-    paper tables.
+    paper tables.  The previous run's record is appended to a bounded
+    ``history`` list (oldest first, at most ``HISTORY_LIMIT`` entries), so
+    one file carries the whole recent trajectory, not just the last point.
     """
 
     def _save(name: str, record: dict) -> Path:
         path = report_dir / f"{name}.json"
+        history: list = []
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text(encoding="utf-8"))
+                history = previous.pop("history", [])
+                history.append(previous)
+                history = history[-HISTORY_LIMIT:]
+            except (json.JSONDecodeError, OSError, AttributeError, TypeError):
+                history = []
+        payload = dict(record)
+        if history:
+            payload["history"] = history
         path.write_text(
-            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         return path
 

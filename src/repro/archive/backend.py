@@ -53,11 +53,17 @@ from __future__ import annotations
 
 import errno
 import io
+import os
 import random
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Callable, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - mmap ships with CPython everywhere we run
+    import mmap as _mmap
+except ImportError:  # pragma: no cover - exotic platforms only
+    _mmap = None
 
 __all__ = [
     "StorageBackend",
@@ -100,15 +106,45 @@ class StorageBackend:
         """Human-readable location, used in error messages and ``repr``."""
         raise NotImplementedError
 
+    def read_range(self, offset: int, length: int) -> Optional[memoryview]:
+        """Zero-copy view of ``length`` container bytes at ``offset``.
+
+        Returns ``None`` when the backend has no zero-copy path — the caller
+        must then fall back to a seek + ``read`` on an open handle.  A
+        returned view may be *shorter* than ``length`` when the container
+        ends early (the same short-read semantics ``read`` has), so callers
+        check the view's length exactly as they check a read's.  The view
+        stays valid until :meth:`release`; backends that cannot honour that
+        for a given request simply return ``None``.
+        """
+        return None
+
+    def release(self) -> None:
+        """Drop any cached zero-copy resources (mmap).  Always safe; views
+        already handed out keep their backing store alive until collected."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.describe()!r})"
 
 
 class FileBackend(StorageBackend):
-    """A container stored as one file on the local filesystem."""
+    """A container stored as one file on the local filesystem.
+
+    Beyond the stream interface, file containers support zero-copy payload
+    reads: :meth:`read_range` memory-maps the file once (lazily, read-only)
+    and serves requests as memoryview slices of the mapping — no
+    intermediate ``bytes`` object, no seek/read syscall pair.  The mapping
+    is remapped when the file has grown (an appended archive read through
+    the same backend) and falls back to a single ``os.pread`` when mapping
+    is unavailable, so the method never returns ``None`` on a readable
+    file.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._map = None
+        self._map_size = 0
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -124,6 +160,57 @@ class FileBackend(StorageBackend):
 
     def describe(self) -> str:
         return str(self.path)
+
+    # -- zero-copy reads -----------------------------------------------------------------
+    def _remap(self, size: int) -> None:
+        """(Re)map the file at its current ``size``; degrade to no map."""
+        old = self._map
+        self._map = None
+        self._map_size = 0
+        if _mmap is not None and size > 0:
+            try:
+                self._map = _mmap.mmap(self._fd, size, access=_mmap.ACCESS_READ)
+                self._map_size = size
+            except (OSError, ValueError):
+                self._map = None
+        if old is not None:
+            try:
+                old.close()
+            except BufferError:
+                # Views of the old mapping are still exported; the mapping
+                # stays alive until they are collected, then unmaps itself.
+                pass
+
+    def read_range(self, offset: int, length: int) -> Optional[memoryview]:
+        if offset < 0 or length < 0:
+            raise ValueError(f"invalid range ({offset}, {length})")
+        try:
+            if self._fd is None:
+                self._fd = os.open(self.path, os.O_RDONLY)
+            end = offset + length
+            if self._map is None or self._map_size < end:
+                size = os.fstat(self._fd).st_size
+                if self._map is None or self._map_size < min(size, end):
+                    self._remap(size)
+            if self._map is not None:
+                return memoryview(self._map)[offset:end]
+            # Mapping unavailable (empty file, platform refusal): one
+            # positioned read, still handle-free for the caller.
+            return memoryview(os.pread(self._fd, length, offset))
+        except OSError:
+            return None
+
+    def release(self) -> None:
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:  # exported views pin the mapping; see _remap
+                pass
+            self._map = None
+            self._map_size = 0
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
 class _MemoryFile(io.BytesIO):
@@ -175,6 +262,13 @@ class MemoryBackend(StorageBackend):
 
     def describe(self) -> str:
         return self.name
+
+    def read_range(self, offset: int, length: int) -> Optional[memoryview]:
+        """A slice of the buffer itself — memory containers are zero-copy
+        by construction (short when the buffer ends early, like a read)."""
+        if offset < 0 or length < 0:
+            raise ValueError(f"invalid range ({offset}, {length})")
+        return memoryview(self._blob)[offset : offset + length]
 
     def getvalue(self) -> bytes:
         """The container's current bytes (what a file would hold on disk)."""
@@ -421,6 +515,11 @@ class FaultInjectionBackend(StorageBackend):
     fixed access pattern and a test replays identically every run.  The
     ``reads`` counter and the ``fired`` log expose what actually happened,
     so tests assert the plan executed rather than trusting it did.
+
+    This backend deliberately offers **no** zero-copy path (``read_range``
+    stays the base class's ``None``): readers fall back to counted
+    ``read()`` calls, so every fault in the plan still fires regardless of
+    the reader's ``zero_copy`` setting.
     """
 
     def __init__(self, inner: StorageBackend, faults: Sequence[Fault] = ()) -> None:

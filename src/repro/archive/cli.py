@@ -113,9 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument(
         "--engine",
-        choices=("fast", "scalar"),
-        default="fast",
-        help="entropy-coding engine (default fast)",
+        choices=("fast", "scalar", "turbo"),
+        default=None,
+        help="entropy-coding engine tier (default: REPRO_ENGINE or fast)",
     )
     pack.add_argument(
         "--workers",

@@ -9,6 +9,18 @@ never read, which is what makes retrieval from a large archive cheap.  The
 so tests and the retrieval benchmark can *prove* the access pattern rather
 than infer it from timing alone.
 
+Payload reads are **zero-copy** by default: when the backend offers
+:meth:`~repro.archive.backend.StorageBackend.read_range` (files are
+memory-mapped, memory containers slice their buffer), a frame's payload is
+handed to the deserialiser as a memoryview of the backend's storage — no
+intermediate ``bytes`` object, no seek/read pair, no copy of the chunk
+bytes.  ``bytes_read`` advances identically on both paths (it counts
+payload bytes *touched*, not copies made); ``zero_copy_reads`` counts how
+many payload reads actually took the view path, so tests can prove which
+path served them.  Backends without a zero-copy path — and readers opened
+with ``zero_copy=False`` — fall back to the historical seek + read,
+byte for byte.
+
 Whole-archive decoding goes back through the batched pipeline:
 :meth:`~ArchiveReader.to_batch` reassembles a
 :class:`~repro.coding.pipeline.CompressedBatch` from the stored streams and
@@ -31,7 +43,7 @@ from ..coding.pipeline import (
     PipelineStats,
     decompress_frames,
 )
-from ..coding.spec import CodecSpec
+from ..coding.spec import CodecSpec, default_engine
 from .backend import FileBackend, RetryPolicy, StorageBackend, resolve_backend
 from .format import (
     ArchiveFormatError,
@@ -47,6 +59,7 @@ from .serialize import (
     codec_name_for_stream,
     deserialize_stream,
     frame_spec,
+    materialize_stream,
 )
 
 __all__ = ["ArchiveReader", "VerifyReport"]
@@ -70,7 +83,10 @@ class ArchiveReader:
         Archive file to open — a filesystem path or any
         :class:`~repro.archive.backend.StorageBackend`.
     engine:
-        Entropy-coding engine for decoding (``"fast"`` or ``"scalar"``).
+        Entropy-coding engine for decoding (``"fast"``, ``"scalar"`` or
+        ``"turbo"``); ``None`` (the default) resolves through
+        :func:`~repro.coding.spec.default_engine` (the ``REPRO_ENGINE``
+        environment variable, else ``"fast"``).
     verify_checksums:
         Check each payload's CRC-32 on every read (default).  Disable only
         for benchmarking the raw retrieval path.
@@ -81,27 +97,39 @@ class ArchiveReader:
         faults are counted in ``reader.retries``.  ``None`` (the default)
         disables retrying.  Persistent damage (checksum mismatches) is
         never retried.
+    zero_copy:
+        Serve payload reads as memoryviews of the backend's storage
+        (mmap for files) where the backend supports it (default).  Pass
+        ``False`` to force the historical seek + read path — results are
+        byte-identical either way.
     """
 
     def __init__(
         self,
         path: Target,
-        engine: str = "fast",
+        engine: Optional[str] = None,
         verify_checksums: bool = True,
         retry: Optional[RetryPolicy] = None,
         on_retry: Optional[Callable[[BaseException], None]] = None,
+        zero_copy: bool = True,
     ) -> None:
         #: Storage backend holding the container's bytes (paths resolve to
         #: :class:`~repro.archive.backend.FileBackend`).
         self.backend = resolve_backend(path)
         self.path = Path(self.backend.describe())
-        self.engine = engine
+        self.engine = engine if engine is not None else default_engine()
         self.verify_checksums = verify_checksums
+        #: Whether payload reads may take the backend's zero-copy path.
+        self.zero_copy = bool(zero_copy)
         #: Retry policy for backend reads (single attempt when ``None``).
         self.retry = retry if retry is not None else RetryPolicy.none()
         #: Total payload bytes read so far (random access reads only the
         #: requested frames' payloads; this counter is the evidence).
+        #: Identical whichever path — copying or zero-copy — served them.
         self.bytes_read = 0
+        #: Payload reads served zero-copy (a view of the backend's storage
+        #: rather than a fresh ``bytes`` object).
+        self.zero_copy_reads = 0
         #: Transient read faults absorbed by the retry policy so far.
         self.retries = 0
         # External retry observer (the sharded reader's set-level counter);
@@ -194,10 +222,52 @@ class ArchiveReader:
             )
         return payload
 
-    def read_stream(self, key: FrameKey) -> CompressedStream:
-        """Deserialise one frame's compressed stream without decoding it."""
+    def read_payload_view(self, key: FrameKey) -> memoryview:
+        """One frame's payload as a zero-copy view of the backend's storage.
+
+        Files are served from a lazily-created read-only mmap, memory
+        containers from their buffer — no intermediate ``bytes`` object is
+        built.  Truncation and CRC checks are the same as
+        :meth:`read_payload`'s, and ``bytes_read`` advances identically;
+        ``zero_copy_reads`` counts the reads this path actually served.
+        When the backend has no zero-copy support (or it degrades, e.g.
+        mmap refused), the result is a view over a normal
+        :meth:`read_payload` — correct, just not zero-copy.
+        """
         entry = self.find(key)
-        stream = deserialize_stream(self.read_payload(entry))
+        view: Optional[memoryview] = None
+        if self.zero_copy:
+
+            def _read_range() -> Optional[memoryview]:
+                with self._io_lock:
+                    return self.backend.read_range(entry.offset, entry.length)
+
+            view = self.retry.run(_read_range, on_retry=self._note_retry)
+        if view is None:
+            return memoryview(self.read_payload(entry))
+        if len(view) != entry.length:
+            raise TruncatedArchiveError(
+                f"frame {entry.name!r}: payload ends after "
+                f"{len(view)} of {entry.length} bytes"
+            )
+        with self._io_lock:
+            self.bytes_read += len(view)
+            self.zero_copy_reads += 1
+        if self.verify_checksums and crc32(view) != entry.crc32:
+            raise ArchiveIntegrityError(
+                f"frame {entry.name!r}: payload checksum mismatch "
+                "(archive is corrupted)"
+            )
+        return view
+
+    def read_stream(self, key: FrameKey) -> CompressedStream:
+        """Deserialise one frame's compressed stream without decoding it.
+
+        On the zero-copy path the stream's chunk payloads are views into
+        the backend's storage; they stay valid until :meth:`close`.
+        """
+        entry = self.find(key)
+        stream = deserialize_stream(self.read_payload_view(entry))
         if (
             codec_name_for_stream(stream) != entry.codec
             or stream.scales != entry.scales
@@ -268,15 +338,21 @@ class ArchiveReader:
         """Decode every (selected) frame through the batched pipeline.
 
         ``workers`` > 1 shards the decode across a process pool
-        (:class:`~repro.coding.executor.ParallelExecutor`).
+        (:class:`~repro.coding.executor.ParallelExecutor`); the streams are
+        materialised to bytes first, since zero-copy views cannot cross a
+        process boundary.
         """
-        return decompress_frames(self.to_batch(keys), workers=workers)
+        batch = self.to_batch(keys)
+        if workers != 1:
+            for stream in batch.streams:
+                materialize_stream(stream)
+        return decompress_frames(batch, workers=workers)
 
     # -- integrity ----------------------------------------------------------------------
     def _verify_frame(self, entry: FrameInfo, deep: bool) -> int:
         """Verify one frame (checksum, optionally a full decode); returns
         its payload size in bytes."""
-        payload = self.read_payload(entry)
+        payload = self.read_payload_view(entry)
         if not self.verify_checksums and crc32(payload) != entry.crc32:
             # read_payload checksums every read unless the reader was
             # opened with verify_checksums=False; only then check here.
@@ -338,6 +414,9 @@ class ArchiveReader:
     # -- lifecycle ----------------------------------------------------------------------
     def close(self) -> None:
         self._fh.close()
+        # Drop the backend's cached mapping; views still referenced keep
+        # the underlying storage alive until they are collected.
+        self.backend.release()
 
     def __enter__(self) -> "ArchiveReader":
         return self

@@ -142,7 +142,7 @@ class ReplicatedShardSet(ShardedArchiveWriter):
             spec = CodecSpec.from_kwargs(
                 codec=codec if codec is not None else "s-transform",
                 scales=scales if scales is not None else 4,
-                engine=engine if engine is not None else "fast",
+                engine=engine,
                 **codec_options,
             )
         else:
@@ -243,7 +243,7 @@ def repair_set(
     path: PathLike,
     deep: bool = False,
     workers: int = 1,
-    engine: str = "fast",
+    engine: Optional[str] = None,
     verify_checksums: bool = True,
     backend_factory: Optional[Callable[[Path], StorageBackend]] = None,
 ) -> RepairReport:

@@ -39,6 +39,7 @@ would produce garbage, so it raises :class:`ArchiveFormatError` instead.
 from __future__ import annotations
 
 import struct
+from dataclasses import replace as _dc_replace
 from typing import List, Tuple, Union
 
 from ..coding.bitstream import BitReader, BitWriter
@@ -57,6 +58,7 @@ from .format import (
 
 __all__ = [
     "CompressedStream",
+    "Payload",
     "codec_name_for_stream",
     "frame_spec",
     "spec_for_stream",
@@ -64,9 +66,16 @@ __all__ = [
     "serialize_stream",
     "deserialize_stream",
     "deserialize_stream_with_spec",
+    "materialize_stream",
 ]
 
 CompressedStream = Union[CompressedImage, CompressedSImage]
+
+#: Payload bytes as stored (``bytes``) or as a zero-copy ``memoryview`` of
+#: the backend's mapping.  Deserialising a view keeps the chunk payloads as
+#: sub-views — no intermediate copies — which is what the readers'
+#: ``zero_copy`` path relies on; the decoders consume either form.
+Payload = Union[bytes, memoryview]
 
 
 def codec_name_for_stream(stream: CompressedStream) -> str:
@@ -189,8 +198,14 @@ def _check_plan(reader: BitReader, bank_name: str, scales: int) -> None:
         )
 
 
-def deserialize_stream_with_spec(payload: bytes) -> Tuple[CompressedStream, CodecSpec]:
-    """Reconstruct one frame payload's stream *and* its :class:`CodecSpec`."""
+def deserialize_stream_with_spec(payload: Payload) -> Tuple[CompressedStream, CodecSpec]:
+    """Reconstruct one frame payload's stream *and* its :class:`CodecSpec`.
+
+    ``payload`` may be ``bytes`` or a ``memoryview``; a view is never
+    copied — the returned stream's chunk payloads are sub-views of it, so
+    they remain valid only as long as the view's backing store does
+    (the reader holds its mapping open until :meth:`ArchiveReader.close`).
+    """
     if len(payload) < 4:
         raise ArchiveFormatError("frame payload shorter than its length prefix")
     (meta_len,) = struct.unpack_from("<I", payload, 0)
@@ -213,7 +228,9 @@ def deserialize_stream_with_spec(payload: bytes) -> Tuple[CompressedStream, Code
         bit_depth = reader.read_uint(8)
         position = 4 + meta_len
 
-        def take(length: int) -> bytes:
+        def take(length: int) -> Payload:
+            # Slicing keeps the input's form: bytes stay bytes, views stay
+            # views (zero-copy into the backend's mapping).
             nonlocal position
             data = payload[position : position + length]
             if len(data) != length:
@@ -277,13 +294,40 @@ def deserialize_stream_with_spec(payload: bytes) -> Tuple[CompressedStream, Code
     return stream, spec
 
 
-def deserialize_stream(payload: bytes) -> CompressedStream:
+def materialize_stream(stream: CompressedStream) -> CompressedStream:
+    """Ensure a stream's chunk payloads are self-contained ``bytes``.
+
+    A stream deserialised from a zero-copy view holds sub-views of the
+    reader's storage mapping: fast to decode, but not picklable (process
+    pools) and only valid while the mapping lives.  This copies any such
+    views into ``bytes`` **in place** and returns the stream; byte-backed
+    streams pass through untouched, so it is free on the copying path.
+    """
+    if isinstance(stream, CompressedImage):
+        stream.chunks[:] = [
+            chunk
+            if isinstance(chunk.payload, bytes) and isinstance(chunk.run_payload, bytes)
+            else _dc_replace(
+                chunk,
+                payload=bytes(chunk.payload),
+                run_payload=bytes(chunk.run_payload),
+            )
+            for chunk in stream.chunks
+        ]
+    else:
+        for key, data in stream.chunks.items():
+            if not isinstance(data, bytes):
+                stream.chunks[key] = bytes(data)
+    return stream
+
+
+def deserialize_stream(payload: Payload) -> CompressedStream:
     """Reconstruct the compressed stream from one archive frame payload."""
     stream, _ = deserialize_stream_with_spec(payload)
     return stream
 
 
-def payload_spec(payload: bytes) -> CodecSpec:
+def payload_spec(payload: Payload) -> CodecSpec:
     """Recover just the :class:`CodecSpec` from a payload's meta block.
 
     A triage entry point: answers "what configuration wrote these bytes"

@@ -58,7 +58,7 @@ from ..coding.pipeline import (
     compress_frames,
     decompress_frames,
 )
-from ..coding.spec import CodecSpec, reject_spec_overrides
+from ..coding.spec import CodecSpec, default_engine, reject_spec_overrides
 from .backend import RetryPolicy, StorageBackend
 from .format import (
     MANIFEST_MAGIC,
@@ -73,7 +73,7 @@ from .format import (
     unpack_manifest,
 )
 from .reader import ArchiveReader, FrameKey, VerifyReport
-from .serialize import CompressedStream
+from .serialize import CompressedStream, materialize_stream
 from .writer import ArchiveWriter
 
 __all__ = [
@@ -211,7 +211,10 @@ def is_sharded(path: PathLike) -> bool:
 
 
 def open_archive(
-    path: PathLike, engine: str = "fast", verify_checksums: bool = True
+    path: PathLike,
+    engine: Optional[str] = None,
+    verify_checksums: bool = True,
+    zero_copy: bool = True,
 ) -> Union[ArchiveReader, "ShardedArchiveReader"]:
     """Open a single archive *or* a sharded set, decided by the file magic.
 
@@ -219,8 +222,12 @@ def open_archive(
     kind of target transparently.
     """
     if is_sharded(path):
-        return ShardedArchiveReader(path, engine=engine, verify_checksums=verify_checksums)
-    return ArchiveReader(path, engine=engine, verify_checksums=verify_checksums)
+        return ShardedArchiveReader(
+            path, engine=engine, verify_checksums=verify_checksums, zero_copy=zero_copy
+        )
+    return ArchiveReader(
+        path, engine=engine, verify_checksums=verify_checksums, zero_copy=zero_copy
+    )
 
 
 def _read_manifest(path: Path) -> ShardManifest:
@@ -350,7 +357,7 @@ class ShardedArchiveWriter:
             spec = CodecSpec.from_kwargs(
                 codec=codec if codec is not None else "s-transform",
                 scales=scales if scales is not None else 4,
-                engine=engine if engine is not None else "fast",
+                engine=engine,
                 **codec_options,
             )
         else:
@@ -635,14 +642,17 @@ class ShardedArchiveReader:
     def __init__(
         self,
         path: PathLike,
-        engine: str = "fast",
+        engine: Optional[str] = None,
         verify_checksums: bool = True,
         retry: Optional[RetryPolicy] = None,
         backend_factory: Optional[Callable[[Path], StorageBackend]] = None,
+        zero_copy: bool = True,
     ) -> None:
         self.path = Path(path)
-        self.engine = engine
+        self.engine = engine if engine is not None else default_engine()
         self.verify_checksums = verify_checksums
+        #: Whether per-copy readers may serve payloads zero-copy (mmap).
+        self.zero_copy = bool(zero_copy)
         #: Retry policy handed to every per-copy reader (transient faults).
         self.retry = retry if retry is not None else RetryPolicy.none()
         #: Optional hook mapping a copy's path to the backend to open it
@@ -666,6 +676,7 @@ class ShardedArchiveReader:
         self._readers: Dict[int, ArchiveReader] = {}
         self._active: Dict[int, int] = {}
         self._retired_bytes = 0
+        self._retired_zero_copy = 0
         self._retry_count = 0
         self._lock = threading.RLock()
         self._entries: Optional[List[Tuple[int, FrameInfo]]] = None
@@ -695,6 +706,14 @@ class ShardedArchiveReader:
             )
 
     @property
+    def zero_copy_reads(self) -> int:
+        """Payload reads served zero-copy across every copy ever opened."""
+        with self._lock:
+            return self._retired_zero_copy + sum(
+                reader.zero_copy_reads for reader in self._readers.values()
+            )
+
+    @property
     def retries(self) -> int:
         """Transient faults absorbed by retry across every copy touched —
         including copies whose open ultimately failed (their reader never
@@ -715,6 +734,7 @@ class ShardedArchiveReader:
             verify_checksums=self.verify_checksums,
             retry=self.retry,
             on_retry=self._note_retry,
+            zero_copy=self.zero_copy,
         )
 
     def _fail_over(self, shard: int, failed_copy: int) -> bool:
@@ -734,6 +754,7 @@ class ShardedArchiveReader:
 
     def _retire(self, reader: ArchiveReader) -> None:
         self._retired_bytes += reader.bytes_read
+        self._retired_zero_copy += reader.zero_copy_reads
         try:
             reader.close()
         except Exception:  # pragma: no cover - best-effort close of a dead copy
@@ -892,8 +913,16 @@ class ShardedArchiveReader:
     def decode_all(
         self, keys: Optional[Sequence[FrameKey]] = None, workers: int = 1
     ) -> Tuple[List[np.ndarray], PipelineStats]:
-        """Decode every (selected) frame through the batched pipeline."""
-        return decompress_frames(self.to_batch(keys), workers=workers)
+        """Decode every (selected) frame through the batched pipeline.
+
+        With ``workers`` > 1 the streams are materialised to bytes first —
+        zero-copy views cannot cross the process-pool boundary.
+        """
+        batch = self.to_batch(keys)
+        if workers != 1:
+            for stream in batch.streams:
+                materialize_stream(stream)
+        return decompress_frames(batch, workers=workers)
 
     # -- integrity ----------------------------------------------------------------------
     def verify(

@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..coding.pipeline import CompressedBatch, PipelineStats, compress_frames
-from ..coding.spec import CodecSpec, reject_spec_overrides
+from ..coding.spec import CodecSpec, default_engine, reject_spec_overrides
 from .backend import StorageBackend, resolve_backend
 from .format import (
     HEADER_SIZE,
@@ -141,7 +141,8 @@ class ArchiveWriter:
     ) -> "ArchiveWriter":
         """Create a new archive at ``path`` (refuses to clobber unless told to).
 
-        Configuration defaults: s-transform codec, 4 scales, fast engine.
+        Configuration defaults: s-transform codec, 4 scales, and the
+        :func:`~repro.coding.spec.default_engine` entropy tier.
         Passing ``spec`` together with any explicit codec keyword is an
         error, never a silent override.
         """
@@ -149,7 +150,7 @@ class ArchiveWriter:
             spec = CodecSpec.from_kwargs(
                 codec=codec if codec is not None else "s-transform",
                 scales=scales if scales is not None else 4,
-                engine=engine if engine is not None else "fast",
+                engine=engine,
                 **codec_options,
             )
         else:
@@ -203,14 +204,14 @@ class ArchiveWriter:
                     # spec; explicit keywords still override field by field.
                     inherited = frame_spec(entries[-1])
                     spec = inherited.replace(
-                        engine=engine if engine is not None else "fast",
+                        engine=engine if engine is not None else default_engine(),
                         scales=scales if scales is not None else inherited.scales,
                     ).replace_options(**codec_options)
                 else:
                     spec = CodecSpec.from_kwargs(
                         codec=codec or "s-transform",
                         scales=scales if scales is not None else 4,
-                        engine=engine if engine is not None else "fast",
+                        engine=engine,
                         **codec_options,
                     )
             else:

@@ -32,10 +32,13 @@ from .pipeline import (
     max_dyadic_scales,
 )
 from .spec import (
+    ENGINE_NAMES,
+    TRANSFORM_ENGINE_NAMES,
     CodecFamily,
     CodecSpec,
     UnknownCodecError,
     codec_names,
+    default_engine,
     get_family,
     register_codec,
 )
@@ -54,6 +57,7 @@ from .huffman import (
     canonical_codes,
     huffman_decode,
     huffman_decode_scalar,
+    huffman_decode_turbo,
     huffman_encode,
     huffman_encode_scalar,
 )
@@ -64,7 +68,9 @@ from .rice import (
     rice_cost_matrix,
     rice_decode,
     rice_decode_array,
+    rice_decode_array_turbo,
     rice_decode_scalar,
+    rice_decode_turbo,
     rice_decode_value,
     rice_encode,
     rice_encode_scalar,
@@ -107,10 +113,13 @@ __all__ = [
     "decompress_frames",
     "encode_pipeline",
     "max_dyadic_scales",
+    "ENGINE_NAMES",
+    "TRANSFORM_ENGINE_NAMES",
     "CodecFamily",
     "CodecSpec",
     "UnknownCodecError",
     "codec_names",
+    "default_engine",
     "get_family",
     "register_codec",
     "ParallelExecutor",
@@ -127,6 +136,7 @@ __all__ = [
     "canonical_codes",
     "huffman_decode",
     "huffman_decode_scalar",
+    "huffman_decode_turbo",
     "huffman_encode",
     "huffman_encode_scalar",
     "flatten_pyramid",
@@ -138,7 +148,9 @@ __all__ = [
     "rice_cost_matrix",
     "rice_decode",
     "rice_decode_array",
+    "rice_decode_array_turbo",
     "rice_decode_scalar",
+    "rice_decode_turbo",
     "rice_decode_value",
     "rice_encode",
     "rice_encode_scalar",

@@ -39,7 +39,13 @@ from ..filters.qmf import BiorthogonalBank
 from ..fixedpoint.wordlength import WordLengthPlan, plan_word_lengths
 from ..fxdwt.transform import FixedPointDWT, FixedPointPyramid
 from .mapper import zigzag_decode, zigzag_encode
-from .rice import rice_decode_array, rice_decode_scalar, rice_encode, rice_encode_scalar
+from .rice import (
+    rice_decode_array,
+    rice_decode_array_turbo,
+    rice_decode_scalar,
+    rice_encode,
+    rice_encode_scalar,
+)
 from .rle import (
     LITERAL,
     ZERO_RUN,
@@ -135,9 +141,12 @@ class LosslessWaveletCodec:
     plan:
         Optional word-length plan override for the underlying transform.
     engine:
-        Entropy-coding implementation: ``"fast"`` (vectorised, the default)
-        or ``"scalar"`` (the bit-by-bit reference).  Both produce
-        byte-identical streams; either engine decodes the other's output.
+        Entropy-coding implementation tier: ``"fast"`` (vectorised),
+        ``"scalar"`` (the bit-by-bit reference) or ``"turbo"`` (prefix-LUT /
+        bit-window decoding; encoding reuses the fast encoders).  All tiers
+        produce byte-identical streams; any engine decodes any other's
+        output.  ``None`` (the default) resolves through
+        :func:`repro.coding.spec.default_engine`.
     """
 
     def __init__(
@@ -147,14 +156,22 @@ class LosslessWaveletCodec:
         bit_depth: int = 12,
         use_rle: bool = True,
         plan: Optional[WordLengthPlan] = None,
-        engine: str = "fast",
+        engine: Optional[str] = None,
     ) -> None:
+        # Imported here, not at module top: the registry module imports this
+        # one while it initialises (see spec._register_builtin_families).
+        from .spec import ENGINE_NAMES, default_engine
+
         if isinstance(bank, str):
             bank = get_bank(bank)
         if bit_depth < 1 or bit_depth > 16:
             raise ValueError("bit_depth must be in [1, 16]")
-        if engine not in ("fast", "scalar"):
-            raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'scalar')")
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {ENGINE_NAMES})"
+            )
         self.bank = bank
         self.scales = scales
         self.bit_depth = bit_depth
@@ -240,9 +257,14 @@ class LosslessWaveletCodec:
         return self.encode_pyramid(pyramid, image.shape)
 
     def _rice_encode(self, symbols: np.ndarray) -> bytes:
-        return rice_encode(symbols) if self.engine == "fast" else rice_encode_scalar(symbols)
+        # The turbo tier is decode-side: its encoders are the fast ones.
+        if self.engine == "scalar":
+            return rice_encode_scalar(symbols)
+        return rice_encode(symbols)
 
     def _rice_decode(self, payload: bytes) -> np.ndarray:
+        if self.engine == "turbo":
+            return rice_decode_array_turbo(payload)
         if self.engine == "fast":
             return rice_decode_array(payload)
         return np.asarray(rice_decode_scalar(payload), dtype=np.int64)
@@ -256,10 +278,10 @@ class LosslessWaveletCodec:
             # event kinds need no extra bitmap because a literal of value 0
             # never occurs (zeros always join runs), so a 0 in the run stream
             # unambiguously marks the next literal.
-            if self.engine == "fast":
-                run_symbols, literals = rle_encode_arrays(flat)
-            else:
+            if self.engine == "scalar":
                 run_symbols, literals = events_to_arrays(rle_encode(flat))
+            else:
+                run_symbols, literals = rle_encode_arrays(flat)
             payload = self._rice_encode(zigzag_encode(literals))
             run_payload = self._rice_encode(run_symbols)
             return SubbandChunk(
@@ -289,7 +311,7 @@ class LosslessWaveletCodec:
         if chunk.use_rle:
             run_symbols = self._rice_decode(chunk.run_payload)
             literals = zigzag_decode(self._rice_decode(chunk.payload))
-            if self.engine == "fast":
+            if self.engine != "scalar":
                 flat = rle_decode_arrays(run_symbols, literals)
             else:
                 events: List[RleEvent] = []

@@ -28,6 +28,11 @@ from __future__ import annotations
 
 import numpy as np
 
+try:  # pragma: no cover - optional compiled tier (numba is not a dependency)
+    from numba import njit as _njit
+except Exception:  # pragma: no cover - the numpy paths are the supported tier
+    _njit = None
+
 __all__ = [
     "pack_bits",
     "unpack_bits",
@@ -35,6 +40,7 @@ __all__ = [
     "pack_uint_fields",
     "read_uint",
     "read_uints",
+    "bit_windows64",
     "orbit",
 ]
 
@@ -119,8 +125,47 @@ def read_uints(bits: np.ndarray, offset: int, count: int, width: int) -> np.ndar
     return block @ weights
 
 
+def bit_windows64(data) -> np.ndarray:
+    """64-bit big-endian bit windows of a byte stream, one per byte offset.
+
+    ``windows[i]`` holds bits ``8 * i .. 8 * i + 63`` of the stream (MSB
+    first), zero-padded past the end — so
+    ``(windows[p >> 3] << (p & 7)) >> (64 - w)`` peeks the ``w``-bit
+    big-endian field at *any* bit position ``p`` (``w <= 57``) with two
+    gathers.  The turbo decoders use this to read every candidate code word
+    or remainder field of a block in one vector expression instead of one
+    shift/or pass per bit.  Accepts anything :func:`numpy.frombuffer` does
+    (``bytes``, ``bytearray``, ``memoryview`` — no copy of the input).
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = raw.size
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+    padded = np.zeros(n + 8, dtype=np.uint64)
+    padded[:n] = raw
+    windows = np.zeros(n, dtype=np.uint64)
+    for i in range(8):
+        windows |= padded[i : i + n] << np.uint64(56 - 8 * i)
+    return windows
+
+
 #: Block size of the :func:`orbit` jump table (must be a power of two).
 _ORBIT_BLOCK = 32
+
+
+if _njit is not None:  # pragma: no cover - exercised only when numba is installed
+
+    @_njit(cache=True)
+    def _orbit_walk_jit(successor, start, count):  # type: ignore[misc]
+        out = np.empty(count, dtype=np.int64)
+        position = start
+        for i in range(count):
+            out[i] = position
+            position = successor[position]
+        return out
+
+else:
+    _orbit_walk_jit = None
 
 
 def orbit(successor: np.ndarray, start: int, count: int) -> np.ndarray:
@@ -136,6 +181,10 @@ def orbit(successor: np.ndarray, start: int, count: int) -> np.ndarray:
     if count <= 0:
         return np.zeros(0, dtype=np.int64)
     successor = np.asarray(successor)
+    if _orbit_walk_jit is not None:  # pragma: no cover - optional numba tier
+        # Same walk, compiled: the cache-JIT'd kernel beats the blocked jump
+        # table outright, and its output is identical by construction.
+        return _orbit_walk_jit(np.ascontiguousarray(successor), start, count)
     if count <= 4 * _ORBIT_BLOCK:
         out = np.empty(count, dtype=np.int64)
         position = start
@@ -143,9 +192,12 @@ def orbit(successor: np.ndarray, start: int, count: int) -> np.ndarray:
             out[i] = position
             position = int(successor[position])
         return out
+    # ``take(mode="clip")`` skips numpy's per-element bounds check (and the
+    # int32 -> intp index conversion of fancy indexing); the contract above
+    # guarantees every index is in range, so "clip" never alters a value.
     block_jump = successor
     for _ in range(_ORBIT_BLOCK.bit_length() - 1):
-        block_jump = block_jump[block_jump]
+        block_jump = block_jump.take(block_jump, mode="clip")
     anchor_count = -(-count // _ORBIT_BLOCK)
     anchors = np.empty(anchor_count, dtype=np.int64)
     position = start
@@ -156,6 +208,6 @@ def orbit(successor: np.ndarray, start: int, count: int) -> np.ndarray:
     lanes[0] = anchors
     current = anchors.astype(successor.dtype, copy=False)
     for step in range(1, _ORBIT_BLOCK):
-        current = successor[current]
+        current = successor.take(current, mode="clip")
         lanes[step] = current
     return lanes.T.reshape(-1)[:count]

@@ -32,7 +32,15 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from .bitstream import BitReader, BitWriter
-from .fastbits import orbit, pack_bits, pack_uint_fields, read_uint, read_uints, unpack_bits
+from .fastbits import (
+    bit_windows64,
+    orbit,
+    pack_bits,
+    pack_uint_fields,
+    read_uint,
+    read_uints,
+    unpack_bits,
+)
 
 __all__ = [
     "HuffmanCode",
@@ -40,6 +48,7 @@ __all__ = [
     "canonical_codes",
     "huffman_encode",
     "huffman_decode",
+    "huffman_decode_turbo",
     "huffman_encode_scalar",
     "huffman_decode_scalar",
 ]
@@ -265,6 +274,97 @@ def huffman_decode(data: bytes) -> List[int]:
     if int(positions[-1] + steps[-1]) > usable:
         raise EOFError("bitstream exhausted")
     return symbols_sorted[entry[positions]].tolist()
+
+
+#: Widest code the turbo prefix table covers (2^L LUT entries); canonical
+#: codes longer than this fall back to :func:`huffman_decode`.  16 bits is
+#: far beyond what the < 64-symbol category alphabets ever produce.
+_TURBO_MAX_CODE_LENGTH = 16
+
+
+def huffman_decode_turbo(data) -> List[int]:
+    """Inverse of :func:`huffman_encode` (prefix-LUT turbo tier).
+
+    Same stream contract as :func:`huffman_decode`, decoded roughly 2-3x
+    faster: instead of assembling a ``max_length``-bit peek with one shift/or
+    pass per bit and classifying it with ``searchsorted`` over the code
+    boundaries, the turbo tier reads a 64-bit window at every payload bit
+    position (:func:`~repro.coding.fastbits.bit_windows64`) and resolves it
+    through a dense ``2^max_length``-entry prefix table built once per block
+    (symbol, code length and validity per possible peek — the classification
+    collapses to three gathers).  The sequential walk is still
+    :func:`~repro.coding.fastbits.orbit`; accepts ``bytes`` or
+    ``memoryview`` without copying the payload.
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    nbytes = raw.size
+    if nbytes < 2:
+        raise EOFError("bitstream exhausted")
+    alphabet = (int(raw[0]) << 8) | int(raw[1])
+    header_bits = 16 + 5 * alphabet + 32
+    header_bytes = (header_bits + 7) // 8
+    if header_bytes > nbytes:
+        raise EOFError("bitstream exhausted")
+    head = np.unpackbits(raw[:header_bytes])
+    length_table = read_uints(head, 16, alphabet, 5)
+    offset = 16 + 5 * alphabet
+    count = read_uint(head, offset, 32)
+    offset += 32
+    if count == 0:
+        return []
+    lengths = {int(s): int(l) for s, l in enumerate(length_table) if l}
+    if not lengths:
+        raise ValueError("corrupt Huffman stream (no code table)")
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    max_length = int(ordered[-1][1])
+    if max_length > _TURBO_MAX_CODE_LENGTH:
+        return huffman_decode(data)
+    codes = canonical_codes(lengths)
+    symbols_sorted = np.asarray([s for s, _ in ordered], dtype=np.int64)
+    lengths_sorted = np.asarray([l for _, l in ordered], dtype=np.int64)
+    left_justified = np.asarray(
+        [codes[s][0] << (max_length - l) for s, l in ordered], dtype=np.int64
+    )
+    nbits = 8 * nbytes
+    usable = nbits - offset
+    if usable <= 0:
+        raise EOFError("bitstream exhausted")
+    # Dense prefix table over every possible max_length-bit peek.
+    values = np.arange(1 << max_length, dtype=np.int64)
+    entry_lut = np.searchsorted(left_justified, values, side="right") - 1
+    length_lut = lengths_sorted[entry_lut].astype(np.int32)
+    valid_lut = (values - left_justified[entry_lut]) < (
+        np.int64(1) << (max_length - lengths_sorted[entry_lut])
+    )
+    symbol_lut = symbols_sorted[entry_lut]
+    # Peek max_length bits at every payload position via the 64-bit windows
+    # (zero-padded past the stream end, matching the fast decoder's
+    # zero-padded peek).  Bit position p = 8 * (p >> 3) + (p & 7) sees
+    # window (p >> 3) advanced by phase (p & 7), so eight scalar-shift
+    # passes — one per phase, interleaved by the reshape — cover every
+    # position without per-element shift amounts.
+    windows = bit_windows64(raw)
+    mask = np.uint64((1 << max_length) - 1)
+    phased = np.empty((nbytes, 8), dtype=np.int32)
+    for phase in range(8):
+        phased[:, phase] = (
+            (windows >> np.uint64(64 - max_length - phase)) & mask
+        ).astype(np.int32)
+    peek = phased.reshape(-1)[offset : offset + usable]
+    # peek is masked into [0, 2^max_length), so the unchecked gather is safe.
+    step = length_lut.take(peek, mode="clip")
+    successor = np.minimum(
+        np.arange(usable, dtype=np.int32) + step, np.int32(usable - 1)
+    )
+    positions = orbit(successor, 0, count)
+    if not valid_lut[peek[positions]].all():
+        raise ValueError("corrupt Huffman stream (no code within 32 bits)")
+    steps = step[positions].astype(np.int64)
+    if count > 1 and np.any(np.diff(positions) != steps[:-1]):
+        raise EOFError("bitstream exhausted")
+    if int(positions[-1] + steps[-1]) > usable:
+        raise EOFError("bitstream exhausted")
+    return symbol_lut[peek[positions]].tolist()
 
 
 # ---------------------------------------------------------------------------

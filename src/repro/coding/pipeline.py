@@ -586,7 +586,9 @@ def _resolve_spec(
     return CodecSpec.from_kwargs(
         codec=codec if codec is not None else "s-transform",
         scales=scales if scales is not None else 4,
-        engine=engine if engine is not None else "fast",
+        # None falls through to CodecSpec's default_engine() resolution
+        # (fast, unless REPRO_ENGINE forces a tier).
+        engine=engine,
         transform=transform if transform is not None else "software",
         transform_engine=transform_engine if transform_engine is not None else "fast",
         **codec_options,
@@ -647,9 +649,11 @@ def compress_frames(
     The configuration is either a ready-made ``spec``
     (:class:`~repro.coding.spec.CodecSpec`) or the legacy keywords, which
     are folded into one via :meth:`CodecSpec.from_kwargs` (omitted
-    keywords mean s-transform codec, 4 scales, fast engines, software
-    transform).  Passing ``spec`` together with any explicit keyword is an
-    error, never a silent override.
+    keywords mean s-transform codec, 4 scales, software transform and the
+    :func:`~repro.coding.spec.default_engine` entropy tier — ``fast``, or
+    ``scalar``/``turbo`` when ``REPRO_ENGINE`` forces one).  Passing
+    ``spec`` together with any explicit keyword is an error, never a
+    silent override.
 
     ``workers=N`` (N > 1) shards the batch across a process pool
     (:class:`~repro.coding.executor.ParallelExecutor`); the streams are

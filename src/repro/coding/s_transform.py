@@ -26,12 +26,18 @@ number is derived from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .mapper import zigzag_decode, zigzag_encode
-from .rice import rice_decode_array, rice_decode_scalar, rice_encode, rice_encode_scalar
+from .rice import (
+    rice_decode_array,
+    rice_decode_array_turbo,
+    rice_decode_scalar,
+    rice_encode,
+    rice_encode_scalar,
+)
 
 __all__ = [
     "s_transform_forward_1d",
@@ -168,19 +174,31 @@ class CompressedSImage:
 class STransformCodec:
     """Compressive lossless codec: integer S-transform + zig-zag + Rice.
 
-    ``engine`` selects the entropy-coding implementation: ``"fast"`` (the
-    vectorised :mod:`repro.coding.fastbits`-based coder, the default) or
-    ``"scalar"`` (the bit-by-bit reference).  Both produce byte-identical
-    streams; either engine decodes the other's output.
+    ``engine`` selects the entropy-coding implementation tier: ``"fast"``
+    (the vectorised :mod:`repro.coding.fastbits`-based coder), ``"scalar"``
+    (the bit-by-bit reference) or ``"turbo"`` (bit-window decoding; encoding
+    reuses the fast encoders).  All tiers produce byte-identical streams;
+    any engine decodes any other's output.  ``None`` (the default) resolves
+    through :func:`repro.coding.spec.default_engine`.
     """
 
-    def __init__(self, scales: int = 4, bit_depth: int = 12, engine: str = "fast") -> None:
+    def __init__(
+        self, scales: int = 4, bit_depth: int = 12, engine: Optional[str] = None
+    ) -> None:
+        # Imported here, not at module top: the registry module imports this
+        # one while it initialises (see spec._register_builtin_families).
+        from .spec import ENGINE_NAMES, default_engine
+
         if scales < 1:
             raise ValueError("scales must be >= 1")
         if not 1 <= bit_depth <= 16:
             raise ValueError("bit_depth must be in [1, 16]")
-        if engine not in ("fast", "scalar"):
-            raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'scalar')")
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {ENGINE_NAMES})"
+            )
         self.scales = scales
         self.bit_depth = bit_depth
         self.engine = engine
@@ -251,7 +269,8 @@ class STransformCodec:
     ) -> None:
         flat = np.asarray(band, dtype=np.int64).ravel()
         symbols = zigzag_encode(flat)
-        encode = rice_encode if self.engine == "fast" else rice_encode_scalar
+        # The turbo tier is decode-side: its encoder is the fast one.
+        encode = rice_encode_scalar if self.engine == "scalar" else rice_encode
         compressed.chunks[(kind, scale)] = encode(symbols)
         compressed.shapes[(kind, scale)] = (int(band.shape[0]), int(band.shape[1]))
 
@@ -263,7 +282,9 @@ class STransformCodec:
             shape = compressed.shapes[(kind, scale)]
         except KeyError as exc:
             raise KeyError(f"compressed stream has no subband {kind}@{scale}") from exc
-        if self.engine == "fast":
+        if self.engine == "turbo":
+            symbols = rice_decode_array_turbo(payload)
+        elif self.engine == "fast":
             symbols = rice_decode_array(payload)
         else:
             symbols = np.asarray(rice_decode_scalar(payload), dtype=np.int64)

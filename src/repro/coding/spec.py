@@ -28,6 +28,7 @@ the compatibility shim every public entry point funnels through.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -35,7 +36,9 @@ from ..filters.qmf import BiorthogonalBank
 
 __all__ = [
     "ENGINE_NAMES",
+    "TRANSFORM_ENGINE_NAMES",
     "TRANSFORM_NAMES",
+    "default_engine",
     "UnknownCodecError",
     "CodecFamily",
     "register_codec",
@@ -47,11 +50,33 @@ __all__ = [
     "CodecSpec",
 ]
 
-#: Entropy-coding / accelerator engine implementations every codec ships.
-ENGINE_NAMES = ("fast", "scalar")
+#: Entropy-coding engine tiers every codec ships: ``"fast"`` (vectorised
+#: NumPy), ``"scalar"`` (bit-by-bit reference) and ``"turbo"`` (prefix-LUT /
+#: bit-window decode; encoding reuses the fast encoders).  All tiers are
+#: byte-identical on the wire.
+ENGINE_NAMES = ("fast", "scalar", "turbo")
+
+#: Accelerator engine implementations (:data:`repro.arch.accelerator.ENGINES`);
+#: the architecture model has no turbo tier, so ``transform_engine`` is
+#: validated against this narrower set.
+TRANSFORM_ENGINE_NAMES = ("fast", "scalar")
 
 #: Transform-stage back ends of the pipeline.
 TRANSFORM_NAMES = ("software", "accelerator")
+
+
+def default_engine() -> str:
+    """The process-wide default entropy-coding engine.
+
+    ``"fast"`` unless the ``REPRO_ENGINE`` environment variable forces a
+    tier — the seam the CI engine matrix uses to run the whole coding and
+    archive suites under each tier without touching any call site.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "").strip()
+    if not engine:
+        return "fast"
+    _check_engine("REPRO_ENGINE engine", engine)
+    return engine
 
 
 class UnknownCodecError(ValueError):
@@ -182,10 +207,12 @@ _register_builtin_families()
 # CodecSpec
 # ---------------------------------------------------------------------------
 
-def _check_engine(label: str, engine: str) -> None:
-    if engine not in ENGINE_NAMES:
+def _check_engine(
+    label: str, engine: str, allowed: Tuple[str, ...] = ENGINE_NAMES
+) -> None:
+    if engine not in allowed:
         raise ValueError(
-            f"unknown {label} {engine!r} (expected one of {ENGINE_NAMES})"
+            f"unknown {label} {engine!r} (expected one of {allowed})"
         )
 
 
@@ -201,12 +228,17 @@ class CodecSpec:
         Requested decomposition depth (clamped per frame by the pipeline to
         what each frame's geometry supports).
     engine:
-        Entropy-coding engine, ``"fast"`` or ``"scalar"``.
+        Entropy-coding engine tier, ``"fast"``, ``"scalar"`` or ``"turbo"``
+        (all byte-identical on the wire).  ``None`` (the default) resolves
+        through :func:`default_engine`, i.e. ``"fast"`` unless the
+        ``REPRO_ENGINE`` environment variable forces a tier.
     transform:
         Transform back end, ``"software"`` or ``"accelerator"`` (the latter
         only for families with ``supports_accelerator``).
     transform_engine:
-        Accelerator engine when ``transform="accelerator"``.
+        Accelerator engine when ``transform="accelerator"`` — ``"fast"`` or
+        ``"scalar"`` only (:data:`TRANSFORM_ENGINE_NAMES`); the architecture
+        model has no turbo tier.
     bit_depth:
         Input image bit depth.
     bank:
@@ -232,7 +264,7 @@ class CodecSpec:
 
     codec: str = "s-transform"
     scales: int = 4
-    engine: str = "fast"
+    engine: Optional[str] = None
     transform: str = "software"
     transform_engine: str = "fast"
     bit_depth: int = 12
@@ -246,8 +278,10 @@ class CodecSpec:
             raise ValueError("scales must be >= 1")
         if not 1 <= self.bit_depth <= 16:
             raise ValueError("bit_depth must be in [1, 16]")
+        if self.engine is None:
+            object.__setattr__(self, "engine", default_engine())
         _check_engine("engine", self.engine)
-        _check_engine("transform_engine", self.transform_engine)
+        _check_engine("transform_engine", self.transform_engine, TRANSFORM_ENGINE_NAMES)
         if self.transform not in TRANSFORM_NAMES:
             raise ValueError(
                 f"unknown transform {self.transform!r} "
@@ -372,7 +406,7 @@ class CodecSpec:
         cls,
         codec: str = "s-transform",
         scales: int = 4,
-        engine: str = "fast",
+        engine: Optional[str] = None,
         transform: str = "software",
         transform_engine: str = "fast",
         **codec_options: Any,

@@ -5,6 +5,7 @@ import pytest
 
 from repro.coding.bitstream import BitReader, BitWriter
 from repro.coding.fastbits import (
+    bit_windows64,
     orbit,
     pack_bits,
     pack_uint_fields,
@@ -66,6 +67,65 @@ class TestUintFields:
             read_uint(bits, 0, 16)
         with pytest.raises(EOFError):
             read_uints(bits, 0, 3, 4)
+
+
+class TestEdgeWidths:
+    """Zero-width fields, wide (>= 32-bit) fields, and empty field groups."""
+
+    def test_width_zero_reads(self):
+        bits = unpack_bits(b"\xff")
+        assert read_uint(bits, 0, 0) == 0
+        assert read_uints(bits, 0, 5, 0).tolist() == [0, 0, 0, 0, 0]
+        # Zero total bits means no stream access at all — even past the end.
+        assert read_uints(bits, 8, 4, 0).tolist() == [0, 0, 0, 0]
+
+    def test_width_zero_pack(self):
+        assert pack_uint_fields([0, 0], [0, 0]).size == 0
+        # A zero-width field can only hold the value 0.
+        with pytest.raises(ValueError):
+            pack_uint_fields([1], [0])
+        # Mixed widths: the zero-width field vanishes from the stream.
+        bits = pack_uint_fields([0, 9], [0, 4])
+        assert read_uint(bits, 0, 4) == 9
+
+    @pytest.mark.parametrize("width", [32, 40, 57, 62])
+    def test_wide_fields_roundtrip(self, rng, width):
+        values = rng.integers(0, np.int64(1) << min(width, 62), size=8)
+        bits = pack_uint_fields(values, width)
+        assert np.array_equal(read_uints(bits, 0, 8, width), values)
+        assert read_uint(bits, 0, width) == int(values[0])
+
+    def test_wide_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_uint_fields([1 << 32], [32])
+
+    def test_empty_field_group(self):
+        assert pack_uint_fields([], []).size == 0
+        assert read_uints(unpack_bits(b""), 0, 0, 7).size == 0
+        assert ragged_arange([0, 0, 0]).size == 0
+
+
+class TestBitWindows64:
+    def test_empty_stream(self):
+        assert bit_windows64(b"").size == 0
+
+    def test_single_byte_is_left_justified(self):
+        assert bit_windows64(b"\x80")[0] == np.uint64(1) << np.uint64(63)
+
+    def test_peek_matches_read_uint(self, rng):
+        data = rng.integers(0, 256, size=25, dtype=np.uint8).tobytes()
+        bits = unpack_bits(data)
+        windows = bit_windows64(data)
+        for position in range(0, 8 * len(data) - 13):
+            peek = int(
+                (windows[position >> 3] << np.uint64(position & 7))
+                >> np.uint64(64 - 13)
+            )
+            assert peek == read_uint(bits, position, 13)
+
+    def test_accepts_memoryview_without_copy(self):
+        data = bytes(range(16))
+        assert np.array_equal(bit_windows64(memoryview(data)), bit_windows64(data))
 
 
 class TestOrbit:

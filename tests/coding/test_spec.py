@@ -97,13 +97,33 @@ class TestRegistry:
 
 
 class TestValidation:
-    def test_defaults(self):
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         spec = CodecSpec()
         assert spec.codec == "s-transform"
         assert spec.scales == 4
         assert spec.engine == "fast"
         assert spec.transform == "software"
         assert spec.bank is None and spec.use_rle is None
+
+    def test_engine_default_resolves_through_environment(self, monkeypatch):
+        from repro.coding.spec import default_engine
+
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        assert default_engine() == "turbo"
+        assert CodecSpec().engine == "turbo"
+        # An explicit engine always beats the environment override.
+        assert CodecSpec(engine="scalar").engine == "scalar"
+        monkeypatch.setenv("REPRO_ENGINE", "simd")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            CodecSpec()
+
+    def test_turbo_engine_accepted_entropy_only(self):
+        assert CodecSpec(engine="turbo").engine == "turbo"
+        # The accelerator model has no turbo tier: transform_engine keeps
+        # the narrower fast/scalar validation.
+        with pytest.raises(ValueError, match="transform_engine"):
+            CodecSpec(codec="coefficient", transform_engine="turbo")
 
     def test_coefficient_normalises_bank_and_rle(self):
         spec = CodecSpec(codec="coefficient")

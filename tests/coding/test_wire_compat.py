@@ -1,9 +1,10 @@
-"""Bitstream wire-compatibility: vectorised engine vs scalar reference.
+"""Bitstream wire-compatibility: every engine tier against every other.
 
-Every block coder ships two implementations; these tests pin the contract
-that they are drop-in interchangeable at the byte level — identical encoded
-streams, and each decoder accepts the other encoder's output — on random
-inputs and on phantom-image workloads.
+Every block coder ships a vectorised (``fast``) and a bit-by-bit
+(``scalar``) implementation, plus a table-driven ``turbo`` decode tier;
+these tests pin the contract that they are drop-in interchangeable at the
+byte level — identical encoded streams, and each decoder accepts each
+encoder's output — on random inputs and on phantom-image workloads.
 """
 
 import numpy as np
@@ -13,6 +14,7 @@ from repro.coding.codec import LosslessWaveletCodec
 from repro.coding.huffman import (
     huffman_decode,
     huffman_decode_scalar,
+    huffman_decode_turbo,
     huffman_encode,
     huffman_encode_scalar,
 )
@@ -20,6 +22,7 @@ from repro.coding.mapper import zigzag_encode
 from repro.coding.rice import (
     rice_decode,
     rice_decode_scalar,
+    rice_decode_turbo,
     rice_encode,
     rice_encode_scalar,
 )
@@ -60,11 +63,18 @@ class TestRiceWireCompat:
     def test_scalar_encode_fast_decode(self, symbols):
         assert rice_decode(rice_encode_scalar(symbols)) == symbols.tolist()
 
-    @pytest.mark.parametrize("k", [0, 1, 5, 11])
+    def test_turbo_decode_matches_both_encoders(self, symbols):
+        assert rice_decode_turbo(rice_encode(symbols)) == symbols.tolist()
+        assert rice_decode_turbo(rice_encode_scalar(symbols)) == symbols.tolist()
+
+    @pytest.mark.parametrize("k", [0, 1, 5, 11, 18, 26])
     def test_explicit_parameter(self, rng, k):
         symbols = rng.integers(0, 2000, size=400)
         assert rice_encode(symbols, k=k) == rice_encode_scalar(symbols, k=k)
         assert rice_decode(rice_encode_scalar(symbols, k=k)) == symbols.tolist()
+        # Turbo's adaptive run-scan/remainder strategies switch on k; every
+        # branch must land on the same symbols.
+        assert rice_decode_turbo(rice_encode(symbols, k=k)) == symbols.tolist()
 
 
 class TestHuffmanWireCompat:
@@ -86,6 +96,21 @@ class TestHuffmanWireCompat:
 
     def test_scalar_encode_fast_decode(self, symbols):
         assert huffman_decode(huffman_encode_scalar(symbols)) == symbols.tolist()
+
+    def test_turbo_decode_matches_both_encoders(self, symbols):
+        assert huffman_decode_turbo(huffman_encode(symbols)) == symbols.tolist()
+        assert huffman_decode_turbo(huffman_encode_scalar(symbols)) == symbols.tolist()
+
+    def test_turbo_long_code_fallback(self):
+        # Fibonacci frequencies build a maximally skewed tree whose longest
+        # code exceeds the turbo LUT cap; the decoder must fall back to the
+        # fast path and still agree byte for byte.
+        counts = [1, 1]
+        while len(counts) < 22:
+            counts.append(counts[-1] + counts[-2])
+        symbols = np.repeat(np.arange(len(counts)), counts)
+        encoded = huffman_encode(symbols)
+        assert huffman_decode_turbo(encoded) == huffman_decode(encoded)
 
 
 class TestRleWireCompat:
@@ -131,6 +156,9 @@ class TestRleWireCompat:
         assert literals.tolist() == literals_ref.tolist()
 
 
+ENGINES = ("fast", "scalar", "turbo")
+
+
 class TestSTransformCodecWireCompat:
     @pytest.mark.parametrize(
         "image_factory",
@@ -139,13 +167,14 @@ class TestSTransformCodecWireCompat:
     )
     def test_engines_byte_identical_and_cross_decode(self, image_factory):
         image = image_factory(64)
-        fast = STransformCodec(scales=3, engine="fast")
-        scalar = STransformCodec(scales=3, engine="scalar")
-        stream_fast = fast.encode(image)
-        stream_scalar = scalar.encode(image)
-        assert stream_fast.chunks == stream_scalar.chunks
-        assert np.array_equal(fast.decode(stream_scalar), image)
-        assert np.array_equal(scalar.decode(stream_fast), image)
+        codecs = {name: STransformCodec(scales=3, engine=name) for name in ENGINES}
+        streams = {name: codec.encode(image) for name, codec in codecs.items()}
+        for name in ENGINES[1:]:
+            assert streams[name].chunks == streams["fast"].chunks
+        # Full cross matrix: every tier decodes every tier's stream.
+        for codec in codecs.values():
+            for stream in streams.values():
+                assert np.array_equal(codec.decode(stream), image)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
@@ -161,13 +190,16 @@ class TestLosslessCodecWireCompat:
     )
     def test_engines_byte_identical_and_cross_decode(self, image_factory, use_rle):
         image = image_factory(32)
-        fast = LosslessWaveletCodec("F2", scales=2, use_rle=use_rle, engine="fast")
-        scalar = LosslessWaveletCodec("F2", scales=2, use_rle=use_rle, engine="scalar")
-        stream_fast = fast.encode(image)
-        stream_scalar = scalar.encode(image)
-        assert stream_fast.chunks == stream_scalar.chunks
-        assert np.array_equal(fast.decode(stream_scalar), image)
-        assert np.array_equal(scalar.decode(stream_fast), image)
+        codecs = {
+            name: LosslessWaveletCodec("F2", scales=2, use_rle=use_rle, engine=name)
+            for name in ENGINES
+        }
+        streams = {name: codec.encode(image) for name, codec in codecs.items()}
+        for name in ENGINES[1:]:
+            assert streams[name].chunks == streams["fast"].chunks
+        for codec in codecs.values():
+            for stream in streams.values():
+                assert np.array_equal(codec.decode(stream), image)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
