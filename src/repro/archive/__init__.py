@@ -30,6 +30,12 @@ can be located, checksummed and decoded without reading anything else:
     copy, and :func:`repair_set` rebuilds damaged copies from healthy
     siblings.  :class:`FaultInjectionBackend` makes every failure mode a
     deterministic, seeded test.
+``ArchiveService`` / ``ArchiveHTTPServer`` / ``serve``
+    Asyncio HTTP front end (:mod:`repro.archive.server`): frame decodes
+    (hot-frame LRU cache), ``Range:`` payload slice reads, manifest/stats
+    JSON and streaming ingest over HTTP/1.1 — per-shard bounded worker
+    queues between the sockets and the readers, the failure ladder mapped
+    to status codes (503 + ``Retry-After`` for persistent damage).
 ``FrameInfo``
     One frame's index entry (geometry, codec/filter/word-length metadata,
     payload location and CRC-32).
@@ -45,6 +51,7 @@ A CLI front end runs the scenario end to end against real files::
     python -m repro.archive list set.dwts
     python -m repro.archive extract set.dwts slice_004 -o slice.pgm
     python -m repro.archive verify set.dwts --deep --workers 4
+    python -m repro.archive serve set.dwts --port 8765
 """
 
 from .backend import (
@@ -64,6 +71,7 @@ from .format import (
     ArchiveError,
     ArchiveFormatError,
     ArchiveIntegrityError,
+    ArchiveTruncatedError,
     FrameInfo,
     ShardManifest,
     TruncatedArchiveError,
@@ -100,6 +108,13 @@ from .sharding import (
     open_archive,
     write_manifest,
 )
+from .server import (
+    ArchiveHTTPServer,
+    ArchiveService,
+    HotFrameCache,
+    HTTPError,
+    serve,
+)
 from .writer import ArchiveWriter
 
 __all__ = [
@@ -110,6 +125,7 @@ __all__ = [
     "ArchiveFormatError",
     "ArchiveIntegrityError",
     "TruncatedArchiveError",
+    "ArchiveTruncatedError",
     "FrameInfo",
     "ShardManifest",
     "StorageBackend",
@@ -146,4 +162,9 @@ __all__ = [
     "deserialize_stream_with_spec",
     "frame_spec",
     "spec_for_stream",
+    "ArchiveService",
+    "ArchiveHTTPServer",
+    "HotFrameCache",
+    "HTTPError",
+    "serve",
 ]

@@ -33,8 +33,15 @@ Runs the medical-archive scenario end to end against real files:
     iff every shard is healthy afterwards (``--json`` for the per-shard
     ``ok``/``repaired``/``damaged`` statuses).
 
-``list``, ``extract``, ``verify`` and ``repair`` accept either a single
-container or a shard-set manifest — told apart by their magic bytes.
+``serve``
+    Run the asyncio HTTP front end (:mod:`repro.archive.server`) on an
+    archive or sharded/replicated set: frame decodes with a hot-frame
+    cache, ``Range:`` payload slice reads, manifest/stats JSON, streaming
+    ingest — ``--readonly`` rejects ingest, ``--cache-bytes 0`` disables
+    the cache.  Runs until interrupted (Ctrl-C exits cleanly).
+
+``list``, ``extract``, ``verify``, ``repair`` and ``serve`` accept either a
+single container or a shard-set manifest — told apart by their magic bytes.
 
 Exit status is 0 on success and 1 on any archive error (bad format,
 truncation, checksum mismatch), reported as a single-line message on
@@ -227,6 +234,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repair.add_argument(
         "--json", action="store_true", help="machine-readable repair report"
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve the archive over HTTP (asyncio, stdlib only)"
+    )
+    serve_cmd.add_argument("archive", help="archive file or shard-set manifest")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765; 0 = ephemeral)"
+    )
+    serve_cmd.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 << 20,
+        metavar="N",
+        help="hot-frame cache budget in bytes (default 64 MiB; 0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="reader worker tasks per shard (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=16,
+        help="per-shard request queue bound (default 16; a full queue "
+        "defers new requests instead of growing unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--readonly",
+        action="store_true",
+        help="reject POST /ingest with 403 (serve a frozen set)",
+    )
+    serve_cmd.add_argument(
+        "--engine",
+        choices=("fast", "scalar", "turbo"),
+        default=None,
+        help="decode engine tier (default: REPRO_ENGINE or fast)",
     )
     return parser
 
@@ -575,12 +622,49 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ArchiveHTTPServer, ArchiveService
+
+    async def run() -> None:
+        service = ArchiveService(
+            args.archive,
+            cache_bytes=args.cache_bytes,
+            workers_per_shard=args.workers,
+            queue_depth=args.queue_depth,
+            readonly=args.readonly,
+            engine=args.engine,
+        )
+        server = ArchiveHTTPServer(service, host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {args.archive} ({service.kind}, "
+            f"{service.shard_count} shard(s){', read-only' if args.readonly else ''}) "
+            f"on http://{host}:{port}"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 _COMMANDS = {
     "pack": _cmd_pack,
     "list": _cmd_list,
     "extract": _cmd_extract,
     "verify": _cmd_verify,
     "repair": _cmd_repair,
+    "serve": _cmd_serve,
 }
 
 

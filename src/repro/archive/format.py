@@ -77,6 +77,7 @@ __all__ = [
     "ArchiveError",
     "ArchiveFormatError",
     "TruncatedArchiveError",
+    "ArchiveTruncatedError",
     "ArchiveIntegrityError",
     "crc32",
     "Header",
@@ -176,7 +177,13 @@ class ArchiveFormatError(ArchiveError):
 
 
 class TruncatedArchiveError(ArchiveFormatError):
-    """The file ends before a structure the header/index declares."""
+    """The file ends before a structure the header/index declares — also
+    raised when a container named by a manifest (or just magic-probed)
+    disappears mid-session: bytes that should exist are gone either way."""
+
+
+#: Taxonomy-ordered alias (``Archive*Error`` like its siblings).
+ArchiveTruncatedError = TruncatedArchiveError
 
 
 class ArchiveIntegrityError(ArchiveError):

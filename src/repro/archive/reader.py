@@ -260,6 +260,59 @@ class ArchiveReader:
             )
         return view
 
+    def read_payload_slice(self, key: FrameKey, start: int, length: int) -> memoryview:
+        """Read ``length`` bytes at ``start`` *within* one frame's payload.
+
+        This is the byte-range primitive behind HTTP ``Range:`` serving
+        (:mod:`repro.archive.server`): only the requested window is read —
+        ``bytes_read`` advances by exactly ``length``, not the payload size —
+        and the zero-copy path (``zero_copy_reads``) serves the window as a
+        view of the backend's storage when available.  A partial window
+        cannot be checksummed (the CRC covers the whole payload), so slice
+        reads never CRC-check; callers wanting integrity read the full
+        payload.  Out-of-payload windows raise ``ValueError``; a payload
+        that ends early raises :class:`TruncatedArchiveError`.
+        """
+        entry = self.find(key)
+        if start < 0 or length < 0 or start + length > entry.length:
+            raise ValueError(
+                f"frame {entry.name!r}: slice [{start}, {start + length}) outside "
+                f"its {entry.length}-byte payload"
+            )
+        view: Optional[memoryview] = None
+        if self.zero_copy:
+
+            def _read_range() -> Optional[memoryview]:
+                with self._io_lock:
+                    return self.backend.read_range(entry.offset + start, length)
+
+            view = self.retry.run(_read_range, on_retry=self._note_retry)
+        if view is None:
+
+            def _read() -> bytes:
+                with self._io_lock:
+                    self._fh.seek(entry.offset + start)
+                    return self._fh.read(length)
+
+            data = self.retry.run(_read, on_retry=self._note_retry)
+            if len(data) != length:
+                raise TruncatedArchiveError(
+                    f"frame {entry.name!r}: payload slice ends after "
+                    f"{len(data)} of {length} bytes"
+                )
+            with self._io_lock:
+                self.bytes_read += len(data)
+            return memoryview(data)
+        if len(view) != length:
+            raise TruncatedArchiveError(
+                f"frame {entry.name!r}: payload slice ends after "
+                f"{len(view)} of {length} bytes"
+            )
+        with self._io_lock:
+            self.bytes_read += len(view)
+            self.zero_copy_reads += 1
+        return view
+
     def read_stream(self, key: FrameKey) -> CompressedStream:
         """Deserialise one frame's compressed stream without decoding it.
 

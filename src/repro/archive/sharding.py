@@ -68,6 +68,7 @@ from .format import (
     ArchiveIntegrityError,
     FrameInfo,
     ShardManifest,
+    TruncatedArchiveError,
     crc32 as _crc32,
     pack_manifest,
     unpack_manifest,
@@ -215,19 +216,54 @@ def open_archive(
     engine: Optional[str] = None,
     verify_checksums: bool = True,
     zero_copy: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    backend_factory: Optional[Callable[[Path], StorageBackend]] = None,
 ) -> Union[ArchiveReader, "ShardedArchiveReader"]:
     """Open a single archive *or* a sharded set, decided by the file magic.
 
-    This is what lets the CLI (``list``/``extract``/``verify``) take either
-    kind of target transparently.
+    This is what lets the CLI (``list``/``extract``/``verify``) and the HTTP
+    service take either kind of target transparently.  ``retry`` and
+    ``backend_factory`` are threaded through to the reader (on a plain
+    archive, ``backend_factory`` maps the path to the backend to open).
+
+    A path whose magic was just read but that vanishes before the reader's
+    own open (deleted mid-session) surfaces as
+    :class:`TruncatedArchiveError` — archive damage the failure ladder
+    handles — not as a raw ``FileNotFoundError``; a path that never existed
+    still raises ``FileNotFoundError``.
     """
-    if is_sharded(path):
+    try:
+        with open(path, "rb") as fh:
+            existed, magic = True, fh.read(len(MANIFEST_MAGIC))
+    except OSError:
+        existed, magic = False, b""
+    if magic == MANIFEST_MAGIC:
         return ShardedArchiveReader(
-            path, engine=engine, verify_checksums=verify_checksums, zero_copy=zero_copy
+            path,
+            engine=engine,
+            verify_checksums=verify_checksums,
+            zero_copy=zero_copy,
+            retry=retry,
+            backend_factory=backend_factory,
         )
-    return ArchiveReader(
-        path, engine=engine, verify_checksums=verify_checksums, zero_copy=zero_copy
+    target: Union[Path, StorageBackend] = (
+        backend_factory(Path(path)) if backend_factory else Path(path)
     )
+    try:
+        return ArchiveReader(
+            target,
+            engine=engine,
+            verify_checksums=verify_checksums,
+            zero_copy=zero_copy,
+            retry=retry,
+        )
+    except FileNotFoundError as exc:
+        if existed:
+            raise TruncatedArchiveError(
+                f"archive {path} disappeared while being opened (the file "
+                "existed when its magic was probed)"
+            ) from exc
+        raise
 
 
 def _read_manifest(path: Path) -> ShardManifest:
@@ -728,14 +764,24 @@ class ShardedArchiveReader:
     def _open_copy(self, shard: int, copy: int) -> ArchiveReader:
         path = self.copy_paths[shard][copy]
         target = self.backend_factory(path) if self.backend_factory else path
-        return ArchiveReader(
-            target,
-            engine=self.engine,
-            verify_checksums=self.verify_checksums,
-            retry=self.retry,
-            on_retry=self._note_retry,
-            zero_copy=self.zero_copy,
-        )
+        try:
+            return ArchiveReader(
+                target,
+                engine=self.engine,
+                verify_checksums=self.verify_checksums,
+                retry=self.retry,
+                on_retry=self._note_retry,
+                zero_copy=self.zero_copy,
+            )
+        except FileNotFoundError as exc:
+            # The manifest names this copy, so its absence is set damage (a
+            # shard file deleted mid-session), not a configuration mistake:
+            # surface it in the archive taxonomy so the failure ladder
+            # (failover here, 503 in the HTTP service) handles it.
+            raise TruncatedArchiveError(
+                f"shard copy {path.name} is missing (the set manifest "
+                "names it)"
+            ) from exc
 
     def _fail_over(self, shard: int, failed_copy: int) -> bool:
         """After damage on ``failed_copy``, advance the shard to its next
@@ -858,6 +904,15 @@ class ShardedArchiveReader:
     def read_payload(self, key: FrameKey) -> bytes:
         shard, entry = self._locate(key)
         return self._shard_op(shard, lambda r: r.read_payload(entry))
+
+    def read_payload_slice(self, key: FrameKey, start: int, length: int) -> memoryview:
+        """Routed byte-range read within one frame's payload (see
+        :meth:`ArchiveReader.read_payload_slice`); only the target shard is
+        touched and only ``length`` payload bytes are read."""
+        shard, entry = self._locate(key)
+        return self._shard_op(
+            shard, lambda r: r.read_payload_slice(entry, start, length)
+        )
 
     def read_stream(self, key: FrameKey) -> CompressedStream:
         shard, entry = self._locate(key)

@@ -284,3 +284,71 @@ class TestSeededPlans:
     def test_rejects_tiny_files(self):
         with pytest.raises(ValueError, match="file_size"):
             seeded_fault_plan(0, file_size=1)
+
+
+class TestMidSessionDisappearance:
+    """A path that existed and then vanished is archive damage, not a
+    configuration mistake: it must surface as ``ArchiveTruncatedError``
+    (alias of ``TruncatedArchiveError``) so the retry → failover → 503
+    ladder handles it — never as a raw ``FileNotFoundError``."""
+
+    def test_alias_names_the_same_class(self):
+        from repro.archive import ArchiveTruncatedError
+
+        assert ArchiveTruncatedError is TruncatedArchiveError
+
+    def test_open_archive_on_vanished_path(self, small_archive):
+        """The file exists when its magic is probed, then disappears before
+        the reader's own open (modelled via backend_factory, which runs in
+        exactly that window)."""
+        from repro.archive import open_archive
+
+        path, _ = small_archive
+
+        def vanish(p):
+            p.unlink()
+            return FileBackend(p)
+
+        with pytest.raises(TruncatedArchiveError, match="disappeared"):
+            open_archive(path, backend_factory=vanish)
+        assert not path.exists()
+
+    def test_open_archive_on_never_existing_path(self, tmp_path):
+        """A path that never existed is still the caller's mistake: a plain
+        ``FileNotFoundError``, untouched."""
+        from repro.archive import open_archive
+
+        with pytest.raises(FileNotFoundError):
+            open_archive(tmp_path / "never_was.dwta")
+
+    def test_deleted_shard_copy_surfaces_in_the_taxonomy(self, tmp_path):
+        """An unreplicated shard file deleted mid-session: the manifest
+        names it, so reads of its frames raise ``TruncatedArchiveError``."""
+        from repro.archive import ShardedArchiveReader, ShardedArchiveWriter
+
+        frames = ct_slice_series(count=8, size=32, seed=4)
+        path = tmp_path / "bare.dwts"
+        with ShardedArchiveWriter.create(path, shards=3, scales=2) as writer:
+            writer.append_batch(frames, names=[f"s{i}" for i in range(8)])
+        with ShardedArchiveReader(path) as reader:
+            victim_shard = reader.router.route("s0")
+            reader.shard_paths[victim_shard].unlink()
+            with pytest.raises(TruncatedArchiveError, match="missing"):
+                reader.decode("s0")
+
+    def test_replicated_set_fails_over_past_a_deleted_copy(self, tmp_path):
+        """With a replica, the deleted primary is absorbed by failover."""
+        import numpy as np
+
+        from repro.archive import ShardedArchiveReader
+        from repro.archive.replication import ReplicatedShardSet
+
+        frames = ct_slice_series(count=8, size=32, seed=4)
+        path = tmp_path / "healer.dwts"
+        with ReplicatedShardSet.create(path, shards=3, replicas=1, scales=2) as writer:
+            writer.append_batch(frames, names=[f"s{i}" for i in range(8)])
+        with ShardedArchiveReader(path) as reader:
+            victim_shard = reader.router.route("s0")
+            reader.copy_paths[victim_shard][0].unlink()
+            assert np.array_equal(reader.decode("s0"), frames[0])
+            assert reader.failovers == 1

@@ -1,0 +1,243 @@
+"""The serving layer under concurrent load, faults and live ingest.
+
+What must hold with N clients hammering at once:
+
+* every response carries exactly the frame its request named (no
+  cross-talk between interleaved requests on different connections),
+* the ``/stats`` counters account for every request exactly,
+* cache hit counts only ever grow (monotone under interleaving),
+* a fault-injected shard (seeded plan) fails over to its replica
+  transparently — and **exactly once**, however many clients race it,
+* persistent, unreplicated damage surfaces as 503 + ``Retry-After``.
+"""
+
+import asyncio
+import json
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.archive import RetryPolicy, seeded_fault_plan
+from server_util import (
+    HTTPClient,
+    build_replicated,
+    build_sharded,
+    chunk_encode,
+    frame_names,
+    http_request,
+    ingest_body,
+    response_frame,
+    running_server,
+    series,
+)
+
+pytestmark = pytest.mark.archive
+
+# Chaos seeds: the CI chaos job widens this set via REPRO_FAULT_SEED.
+SEEDS = [3, 11, 42]
+if os.environ.get("REPRO_FAULT_SEED"):
+    SEEDS = sorted({*SEEDS, int(os.environ["REPRO_FAULT_SEED"])})
+
+FRAMES = series(count=12, size=32, seed=7)
+
+
+def shard_of(name, shards):
+    """The hash router's routing, recomputed independently of the server."""
+    return (zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF) % shards
+
+
+def run(coro, timeout=120):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+class TestConcurrentMixedLoad:
+    def test_gets_during_live_ingest_with_exact_accounting(self, tmp_path):
+        target = build_replicated(tmp_path / "set.dwts", FRAMES, shards=4, replicas=1)
+        new_frames = {f"live_{i}": frame for i, frame in enumerate(series(count=4, size=24, seed=21).values())}
+        clients, rounds = 8, 6
+        hit_samples = []
+
+        async def reader_client(index, address):
+            """GET every frame repeatedly; every body must match its name."""
+            async with HTTPClient(address) as client:
+                requested = {"frames": 0, "meta": 0, "stats": 0}
+                for round_no in range(rounds):
+                    for name, expected in FRAMES.items():
+                        status, headers, body = await client.request(
+                            "GET", f"/frames/{name}"
+                        )
+                        assert status == 200
+                        assert headers["x-frame-name"] == name
+                        assert np.array_equal(response_frame(headers, body), expected)
+                        requested["frames"] += 1
+                    status, _, body = await client.request(
+                        "GET", f"/frames/{frame_names(12)[index]}/meta"
+                    )
+                    assert status == 200
+                    requested["meta"] += 1
+                    status, _, body = await client.request("GET", "/stats")
+                    assert status == 200
+                    requested["stats"] += 1
+                    hit_samples.append(json.loads(body)["cache"]["hits"])
+                return requested
+
+        async def ingest_client(address):
+            status, _, body = await http_request(
+                address,
+                "POST",
+                "/ingest",
+                headers={"Transfer-Encoding": "chunked"},
+                body=chunk_encode(ingest_body(new_frames), chunk_size=256),
+            )
+            assert status == 200
+            assert json.loads(body)["frames"] == len(new_frames)
+            return {"ingest": 1}
+
+        async def full_scenario():
+            async with running_server(target, cache_bytes=32 << 20) as server:
+                results = await asyncio.gather(
+                    *(reader_client(i, server.address) for i in range(clients)),
+                    ingest_client(server.address),
+                )
+                totals = {}
+                for result in results:
+                    for endpoint, count in result.items():
+                        totals[endpoint] = totals.get(endpoint, 0) + count
+                status, _, body = await http_request(server.address, "GET", "/stats")
+                assert status == 200
+                stats = json.loads(body)
+                totals["stats"] = totals.get("stats", 0) + 1  # this request too
+                # Exact accounting: the server saw precisely what was sent.
+                for endpoint, count in totals.items():
+                    assert stats["requests"][endpoint] == count, endpoint
+                assert stats["requests"]["total"] == sum(totals.values())
+                # Nothing errored under load, and the ingest landed.
+                assert set(stats["responses"]) == {"200"}
+                assert stats["ingest"] == {
+                    "ingests": 1,
+                    "frames_ingested": len(new_frames),
+                    "generation": 1,
+                }
+                # The ingested frames serve back byte-identically.
+                for name, expected in new_frames.items():
+                    status, headers, body = await http_request(
+                        server.address, "GET", f"/frames/{name}"
+                    )
+                    assert status == 200
+                    assert np.array_equal(response_frame(headers, body), expected)
+
+            # Cache hits never went backwards, however the clients interleaved.
+            assert hit_samples == sorted(hit_samples)
+            assert hit_samples[-1] > 0
+
+        run(full_scenario())
+
+    def test_queue_backpressure_bounds_inflight_work(self, tmp_path):
+        """More concurrent requests than queue slots still all succeed —
+        the surplus defers at ``queue.put`` instead of failing."""
+        target = build_sharded(tmp_path / "set.dwts", FRAMES, shards=2)
+
+        async def scenario():
+            async with running_server(
+                target, cache_bytes=0, queue_depth=2, workers_per_shard=1
+            ) as server:
+
+                async def one_get(name):
+                    status, headers, body = await http_request(
+                        server.address, "GET", f"/frames/{name}"
+                    )
+                    assert status == 200
+                    return np.array_equal(response_frame(headers, body), FRAMES[name])
+
+                names = [name for name in FRAMES for _ in range(4)]
+                outcomes = await asyncio.gather(*(one_get(name) for name in names))
+                assert all(outcomes)
+                status, _, body = await http_request(server.address, "GET", "/stats")
+                stats = json.loads(body)
+                assert max(stats["queues"]["peak_depths"]) <= 2
+                assert stats["queues"]["submitted"] == len(names)
+
+        run(scenario())
+
+
+class TestFailoverUnderLoad:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_damage_fails_over_transparently_exactly_once(self, tmp_path, seed):
+        path = build_replicated(
+            tmp_path / f"faulty_{seed}.dwts", FRAMES, shards=4, replicas=1
+        )
+        from repro.archive import ShardedArchiveReader
+
+        with ShardedArchiveReader(path) as reader:
+            copies = [list(shard) for shard in reader.copy_paths]
+        primary = copies[0][0]
+        blob = primary.read_bytes()
+        # Seeded truncation: damages the whole shard copy (index and all),
+        # so the very first touch of shard 0 must fail over at open.
+        fault = seeded_fault_plan(seed, len(blob), faults=1)[0]
+        cut = max(1, fault.offset % (len(blob) // 2))
+        primary.write_bytes(blob[:-cut])
+
+        shard0_names = [name for name in FRAMES if shard_of(name, 4) == 0]
+        assert shard0_names, "series always spreads across 4 shards"
+        policy = RetryPolicy(attempts=3, base_delay=0.001, sleep=lambda s: None)
+
+        async def scenario():
+            async with running_server(path, cache_bytes=0, retry=policy) as server:
+
+                async def hammer(name):
+                    status, headers, body = await http_request(
+                        server.address, "GET", f"/frames/{name}"
+                    )
+                    assert status == 200
+                    assert np.array_equal(response_frame(headers, body), FRAMES[name])
+
+                # 16 concurrent reads racing into the damaged shard.
+                await asyncio.gather(
+                    *(hammer(name) for name in (shard0_names * 16)[:16])
+                )
+                status, _, body = await http_request(server.address, "GET", "/stats")
+                stats = json.loads(body)
+                # Transparent: not a single non-200 response...
+                assert set(stats["responses"]) == {"200"}
+                # ...and exactly one failover, however many clients raced.
+                assert stats["reader"]["failovers"] == 1
+
+        run(scenario())
+
+    def test_persistent_damage_is_503_with_retry_after(self, tmp_path):
+        path = build_sharded(tmp_path / "bare.dwts", FRAMES, shards=3)
+        from repro.archive import ShardedArchiveReader
+
+        with ShardedArchiveReader(path) as reader:
+            shard_paths = list(reader.shard_paths)
+        shard_paths[1].unlink()  # no replica to fail over to
+
+        dead = [name for name in FRAMES if shard_of(name, 3) == 1]
+        alive = [name for name in FRAMES if shard_of(name, 3) != 1]
+        assert dead and alive
+
+        async def scenario():
+            async with running_server(path, cache_bytes=0) as server:
+                async with HTTPClient(server.address) as client:
+                    status, headers, body = await client.request(
+                        "GET", f"/frames/{dead[0]}"
+                    )
+                    assert status == 503
+                    assert float(headers["retry-after"]) > 0
+                    assert "error" in json.loads(body)
+                    # Damage is isolated: the other shards keep serving on
+                    # the very same connection.
+                    for name in alive:
+                        status, headers, body = await client.request(
+                            "GET", f"/frames/{name}"
+                        )
+                        assert status == 200
+                        assert np.array_equal(response_frame(headers, body), FRAMES[name])
+                    status, _, body = await client.request("GET", "/stats")
+                    stats = json.loads(body)
+                    assert stats["responses"]["503"] == 1
+
+        run(scenario())

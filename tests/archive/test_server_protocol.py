@@ -1,0 +1,158 @@
+"""Fuzzing the HTTP parser: hostile input never reaches the event loop.
+
+A table-driven corpus (no hypothesis dependency) of malformed request
+lines, oversized heads, broken chunked framing and early disconnects.
+The contract under test, for every case:
+
+* the server either answers with a deliberate 4xx/5xx or closes the
+  connection cleanly — it never hangs and never raises into the event
+  loop (asserted via ``loop.set_exception_handler``), and
+* the server still serves a well-formed request afterwards.
+"""
+
+import asyncio
+import contextlib
+
+import numpy as np
+import pytest
+
+from server_util import HTTPClient, build_plain, response_frame, running_server, series
+
+pytestmark = pytest.mark.archive
+
+FRAMES = series(count=3, size=24, seed=2)
+
+#: (case id, raw request bytes, statuses allowed — empty set means "a clean
+#: connection close with no response is also acceptable").
+CORPUS = [
+    ("empty-line-only", b"\r\n", set()),
+    ("garbage-line", b"garbage\r\n\r\n", {400}),
+    ("two-token-line", b"GET /stats\r\n\r\n", {400}),
+    ("four-token-line", b"GET /stats HTTP/1.1 extra\r\n\r\n", {400}),
+    ("bad-version-token", b"GET /stats JUNK/9\r\n\r\n", {400}),
+    ("http2-version", b"GET /stats HTTP/2.0\r\n\r\n", {505}),
+    ("http09-version", b"GET /stats HTTP/0.9\r\n\r\n", {505}),
+    ("non-ascii-line", b"GET /\xff\xfe HTTP/1.1\r\n\r\n", {400}),
+    ("oversized-request-line", b"GET /" + b"a" * 10000 + b" HTTP/1.1\r\n\r\n", {431}),
+    ("oversized-header-line", b"GET /stats HTTP/1.1\r\nX-Big: " + b"b" * 10000 + b"\r\n\r\n", {431}),
+    ("too-many-headers", b"GET /stats HTTP/1.1\r\n" + b"".join(f"X-{i}: v\r\n".encode() for i in range(200)) + b"\r\n", {431}),
+    ("header-without-colon", b"GET /stats HTTP/1.1\r\nnocolon\r\n\r\n", {400}),
+    ("colon-only-header", b"GET /stats HTTP/1.1\r\n: value\r\n\r\n", {400}),
+    ("unknown-method", b"BREW /stats HTTP/1.1\r\n\r\n", {405}),
+    ("null-bytes", b"\x00\x00\x00\r\n\r\n", {400}),
+    ("unknown-path", b"GET /../../etc/passwd HTTP/1.1\r\n\r\n", {404}),
+    ("frames-traversal", b"GET /frames/a/b/c HTTP/1.1\r\n\r\n", {404}),
+    ("bad-range-syntax", b"GET /frames/slice_000 HTTP/1.1\r\nRange: bytes=zz-qq\r\n\r\n", {400}),
+    ("range-out-of-payload", b"GET /frames/slice_000 HTTP/1.1\r\nRange: bytes=9999999-\r\n\r\n", {416}),
+    ("multi-range", b"GET /frames/slice_000 HTTP/1.1\r\nRange: bytes=0-1,3-4\r\n\r\n", {400}),
+    ("post-no-length", b"POST /ingest HTTP/1.1\r\n\r\n", {411}),
+    ("post-bad-length", b"POST /ingest HTTP/1.1\r\nContent-Length: banana\r\n\r\n", {400}),
+    ("post-negative-length", b"POST /ingest HTTP/1.1\r\nContent-Length: -5\r\n\r\n", {400}),
+    ("post-exotic-encoding", b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", {501}),
+    ("chunk-size-not-hex", b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n", {400}),
+    ("chunk-bad-terminator", b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nAAAAXX0\r\n\r\n", {400}),
+    ("chunk-huge-size", b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffff\r\n\r\n", {413}),
+    ("body-shorter-than-record-head", b"POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nX: y\r\n\r\nAB", {400}),
+    ("record-name-length-zero", b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\n\x00\x00\x00\x00", {400}),
+    ("record-name-length-huge", b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xff\xff\xff", {400}),
+    ("record-name-not-utf8", b"POST /ingest HTTP/1.1\r\nContent-Length: 8\r\n\r\n\x02\x00\x00\x00\xff\xfe\x00\x00", {400}),
+]
+
+#: Raw prefixes after which the client simply vanishes (early disconnect):
+#: no response is owed; the server must just stay healthy.
+DISCONNECTS = [
+    ("mid-request-line", b"GET /frame"),
+    ("mid-headers", b"GET /stats HTTP/1.1\r\nX-Part"),
+    ("after-headers-no-body", b"POST /ingest HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"),
+    ("mid-chunked-body", b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n10\r\nAB"),
+    ("nothing-at-all", b""),
+]
+
+
+@contextlib.asynccontextmanager
+async def loop_guard():
+    """Collects anything that escapes to the event loop during the block."""
+    loop = asyncio.get_running_loop()
+    escaped = []
+    previous = loop.get_exception_handler()
+    loop.set_exception_handler(lambda l, context: escaped.append(context))
+    try:
+        yield escaped
+    finally:
+        loop.set_exception_handler(previous)
+
+
+async def poke(address, raw, timeout=10):
+    """Send raw bytes; return the status answered, or None on clean close."""
+    async with HTTPClient(address) as client:
+        await client.send_raw(raw)
+        try:
+            status, _, _ = await asyncio.wait_for(client.read_response(), timeout)
+            return status
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+
+
+async def assert_still_serving(address):
+    async with HTTPClient(address) as client:
+        status, headers, body = await client.request("GET", "/frames/slice_000")
+        assert status == 200
+        assert np.array_equal(response_frame(headers, body), FRAMES["slice_000"])
+
+
+class TestHostileInput:
+    @pytest.mark.parametrize("case,raw,allowed", CORPUS, ids=[c[0] for c in CORPUS])
+    def test_malformed_input_is_answered_or_closed(self, tmp_path, case, raw, allowed):
+        target = build_plain(tmp_path / "arc.dwta", FRAMES)
+
+        async def scenario():
+            async with running_server(target) as server:
+                async with loop_guard() as escaped:
+                    status = await poke(server.address, raw)
+                    if allowed:
+                        assert status in allowed, f"{case}: got {status}"
+                    else:
+                        assert status is None or status >= 400, case
+                    await assert_still_serving(server.address)
+                assert escaped == [], case
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60))
+
+    @pytest.mark.parametrize("case,prefix", DISCONNECTS, ids=[c[0] for c in DISCONNECTS])
+    def test_early_disconnect_leaves_server_healthy(self, tmp_path, case, prefix):
+        target = build_plain(tmp_path / "arc.dwta", FRAMES)
+
+        async def scenario():
+            async with running_server(target) as server:
+                async with loop_guard() as escaped:
+                    async with HTTPClient(server.address) as client:
+                        if prefix:
+                            await client.send_raw(prefix)
+                    # The client is gone; give the handler a beat to notice.
+                    await asyncio.sleep(0.05)
+                    await assert_still_serving(server.address)
+                assert escaped == [], case
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60))
+
+    def test_whole_corpus_on_one_server_back_to_back(self, tmp_path):
+        """The full corpus against a single server instance: damage from
+        one hostile connection never leaks into the next."""
+        target = build_plain(tmp_path / "arc.dwta", FRAMES)
+
+        async def scenario():
+            async with running_server(target) as server:
+                async with loop_guard() as escaped:
+                    for case, raw, allowed in CORPUS:
+                        status = await poke(server.address, raw)
+                        if allowed:
+                            assert status in allowed, case
+                    for case, prefix in DISCONNECTS:
+                        async with HTTPClient(server.address) as client:
+                            if prefix:
+                                await client.send_raw(prefix)
+                    await asyncio.sleep(0.05)
+                    await assert_still_serving(server.address)
+                assert escaped == []
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120))
