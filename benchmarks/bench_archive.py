@@ -78,6 +78,7 @@ def test_random_access_beats_full_decode(tmp_path, save_json_record):
             {
                 "frame_count": FRAME_COUNT,
                 "frame_size": FRAME_SIZE,
+                "payload_layout": reader.frames[TARGET_FRAME].layout,
                 "archive_bytes": path.stat().st_size,
                 "payload_bytes": total_payload,
                 "pack_seconds": pack_seconds,

@@ -99,6 +99,7 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
         writer.append_batch(frames, names=names)
     with ShardedArchiveReader(path) as direct:
         expected = {name: direct.decode(name) for name in names}
+        payload_layout = direct.manifest.layout
     usable_cpus = default_workers()
     latencies = []
 
@@ -144,6 +145,7 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
     record = {
         "frame_count": FRAME_COUNT,
         "frame_size": FRAME_SIZE,
+        "payload_layout": payload_layout,
         "shards": SHARDS,
         "replicas": 1,
         "clients": CLIENTS,

@@ -65,6 +65,9 @@ from .backend import (
     seeded_fault_plan,
 )
 from .format import (
+    LAYOUT_FRAME_MAJOR,
+    LAYOUT_SUBBAND_MAJOR,
+    LAYOUTS,
     MAGIC,
     MANIFEST_MAGIC,
     VERSION,
@@ -85,9 +88,12 @@ from .ingest import (
 )
 from .reader import ArchiveReader, VerifyReport
 from .serialize import (
+    deserialize_prefix,
     deserialize_stream,
     deserialize_stream_with_spec,
     frame_spec,
+    payload_layout,
+    prefix_length,
     serialize_stream,
     spec_for_stream,
 )
@@ -121,6 +127,9 @@ __all__ = [
     "MAGIC",
     "MANIFEST_MAGIC",
     "VERSION",
+    "LAYOUT_FRAME_MAJOR",
+    "LAYOUT_SUBBAND_MAJOR",
+    "LAYOUTS",
     "ArchiveError",
     "ArchiveFormatError",
     "ArchiveIntegrityError",
@@ -160,6 +169,9 @@ __all__ = [
     "serialize_stream",
     "deserialize_stream",
     "deserialize_stream_with_spec",
+    "deserialize_prefix",
+    "payload_layout",
+    "prefix_length",
     "frame_spec",
     "spec_for_stream",
     "ArchiveService",

@@ -56,10 +56,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import numpy as np
+
 from ..coding.spec import codec_names
 from ..imaging.dataset import archive_dataset
 from ..imaging.io_pgm import read_pgm, write_pgm
-from .format import ArchiveError
+from .format import LAYOUT_FRAME_MAJOR, LAYOUTS, ArchiveError
 from .ingest import ingest_frames
 from .serialize import frame_spec
 from .sharding import ShardedArchiveReader, ShardedArchiveWriter, is_sharded, open_archive
@@ -123,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "scalar", "turbo"),
         default=None,
         help="entropy-coding engine tier (default: REPRO_ENGINE or fast)",
+    )
+    pack.add_argument(
+        "--layout",
+        choices=LAYOUTS,
+        default=None,
+        help="payload layout (default frame-major; subband-major orders "
+        "sections coarsest-first so 'extract --scale k' and the server's "
+        "preview endpoint decode from a strict payload prefix; with "
+        "--append, inherited from the archive's last frame)",
     )
     pack.add_argument(
         "--workers",
@@ -192,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         required=True,
         help="output PGM file (single frame) or directory (several frames)",
+    )
+    extract.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        metavar="K",
+        help="decode a 1/2^K-resolution preview instead of the full frame "
+        "(on subband-major archives this reads only a strict prefix of "
+        "each payload; 0 = full resolution)",
+    )
+    extract.add_argument(
+        "--roi",
+        default=None,
+        metavar="Y0-Y1",
+        help="decode only the slice rows [Y0, Y1) of each frame "
+        "(full-resolution region-of-interest synthesis)",
     )
 
     verify = sub.add_parser("verify", help="check the archive's integrity")
@@ -349,6 +376,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 ("--bit-depth", args.bit_depth is not None),
                 ("--bank", args.bank is not None),
                 ("--no-rle", args.no_rle),
+                ("--layout", args.layout is not None),
             )
             if given
         ]
@@ -371,6 +399,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             scales=args.scales,
             engine=args.engine,
             workers=args.workers,
+            layout=args.layout,
             **options,
         )
     elif args.shards:
@@ -386,6 +415,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 overwrite=args.overwrite,
                 workers=args.workers,
+                layout=args.layout or LAYOUT_FRAME_MAJOR,
                 **options,
             )
         else:
@@ -397,6 +427,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 overwrite=args.overwrite,
                 workers=args.workers,
+                layout=args.layout or LAYOUT_FRAME_MAJOR,
                 **options,
             )
     else:
@@ -407,6 +438,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
             engine=args.engine,
             overwrite=args.overwrite,
             workers=args.workers,
+            layout=args.layout or LAYOUT_FRAME_MAJOR,
             **options,
         )
     with writer:
@@ -456,6 +488,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "stored_bytes": e.length,
                     "raw_bytes": e.raw_bytes,
                     "crc32": f"{e.crc32:08x}",
+                    "layout": e.layout,
                 }
                 if sharded:
                     record["shard"] = reader.router.route(e.name)
@@ -498,6 +531,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
+    if args.scale is not None and args.roi:
+        raise SystemExit("--scale and --roi are mutually exclusive")
+    if args.scale is not None and args.scale < 0:
+        raise SystemExit(f"--scale must be >= 0, got {args.scale}")
+    roi: Optional[tuple] = None
+    if args.roi:
+        y0_text, sep, y1_text = args.roi.partition("-")
+        try:
+            if not sep:
+                raise ValueError
+            roi = (int(y0_text), int(y1_text))
+        except ValueError:
+            raise SystemExit(f"--roi expects Y0-Y1 (e.g. 128-256), got {args.roi!r}")
     with open_archive(args.archive) as reader:
         keys: List = list(args.frames) if args.frames else list(range(len(reader)))
         keys = [int(key) if isinstance(key, str) and key.lstrip("-").isdigit() else key for key in keys]
@@ -507,10 +553,25 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             output.mkdir(parents=True, exist_ok=True)
         for key in keys:
             entry = reader.find(key)
-            image = reader.decode(entry)
+            max_value = (1 << entry.bit_depth) - 1
+            note = ""
+            if args.scale is not None:
+                image = reader.read_preview(entry, args.scale)
+                # Coefficient-codec previews carry the analysis DC gain, so
+                # clip into the frame's declared range before writing PGM.
+                image = np.clip(image, 0, max_value)
+                note = f" preview @ scale {args.scale}"
+            elif roi is not None:
+                image = reader.read_roi(entry, roi[0], roi[1])
+                note = f" rows [{roi[0]}, {roi[1]})"
+            else:
+                image = reader.decode(entry)
             path = output if single else output / f"{entry.name}.pgm"
-            write_pgm(path, image, max_value=(1 << entry.bit_depth) - 1)
-            print(f"extracted {entry.name} ({entry.shape[0]}x{entry.shape[1]}) -> {path}")
+            write_pgm(path, image, max_value=max_value)
+            print(
+                f"extracted {entry.name} ({image.shape[0]}x{image.shape[1]}"
+                f"{note}) -> {path}"
+            )
         print(f"read {reader.bytes_read} of {reader.compressed_bytes} payload bytes")
     return 0
 

@@ -1,4 +1,4 @@
-"""Byte-level definition of the archive container format (version 1).
+"""Byte-level definition of the archive container format (version 2).
 
 This module is the single source of truth for the on-disk layout; the
 hand-written specification in ``docs/archive_format.md`` documents the same
@@ -74,6 +74,10 @@ __all__ = [
     "KIND_IDS",
     "KINDS_BY_ID",
     "FLAG_USE_RLE",
+    "FLAG_SUBBAND_MAJOR",
+    "LAYOUTS",
+    "LAYOUT_FRAME_MAJOR",
+    "LAYOUT_SUBBAND_MAJOR",
     "ArchiveError",
     "ArchiveFormatError",
     "TruncatedArchiveError",
@@ -92,6 +96,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "ROUTER_IDS",
     "ROUTERS_BY_ID",
+    "MANIFEST_FLAG_SUBBAND_MAJOR",
     "ShardManifest",
     "pack_manifest",
     "unpack_manifest",
@@ -101,8 +106,14 @@ __all__ = [
 #: the magic is exactly 8 bytes and never valid UTF-8 text.
 MAGIC = b"RPRDWTA\x00"
 
-#: Current container format version.  Readers reject newer versions.
-VERSION = 1
+#: Current container format version.  Readers reject newer versions and
+#: keep reading every older one.  Version 2 added the **subband-major**
+#: payload layout (per-subband entropy-coded sections behind a section
+#: table, coarsest first, so a k-scale preview decodes from a strict
+#: prefix of the payload bytes) — a new wire feature a version-1 reader
+#: cannot parse, hence the bump.  Archives holding only frame-major
+#: payloads are still written as version 1, byte-identical to before.
+VERSION = 2
 
 #: Fixed header size in bytes (the header is always at offset 0).
 HEADER_SIZE = 40
@@ -167,6 +178,17 @@ KINDS_BY_ID = {v: k for k, v in KIND_IDS.items()}
 #: before the Rice coder (``use_rle``).  Always clear for the s-transform.
 FLAG_USE_RLE = 0x01
 
+#: Index-entry flag bit 1: the payload uses the version-2 **subband-major**
+#: layout (sectioned, coarsest-first, prefix-decodable) instead of the
+#: version-1 monolithic frame-major layout.
+FLAG_SUBBAND_MAJOR = 0x02
+
+#: Payload layout names as stored in :attr:`FrameInfo.layout` and accepted
+#: by the writers' ``layout=`` keyword.
+LAYOUT_FRAME_MAJOR = "frame-major"
+LAYOUT_SUBBAND_MAJOR = "subband-major"
+LAYOUTS = (LAYOUT_FRAME_MAJOR, LAYOUT_SUBBAND_MAJOR)
+
 
 class ArchiveError(Exception):
     """Base class of every archive-layer error."""
@@ -230,6 +252,7 @@ class FrameInfo:
     raw_bytes: int
     bank_name: str = ""
     use_rle: bool = False
+    layout: str = LAYOUT_FRAME_MAJOR
 
     @property
     def compression_ratio(self) -> float:
@@ -296,7 +319,13 @@ def pack_index(entries: List[FrameInfo]) -> bytes:
             raise ValueError(f"frame name too long ({len(name)} bytes)")
         if len(bank) > 0xFF:
             raise ValueError(f"filter bank name too long ({len(bank)} bytes)")
+        if entry.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown payload layout {entry.layout!r} (expected one of {LAYOUTS})"
+            )
         flags = FLAG_USE_RLE if entry.use_rle else 0
+        if entry.layout == LAYOUT_SUBBAND_MAJOR:
+            flags |= FLAG_SUBBAND_MAJOR
         parts.append(struct.pack("<H", len(name)))
         parts.append(name)
         parts.append(
@@ -359,6 +388,11 @@ def unpack_index(data: bytes, frame_count: int) -> List[FrameInfo]:
                 raw_bytes=raw,
                 bank_name=bank.decode("utf-8"),
                 use_rle=bool(flags & FLAG_USE_RLE),
+                layout=(
+                    LAYOUT_SUBBAND_MAJOR
+                    if flags & FLAG_SUBBAND_MAJOR
+                    else LAYOUT_FRAME_MAJOR
+                ),
             )
         )
     if pos != len(data):
@@ -392,6 +426,11 @@ ROUTERS_BY_ID = {v: k for k, v in ROUTER_IDS.items()}
 #: 8+2+1+1+4 = 16 bytes (followed by the variable body and a trailing CRC).
 _MANIFEST_STRUCT = struct.Struct("<8sHBBI")
 
+#: Manifest flags bit 0: the set's shards store subband-major payloads.
+#: Rides the previously-reserved flags byte (an ignorable addition — the
+#: payloads self-describe — so no manifest version bump is needed).
+MANIFEST_FLAG_SUBBAND_MAJOR = 0x01
+
 
 @dataclass(frozen=True)
 class ShardManifest:
@@ -415,6 +454,7 @@ class ShardManifest:
     spec_json: str
     boundaries: Tuple[str, ...] = ()
     replica_names: Tuple[Tuple[str, ...], ...] = ()
+    layout: str = LAYOUT_FRAME_MAJOR
 
     @property
     def replicas(self) -> int:
@@ -453,13 +493,22 @@ def pack_manifest(manifest: ShardManifest) -> bytes:
                 f"replica map covers {len(manifest.replica_names)} shards, "
                 f"set has {len(manifest.shard_names)}"
             )
+    if manifest.layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown payload layout {manifest.layout!r} (expected one of {LAYOUTS})"
+        )
     spec_data = manifest.spec_json.encode("utf-8")
+    flags = (
+        MANIFEST_FLAG_SUBBAND_MAJOR
+        if manifest.layout == LAYOUT_SUBBAND_MAJOR
+        else 0
+    )
     parts = [
         _MANIFEST_STRUCT.pack(
             MANIFEST_MAGIC,
             manifest.version,
             ROUTER_IDS[manifest.router],
-            0,
+            flags,
             len(manifest.shard_names),
         ),
         struct.pack("<I", len(spec_data)),
@@ -488,7 +537,7 @@ def unpack_manifest(data: bytes) -> ShardManifest:
         raise TruncatedArchiveError(
             f"file too short for a shard-set manifest ({len(data)} bytes)"
         )
-    magic, version, router_id, _flags, shard_count = _MANIFEST_STRUCT.unpack_from(data, 0)
+    magic, version, router_id, flags, shard_count = _MANIFEST_STRUCT.unpack_from(data, 0)
     if magic != MANIFEST_MAGIC:
         raise ArchiveFormatError(f"not a shard-set manifest: bad magic {magic!r}")
     (stored_crc,) = struct.unpack_from("<I", data, len(data) - 4)
@@ -572,6 +621,11 @@ def unpack_manifest(data: bytes) -> ShardManifest:
         spec_json=spec_raw.decode("utf-8"),
         boundaries=boundaries,
         replica_names=replica_names,
+        layout=(
+            LAYOUT_SUBBAND_MAJOR
+            if flags & MANIFEST_FLAG_SUBBAND_MAJOR
+            else LAYOUT_FRAME_MAJOR
+        ),
     )
 
 

@@ -31,6 +31,7 @@ per-stage wall-clock stats as in-memory pipeline runs.
 
 from __future__ import annotations
 
+import struct
 import threading
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -48,6 +49,7 @@ from .backend import FileBackend, RetryPolicy, StorageBackend, resolve_backend
 from .format import (
     ArchiveFormatError,
     ArchiveIntegrityError,
+    LAYOUT_SUBBAND_MAJOR,
     FrameInfo,
     TruncatedArchiveError,
     crc32,
@@ -55,11 +57,14 @@ from .format import (
     read_index,
 )
 from .serialize import (
+    PAYLOAD_HEAD_SIZE,
     CompressedStream,
     codec_name_for_stream,
     deserialize_stream,
     frame_spec,
     materialize_stream,
+    parse_section_table,
+    sections_to_stream,
 )
 
 __all__ = ["ArchiveReader", "VerifyReport"]
@@ -350,6 +355,74 @@ class ArchiveReader:
         """Random-access decode of a single frame, bit for bit."""
         entry = self.find(key)
         return self._codec_for(entry).decode(self.read_stream(entry))
+
+    def read_preview_stream(self, key: FrameKey, at_scale: int) -> CompressedStream:
+        """Deserialise just the chunks a scale-``at_scale`` preview needs.
+
+        Subband-major frames are read as a **strict byte prefix**: the
+        payload head, the section table, and then only the leading run of
+        sections coarser than ``at_scale`` — ``bytes_read`` advances by
+        exactly ``prefix_length(at_scale)``, never the full payload.  The
+        per-section CRCs checked here (when ``verify_checksums``) are what
+        make a partial read safe without the whole-payload checksum.
+        Frame-major (v1) frames have no prefix property, so they fall back
+        to a full :meth:`read_stream` — the preview then only saves
+        synthesis compute, not bytes.
+        """
+        entry = self.find(key)
+        if not 0 <= at_scale <= entry.scales:
+            raise ValueError(
+                f"at_scale must be within [0, {entry.scales}], got {at_scale}"
+            )
+        if entry.layout != LAYOUT_SUBBAND_MAJOR:
+            return self.read_stream(entry)
+        head = bytes(self.read_payload_slice(entry, 0, PAYLOAD_HEAD_SIZE))
+        _sentinel, _version, meta_len = struct.unpack("<IBI", head)
+        if PAYLOAD_HEAD_SIZE + meta_len + 4 > entry.length:
+            raise TruncatedArchiveError(
+                f"frame {entry.name!r}: {entry.length}-byte payload cannot hold "
+                f"its declared {meta_len}-byte section table"
+            )
+        meta = bytes(
+            self.read_payload_slice(entry, PAYLOAD_HEAD_SIZE, meta_len + 4)
+        )
+        table = parse_section_table(head + meta)
+        needed = table.prefix_length(at_scale) - table.body_offset
+        body = self.read_payload_slice(entry, table.body_offset, needed)
+        stream = sections_to_stream(
+            table, body, at_scale=at_scale, verify=self.verify_checksums
+        )
+        if (
+            codec_name_for_stream(stream) != entry.codec
+            or stream.scales != entry.scales
+            or tuple(stream.image_shape) != entry.shape
+        ):
+            raise ArchiveFormatError(
+                f"frame {entry.name!r}: payload metadata disagrees with its "
+                "index entry"
+            )
+        return stream
+
+    def read_preview(self, key: FrameKey, at_scale: int) -> np.ndarray:
+        """Decode the scale-``at_scale`` preview of one frame.
+
+        ``at_scale=0`` is the full-resolution image, bit for bit; each
+        higher scale halves both dimensions.  See
+        :meth:`read_preview_stream` for the byte-prefix guarantee.
+        """
+        entry = self.find(key)
+        stream = self.read_preview_stream(entry, at_scale)
+        return self._codec_for(entry).decode_preview(stream, at_scale)
+
+    def read_roi(self, key: FrameKey, y0: int, y1: int) -> np.ndarray:
+        """Decode just the output row band ``[y0, y1)`` of one frame.
+
+        Bit-exact to ``decode(key)[y0:y1]``.  A row band draws on every
+        subband, so the whole payload is still read; the saving is in the
+        windowed inverse transform, not bytes.
+        """
+        entry = self.find(key)
+        return self._codec_for(entry).decode_roi(self.read_stream(entry), y0, y1)
 
     def decode_range(self, start: int, stop: Optional[int] = None) -> List[np.ndarray]:
         """Decode the frames of ``[start, stop)`` without touching the rest."""

@@ -37,7 +37,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..coding.spec import CodecSpec, reject_spec_overrides
 from .backend import StorageBackend
-from .format import MANIFEST_VERSION, ArchiveIntegrityError, FrameInfo, ShardManifest
+from .format import (
+    LAYOUT_FRAME_MAJOR,
+    LAYOUTS,
+    MANIFEST_VERSION,
+    ArchiveIntegrityError,
+    FrameInfo,
+    ShardManifest,
+)
 from .reader import VerifyReport
 from .serialize import CompressedStream
 from .sharding import (
@@ -82,8 +89,15 @@ class _FanOutWriter:
     bytes, so they stay byte-identical.
     """
 
-    def __init__(self, paths: Sequence[Path], spec: CodecSpec) -> None:
-        self.writers = [ArchiveWriter.append(path, spec=spec) for path in paths]
+    def __init__(
+        self,
+        paths: Sequence[Path],
+        spec: CodecSpec,
+        layout: str = LAYOUT_FRAME_MAJOR,
+    ) -> None:
+        self.writers = [
+            ArchiveWriter.append(path, spec=spec, layout=layout) for path in paths
+        ]
 
     def add_stream(self, stream: CompressedStream, name: str) -> FrameInfo:
         entry: Optional[FrameInfo] = None
@@ -132,12 +146,15 @@ class ReplicatedShardSet(ShardedArchiveWriter):
         codec: Optional[str] = None,
         scales: Optional[int] = None,
         engine: Optional[str] = None,
+        layout: str = LAYOUT_FRAME_MAJOR,
         **codec_options,
     ) -> "ReplicatedShardSet":
         """Create a replicated set: ``shards`` primaries × (1 + ``replicas``)
         copies, all empty finalised containers, plus the v2 manifest."""
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown payload layout {layout!r} (expected one of {LAYOUTS})")
         if spec is None:
             spec = CodecSpec.from_kwargs(
                 codec=codec if codec is not None else "s-transform",
@@ -159,6 +176,7 @@ class ReplicatedShardSet(ShardedArchiveWriter):
             spec_json=spec.to_json(),
             boundaries=tuple(boundaries),
             replica_names=shard_replica_names(path, shards, replicas),
+            layout=layout,
         )
         return cls._init_set(path, manifest, spec, overwrite, workers)
 
@@ -183,7 +201,9 @@ class ReplicatedShardSet(ShardedArchiveWriter):
         """In-process appends (``add_stream``, serial ``append_batch``) go
         through a fan-out writer so streamed ingest replicates too."""
         if shard not in self._writers:
-            self._writers[shard] = _FanOutWriter(self._copy_paths(shard), self.spec)
+            self._writers[shard] = _FanOutWriter(
+                self._copy_paths(shard), self.spec, layout=self.manifest.layout
+            )
         return self._writers[shard]
 
 

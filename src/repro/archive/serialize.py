@@ -23,6 +23,31 @@ makes single-frame random access possible:
 reconstructed spec, and :func:`frame_spec` rebuilds the spec from an index
 entry alone, without reading the payload.
 
+Since container version 2 a payload may instead use the **subband-major**
+layout, built for progressive retrieval::
+
+    +----------------------------+
+    | sentinel 0xFFFFFFFF (u32)  |  impossible as a v1 meta_len
+    | payload_version (u8) = 2   |
+    | meta_len (u32)             |  9 bytes total ("<IBI")
+    +----------------------------+
+    | meta block                 |  v1 fields + per-section CRC-32s
+    +----------------------------+
+    | meta CRC-32 (u32 LE)       |  the section table is self-verifying
+    +----------------------------+
+    | section bytes              |  one independently entropy-coded
+    +----------------------------+  section per subband, coarsest first
+
+Sections are ordered by ``(-scale, kind_id)`` — the scale-S approximation
+(HH) first, then each scale's details coarsest to finest — so the bytes
+needed to reconstruct a preview at scale ``k`` are a **strict prefix** of
+the payload: the 9-byte head, the meta block and its CRC, and every
+section with ``scale > k`` (plus HH).  :func:`parse_section_table` reads
+the table alone, :func:`prefix_length` prices a preview in bytes, and
+:func:`deserialize_prefix` reconstructs a partial stream from exactly
+those bytes, each section verified against its own CRC-32 so a prefix is
+trustworthy without the container-level whole-payload checksum.
+
 Codec identity is validated through the codec registry
 (:func:`repro.coding.spec.get_family`); registry errors are wrapped in
 :class:`ArchiveFormatError` with the frame context, so a payload naming an
@@ -39,6 +64,8 @@ would produce garbage, so it raises :class:`ArchiveFormatError` instead.
 from __future__ import annotations
 
 import struct
+import zlib
+from dataclasses import dataclass
 from dataclasses import replace as _dc_replace
 from typing import List, Tuple, Union
 
@@ -52,20 +79,37 @@ from .format import (
     CODEC_NAMES_BY_ID,
     KIND_IDS,
     KINDS_BY_ID,
+    LAYOUT_FRAME_MAJOR,
+    LAYOUT_SUBBAND_MAJOR,
+    LAYOUTS,
     ArchiveFormatError,
+    ArchiveIntegrityError,
     FrameInfo,
+    TruncatedArchiveError,
+    crc32,
 )
 
 __all__ = [
     "CompressedStream",
     "Payload",
+    "PAYLOAD_SENTINEL",
+    "PAYLOAD_VERSION",
+    "PAYLOAD_HEAD_SIZE",
+    "PayloadSection",
+    "SectionTable",
     "codec_name_for_stream",
     "frame_spec",
     "spec_for_stream",
     "payload_spec",
+    "payload_layout",
+    "is_subband_major",
     "serialize_stream",
     "deserialize_stream",
     "deserialize_stream_with_spec",
+    "parse_section_table",
+    "sections_to_stream",
+    "deserialize_prefix",
+    "prefix_length",
     "materialize_stream",
 ]
 
@@ -76,6 +120,114 @@ CompressedStream = Union[CompressedImage, CompressedSImage]
 #: sub-views — no intermediate copies — which is what the readers'
 #: ``zero_copy`` path relies on; the decoders consume either form.
 Payload = Union[bytes, memoryview]
+
+#: First four bytes of a subband-major payload.  A version-1 payload starts
+#: with its little-endian ``meta_len``, which is tens of bytes in practice
+#: and could never be ``0xFFFFFFFF`` (the meta block would have to be 4 GiB
+#: and exceed every container bound), so the sentinel tells the two layouts
+#: apart from the payload's own first word.
+PAYLOAD_SENTINEL = 0xFFFFFFFF
+
+#: Version byte of the sectioned payload layout (matches the container
+#: version that introduced it).  Readers reject newer payload versions.
+PAYLOAD_VERSION = 2
+
+#: Subband-major payload head: sentinel u32, payload version u8, meta_len
+#: u32 — 9 bytes, no padding under ``<``.
+_PAYLOAD_HEAD_STRUCT = struct.Struct("<IBI")
+PAYLOAD_HEAD_SIZE = _PAYLOAD_HEAD_STRUCT.size
+
+
+@dataclass(frozen=True)
+class PayloadSection:
+    """One subband's entry in a subband-major payload's section table.
+
+    ``offset`` is the section's absolute byte offset within the payload;
+    the section's bytes are the chunk's entropy-coded literal payload
+    immediately followed by its run payload (empty unless ``use_rle``), and
+    ``crc32`` covers exactly those ``length`` bytes, so any section — hence
+    any prefix — verifies on its own.
+    """
+
+    index: int
+    kind: str
+    scale: int
+    shape: Tuple[int, int]
+    use_rle: bool
+    payload_len: int
+    run_len: int
+    crc32: int
+    offset: int
+
+    @property
+    def length(self) -> int:
+        return self.payload_len + self.run_len
+
+
+@dataclass(frozen=True)
+class SectionTable:
+    """Parsed section table of a subband-major payload.
+
+    Holds everything the meta block declares — codec configuration plus the
+    ordered section descriptors — without touching a single section byte,
+    so it can be built from the payload's (head + meta) prefix alone.
+    ``body_offset`` is where section bytes begin
+    (``PAYLOAD_HEAD_SIZE + meta_len + 4``); sections are stored coarsest
+    first (descending scale, the HH approximation leading its scale), which
+    is what makes every preview a strict prefix.
+    """
+
+    codec: str
+    scales: int
+    image_shape: Tuple[int, int]
+    bit_depth: int
+    bank_name: str
+    sections: Tuple[PayloadSection, ...]
+    body_offset: int
+
+    @property
+    def use_rle(self) -> bool:
+        return any(section.use_rle for section in self.sections)
+
+    @property
+    def payload_length(self) -> int:
+        """Total payload size in bytes (head + meta + CRC + every section)."""
+        return self.body_offset + sum(s.length for s in self.sections)
+
+    def spec(self) -> CodecSpec:
+        """The :class:`CodecSpec` the table describes."""
+        if self.bank_name:
+            return CodecSpec(
+                codec=self.codec,
+                scales=self.scales,
+                bit_depth=self.bit_depth,
+                bank=self.bank_name,
+                use_rle=self.use_rle,
+            )
+        return CodecSpec(codec=self.codec, scales=self.scales, bit_depth=self.bit_depth)
+
+    def _check_scale(self, at_scale: int) -> None:
+        if not 0 <= at_scale <= self.scales:
+            raise ValueError(
+                f"at_scale must be within [0, {self.scales}], got {at_scale}"
+            )
+
+    def prefix_sections(self, at_scale: int) -> Tuple[PayloadSection, ...]:
+        """The sections a scale-``at_scale`` preview needs — always a
+        leading run of :attr:`sections` thanks to the coarsest-first order:
+        the HH approximation plus every detail section coarser than
+        ``at_scale``.  ``at_scale=0`` is the full section list."""
+        self._check_scale(at_scale)
+        return tuple(
+            s for s in self.sections if s.kind == "HH" or s.scale > at_scale
+        )
+
+    def prefix_length(self, at_scale: int) -> int:
+        """Payload bytes a scale-``at_scale`` preview reads: the head, the
+        meta block + CRC, and the prefix sections — nothing else."""
+        return self.body_offset + sum(
+            s.length for s in self.prefix_sections(at_scale)
+        )
 
 
 def codec_name_for_stream(stream: CompressedStream) -> str:
@@ -125,14 +277,85 @@ def _read_ascii(reader: BitReader, length_bits: int = 8) -> str:
     return bytes(reader.read_uint(8) for _ in range(length)).decode("utf-8")
 
 
-def serialize_stream(stream: CompressedStream) -> bytes:
+def _normalized_sections(stream: CompressedStream):
+    """Every chunk as ``(kind, scale, shape, use_rle, payload, run_payload)``
+    in section order — descending scale, :data:`KIND_IDS` order within a
+    scale, so the HH approximation leads.  Chunk *storage* order in the
+    in-memory streams is irrelevant to decode (lookup is by kind/scale), so
+    re-sorting here loses nothing and buys the prefix property."""
+    if isinstance(stream, CompressedImage):
+        rows = [
+            (c.kind, c.scale, c.shape, c.use_rle, c.payload, c.run_payload)
+            for c in stream.chunks
+        ]
+    else:
+        rows = [
+            (kind, scale, stream.shapes[(kind, scale)], False, payload, b"")
+            for (kind, scale), payload in stream.chunks.items()
+        ]
+    return sorted(rows, key=lambda row: (-row[1], KIND_IDS[row[0]]))
+
+
+def _serialize_subband_major(stream: CompressedStream, spec: CodecSpec) -> bytes:
+    family = spec.family
+    writer = BitWriter()
+    writer.write_uint(family.wire_id, 8)
+    writer.write_uint(spec.scales, 8)
+    writer.write_uint(stream.image_shape[0], 32)
+    writer.write_uint(stream.image_shape[1], 32)
+    writer.write_uint(spec.bit_depth, 8)
+    sections = _normalized_sections(stream)
+    section_bytes: List[bytes] = []
+    if family.uses_bank:
+        _write_ascii(writer, spec.bank_name)
+        plan = plan_word_lengths(get_bank(spec.bank_name), spec.scales)
+        writer.write_uint(plan.data_formats[1].word_length, 8)
+        writer.write_uint(plan.accumulator_bits, 8)
+        for bits in plan.integer_bits():
+            writer.write_uint(bits, 8)
+    writer.write_uint(len(sections), 16)
+    for kind, scale, shape, use_rle, payload, run_payload in sections:
+        writer.write_uint(KIND_IDS[kind], 8)
+        writer.write_uint(scale, 8)
+        writer.write_uint(shape[0], 32)
+        writer.write_uint(shape[1], 32)
+        if family.uses_bank:
+            writer.write_uint(1 if use_rle else 0, 8)
+        writer.write_uint(len(payload), 32)
+        if family.uses_bank:
+            writer.write_uint(len(run_payload), 32)
+        # Per-section CRC over the section's bytes exactly as stored
+        # (literal payload then run payload) — a prefix read verifies each
+        # section it takes without the container-level payload checksum.
+        writer.write_uint(zlib.crc32(run_payload, zlib.crc32(payload)) & 0xFFFFFFFF, 32)
+        section_bytes.append(payload)
+        if run_payload:
+            section_bytes.append(run_payload)
+    meta = writer.getvalue()
+    head = _PAYLOAD_HEAD_STRUCT.pack(PAYLOAD_SENTINEL, PAYLOAD_VERSION, len(meta))
+    return b"".join([head, meta, struct.pack("<I", crc32(meta)), *section_bytes])
+
+
+def serialize_stream(
+    stream: CompressedStream, layout: str = LAYOUT_FRAME_MAJOR
+) -> bytes:
     """Serialise a compressed stream into one archive frame payload.
 
     The header fields are written from the stream's :class:`CodecSpec`
     (codec wire id, depth, geometry, bit depth, bank), so the payload
     carries the spec and :func:`deserialize_stream_with_spec` recovers it.
+    ``layout`` selects the wire form: the version-1 ``"frame-major"``
+    monolith (the default, byte-identical to what every earlier writer
+    produced) or the version-2 ``"subband-major"`` sectioned layout that
+    supports strict-prefix preview decode.
     """
     spec = spec_for_stream(stream)
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown payload layout {layout!r} (expected one of {LAYOUTS})"
+        )
+    if layout == LAYOUT_SUBBAND_MAJOR:
+        return _serialize_subband_major(stream, spec)
     family = spec.family
     writer = BitWriter()
     writer.write_uint(family.wire_id, 8)
@@ -198,6 +421,232 @@ def _check_plan(reader: BitReader, bank_name: str, scales: int) -> None:
         )
 
 
+def is_subband_major(payload: Payload) -> bool:
+    """Whether the payload bytes use the version-2 subband-major layout.
+
+    Decided from the payload's first word alone (see
+    :data:`PAYLOAD_SENTINEL`), so it works on any prefix of at least four
+    bytes; shorter inputs are nobody's payload and report ``False``.
+    """
+    if len(payload) < 4:
+        return False
+    (word,) = struct.unpack_from("<I", payload, 0)
+    return word == PAYLOAD_SENTINEL
+
+
+def payload_layout(payload: Payload) -> str:
+    """The layout name (:data:`~repro.archive.format.LAYOUTS`) of a payload."""
+    return LAYOUT_SUBBAND_MAJOR if is_subband_major(payload) else LAYOUT_FRAME_MAJOR
+
+
+def parse_section_table(payload: Payload, check_plan: bool = True) -> SectionTable:
+    """Parse a subband-major payload's head and section table.
+
+    Touches only the payload's ``(head + meta + meta CRC)`` prefix — never
+    a section byte — so it accepts a prefix read as readily as a whole
+    payload.  A payload cut *inside* the table raises
+    :class:`TruncatedArchiveError` naming the section descriptor the bytes
+    end in; a complete table whose CRC disagrees raises
+    :class:`ArchiveIntegrityError`.  ``check_plan=False`` skips the
+    word-length plan validation for triage callers (:func:`payload_spec`).
+    """
+    if len(payload) < PAYLOAD_HEAD_SIZE:
+        raise TruncatedArchiveError(
+            f"frame payload ends inside its {PAYLOAD_HEAD_SIZE}-byte "
+            "subband-major head"
+        )
+    sentinel, version, meta_len = _PAYLOAD_HEAD_STRUCT.unpack_from(payload, 0)
+    if sentinel != PAYLOAD_SENTINEL:
+        raise ArchiveFormatError("payload is not subband-major (no sentinel)")
+    if version != PAYLOAD_VERSION:
+        raise ArchiveFormatError(
+            f"subband-major payload version {version} is not supported "
+            f"(expected {PAYLOAD_VERSION})"
+        )
+    meta = payload[PAYLOAD_HEAD_SIZE : PAYLOAD_HEAD_SIZE + meta_len]
+    meta_complete = len(meta) == meta_len
+    body_offset = PAYLOAD_HEAD_SIZE + meta_len + 4
+    if meta_complete:
+        if len(payload) < body_offset:
+            raise TruncatedArchiveError(
+                "frame payload ends inside its section-table checksum"
+            )
+        (stored_crc,) = struct.unpack_from("<I", payload, PAYLOAD_HEAD_SIZE + meta_len)
+        if stored_crc != crc32(bytes(meta)):
+            raise ArchiveIntegrityError("section table checksum mismatch")
+    reader = BitReader(meta)
+    # On a truncated meta block the parse below runs against the partial
+    # bytes on purpose: the EOF then names the exact descriptor the payload
+    # ends in, which is the error the truncation sweep asserts.
+    try:
+        codec_id = reader.read_uint(8)
+        if codec_id not in CODEC_NAMES_BY_ID:
+            raise ArchiveFormatError(f"frame payload has unknown codec id {codec_id}")
+        family = get_family(CODEC_NAMES_BY_ID[codec_id])
+        scales = reader.read_uint(8)
+        shape = (reader.read_uint(32), reader.read_uint(32))
+        bit_depth = reader.read_uint(8)
+        bank_name = ""
+        if family.uses_bank:
+            bank_name = _read_ascii(reader)
+            if check_plan:
+                _check_plan(reader, bank_name, scales)
+            else:
+                for _ in range(2 + scales):
+                    reader.read_uint(8)
+        count = reader.read_uint(16)
+    except (EOFError, KeyError) as exc:
+        if not meta_complete:
+            raise TruncatedArchiveError(
+                "frame payload ends inside its section-table prologue"
+            ) from exc
+        raise ArchiveFormatError("frame payload meta block is malformed") from exc
+    sections: List[PayloadSection] = []
+    offset = body_offset
+    for index in range(count):
+        try:
+            kind = KINDS_BY_ID[reader.read_uint(8)]
+            scale = reader.read_uint(8)
+            section_shape = (reader.read_uint(32), reader.read_uint(32))
+            use_rle = bool(reader.read_uint(8)) if family.uses_bank else False
+            payload_len = reader.read_uint(32)
+            run_len = reader.read_uint(32) if family.uses_bank else 0
+            section_crc = reader.read_uint(32)
+        except (EOFError, KeyError) as exc:
+            if not meta_complete:
+                raise TruncatedArchiveError(
+                    f"frame payload ends inside section descriptor {index} "
+                    f"of {count}"
+                ) from exc
+            raise ArchiveFormatError(
+                f"frame payload meta block is malformed at section "
+                f"descriptor {index} of {count}"
+            ) from exc
+        sections.append(
+            PayloadSection(
+                index=index,
+                kind=kind,
+                scale=scale,
+                shape=section_shape,
+                use_rle=use_rle,
+                payload_len=payload_len,
+                run_len=run_len,
+                crc32=section_crc,
+                offset=offset,
+            )
+        )
+        offset += payload_len + run_len
+    if not meta_complete:
+        # Every descriptor parsed out of fewer bytes than declared: the cut
+        # falls between the last descriptor and the declared end.
+        raise TruncatedArchiveError(
+            f"frame payload ends inside its section table after descriptor "
+            f"{count - 1} of {count}"
+            if count
+            else "frame payload ends inside its section table"
+        )
+    order = [(-s.scale, KIND_IDS[s.kind]) for s in sections]
+    if order != sorted(order):
+        raise ArchiveFormatError(
+            "subband-major sections are not coarsest-first; the prefix "
+            "property does not hold for this payload"
+        )
+    return SectionTable(
+        codec=family.name,
+        scales=scales,
+        image_shape=shape,
+        bit_depth=bit_depth,
+        bank_name=bank_name,
+        sections=tuple(sections),
+        body_offset=body_offset,
+    )
+
+
+def sections_to_stream(
+    table: SectionTable,
+    body: Payload,
+    at_scale: int = 0,
+    verify: bool = True,
+) -> CompressedStream:
+    """Build a (possibly partial) stream from section bytes.
+
+    ``body`` holds the payload's bytes from :attr:`SectionTable.body_offset`
+    on — at least through the last section a scale-``at_scale`` preview
+    needs — as stored, so slicing stays zero-copy on ``memoryview`` input.
+    With ``verify`` each consumed section is checked against its own CRC,
+    making a prefix read trustworthy without the whole-payload checksum.
+    """
+    needed = table.prefix_sections(at_scale)
+    if table.bank_name:
+        stream: CompressedStream = CompressedImage(
+            bank_name=table.bank_name,
+            scales=table.scales,
+            image_shape=table.image_shape,
+            bit_depth=table.bit_depth,
+        )
+    else:
+        stream = CompressedSImage(
+            scales=table.scales,
+            image_shape=table.image_shape,
+            bit_depth=table.bit_depth,
+        )
+    for section in needed:
+        start = section.offset - table.body_offset
+        data = body[start : start + section.length]
+        if len(data) != section.length:
+            raise TruncatedArchiveError(
+                f"frame payload ends inside section {section.index} "
+                f"({section.kind}@{section.scale}, {section.length} bytes)"
+            )
+        if verify and zlib.crc32(data) & 0xFFFFFFFF != section.crc32:
+            raise ArchiveIntegrityError(
+                f"section {section.index} ({section.kind}@{section.scale}) "
+                "checksum mismatch"
+            )
+        literal = data[: section.payload_len]
+        runs = data[section.payload_len :]
+        if isinstance(stream, CompressedImage):
+            stream.chunks.append(
+                SubbandChunk(
+                    kind=section.kind,
+                    scale=section.scale,
+                    shape=section.shape,
+                    use_rle=section.use_rle,
+                    payload=literal,
+                    run_payload=runs,
+                )
+            )
+        else:
+            stream.chunks[(section.kind, section.scale)] = literal
+            stream.shapes[(section.kind, section.scale)] = section.shape
+    return stream
+
+
+def deserialize_prefix(
+    payload: Payload, at_scale: int
+) -> Tuple[CompressedStream, CodecSpec]:
+    """Reconstruct the partial stream a scale-``at_scale`` preview needs.
+
+    ``payload`` may be the whole payload or any prefix of at least
+    ``prefix_length(payload, at_scale)`` bytes; only those bytes are
+    touched (zero-copy on ``memoryview`` input) and each consumed section
+    is verified against its per-section CRC.  The returned stream holds
+    the HH approximation plus the detail subbands coarser than
+    ``at_scale``; the spec is the full frame's (derived from the complete
+    section table, which a prefix always carries whole).
+    """
+    table = parse_section_table(payload)
+    stream = sections_to_stream(
+        table, payload[table.body_offset :], at_scale=at_scale
+    )
+    return stream, table.spec()
+
+
+def prefix_length(payload: Payload, at_scale: int) -> int:
+    """Bytes of ``payload`` a scale-``at_scale`` preview decode touches."""
+    return parse_section_table(payload, check_plan=False).prefix_length(at_scale)
+
+
 def deserialize_stream_with_spec(payload: Payload) -> Tuple[CompressedStream, CodecSpec]:
     """Reconstruct one frame payload's stream *and* its :class:`CodecSpec`.
 
@@ -205,7 +654,29 @@ def deserialize_stream_with_spec(payload: Payload) -> Tuple[CompressedStream, Co
     copied — the returned stream's chunk payloads are sub-views of it, so
     they remain valid only as long as the view's backing store does
     (the reader holds its mapping open until :meth:`ArchiveReader.close`).
+    Both layouts are accepted: version-1 frame-major payloads parse exactly
+    as before, and subband-major payloads are recognised by their sentinel
+    and parsed through the section table (every section CRC-verified).
     """
+    if is_subband_major(payload):
+        table = parse_section_table(payload)
+        if table.payload_length != len(payload):
+            if table.payload_length > len(payload):
+                raise TruncatedArchiveError(
+                    f"frame payload declares {table.payload_length} bytes of "
+                    f"sections but holds {len(payload)}"
+                )
+            raise ArchiveFormatError(
+                f"frame payload has {len(payload) - table.payload_length} "
+                "trailing bytes after the declared sections"
+            )
+        stream = sections_to_stream(table, payload[table.body_offset :])
+        return stream, table.spec()
+    return _deserialize_frame_major(payload)
+
+
+def _deserialize_frame_major(payload: Payload) -> Tuple[CompressedStream, CodecSpec]:
+    """The version-1 monolithic parse (unchanged from container v1)."""
     if len(payload) < 4:
         raise ArchiveFormatError("frame payload shorter than its length prefix")
     (meta_len,) = struct.unpack_from("<I", payload, 0)
@@ -334,8 +805,14 @@ def payload_spec(payload: Payload) -> CodecSpec:
     by parsing only the meta block — chunk *descriptors* are read for the
     RLE policy but the entropy-coded chunk bytes are never touched or
     validated, so this works even when the payload's chunk region is
-    truncated (the common damage mode the sharded verify isolates).
+    truncated (the common damage mode the sharded verify isolates).  On a
+    subband-major payload the section table answers directly (word-length
+    plan validation skipped, same as the v1 triage path); a payload cut
+    inside the table raises :class:`TruncatedArchiveError` naming the
+    section descriptor, never a raw struct/EOF error.
     """
+    if is_subband_major(payload):
+        return parse_section_table(payload, check_plan=False).spec()
     if len(payload) < 4:
         raise ArchiveFormatError("frame payload shorter than its length prefix")
     (meta_len,) = struct.unpack_from("<I", payload, 0)

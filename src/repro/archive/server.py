@@ -52,6 +52,12 @@ Endpoints::
                                slice of the *stored payload* read through
                                the zero-copy path (bytes_read advances by
                                the slice length only)
+    GET  /frames/<name>/preview?scale=k
+                               scale-k preview decode — on subband-major
+                               frames only the strict byte prefix of the
+                               payload is read; previews cache under
+                               (generation, name, scale); ``?roi=y0-y1``
+                               decodes just that row band instead
     GET  /frames/<name>/meta   one frame's index entry + stored CodecSpec
     GET  /manifest             whole-set listing: frames, shard/replica
                                layout, router, set-level spec
@@ -84,7 +90,7 @@ from typing import (
     Tuple,
     Union,
 )
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 import numpy as np
 
@@ -187,17 +193,23 @@ class HotFrameCache:
         self.misses = 0
         self.evictions = 0
         self.current_bytes = 0
+        # Per request kind ("full" decodes vs "preview" decodes): the
+        # aggregate hits/misses above stay the totals across kinds.
+        self._kind_hits: Dict[str, int] = {}
+        self._kind_misses: Dict[str, int] = {}
         self._items: "OrderedDict[Tuple, Tuple[FrameInfo, np.ndarray]]" = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key: Tuple) -> Optional[Tuple[FrameInfo, np.ndarray]]:
+    def get(self, key: Tuple, kind: str = "full") -> Optional[Tuple[FrameInfo, np.ndarray]]:
         with self._lock:
             value = self._items.get(key)
             if value is None:
                 self.misses += 1
+                self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
                 return None
             self._items.move_to_end(key)
             self.hits += 1
+            self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
             return value
 
     def put(self, key: Tuple, entry: FrameInfo, frame: np.ndarray) -> None:
@@ -220,8 +232,9 @@ class HotFrameCache:
             self._items.clear()
             self.current_bytes = 0
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict[str, object]:
         with self._lock:
+            kinds = sorted(set(self._kind_hits) | set(self._kind_misses))
             return {
                 "entries": len(self._items),
                 "bytes": self.current_bytes,
@@ -229,6 +242,13 @@ class HotFrameCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "kinds": {
+                    kind: {
+                        "hits": self._kind_hits.get(kind, 0),
+                        "misses": self._kind_misses.get(kind, 0),
+                    }
+                    for kind in kinds
+                },
             }
 
 
@@ -667,8 +687,8 @@ class ArchiveService:
     # -- read operations ----------------------------------------------------------------
     async def get_frame(self, name: str) -> Tuple[FrameInfo, np.ndarray, bool]:
         """Decode one frame, hot-cache first; returns ``(entry, frame, hit)``."""
-        key = (self._generation, name)
-        cached = self.cache.get(key)
+        key = (self._generation, name, "full")
+        cached = self.cache.get(key, kind="full")
         if cached is not None:
             entry, frame = cached
             return entry, frame, True
@@ -681,6 +701,44 @@ class ArchiveService:
         entry, frame = await self._submit(self._route(name), work)
         self.cache.put(key, entry, frame)
         return entry, frame, False
+
+    async def get_preview(
+        self, name: str, scale: int
+    ) -> Tuple[FrameInfo, np.ndarray, bool]:
+        """Decode one frame's scale-``scale`` preview, hot-cache first.
+
+        Previews cache under ``(generation, name, "preview", scale)`` —
+        distinct per scale and per kind, and invalidated by the same
+        generation bump that covers full frames.  A miss on a
+        subband-major frame reads only the strict byte prefix of its
+        payload (:meth:`ArchiveReader.read_preview`).
+        """
+        key = (self._generation, name, "preview", int(scale))
+        cached = self.cache.get(key, kind="preview")
+        if cached is not None:
+            entry, frame = cached
+            return entry, frame, True
+
+        def work() -> Tuple[FrameInfo, np.ndarray]:
+            reader = self._reader
+            entry = reader.find(name)
+            return entry, reader.read_preview(entry, scale)
+
+        entry, frame = await self._submit(self._route(name), work)
+        self.cache.put(key, entry, frame)
+        return entry, frame, False
+
+    async def get_roi(self, name: str, y0: int, y1: int) -> Tuple[FrameInfo, np.ndarray]:
+        """Decode just the row band ``[y0, y1)`` of one frame (uncached —
+        arbitrary bands would pollute the byte budget; the windowed
+        synthesis already makes them cheap)."""
+
+        def work() -> Tuple[FrameInfo, np.ndarray]:
+            reader = self._reader
+            entry = reader.find(name)
+            return entry, reader.read_roi(entry, y0, y1)
+
+        return await self._submit(self._route(name), work)
 
     async def get_frame_slice(
         self, name: str, range_value: str
@@ -721,6 +779,7 @@ class ArchiveService:
             "shape": list(entry.shape),
             "bank": entry.bank_name,
             "use_rle": entry.use_rle,
+            "layout": entry.layout,
             "offset": entry.offset,
             "stored_bytes": entry.length,
             "raw_bytes": entry.raw_bytes,
@@ -1021,7 +1080,9 @@ class ArchiveHTTPServer:
         headers: Dict[str, str],
         reader: asyncio.StreamReader,
     ) -> Tuple[int, Dict[str, str], bytes]:
-        path = unquote(target.split("?", 1)[0])
+        raw_path, _, query = target.partition("?")
+        path = unquote(raw_path)
+        params = parse_qs(query, keep_blank_values=True) if query else {}
         try:
             if path == "/stats":
                 self._require(method, "GET")
@@ -1037,6 +1098,13 @@ class ArchiveHTTPServer:
                 return await self._handle_ingest(headers, reader)
             if path.startswith("/frames/"):
                 remainder = path[len("/frames/"):]
+                if remainder.endswith("/preview"):
+                    name = remainder[: -len("/preview")]
+                    if not name or "/" in name:
+                        raise HTTPError(404, f"no such resource {path!r}")
+                    self._require(method, "GET")
+                    self.service.note_request("preview")
+                    return await self._handle_preview(name, params)
                 if remainder.endswith("/meta"):
                     name = remainder[: -len("/meta")]
                     if not name or "/" in name:
@@ -1108,6 +1176,67 @@ class ArchiveHTTPServer:
                 "X-Frame-Shape": "x".join(str(side) for side in shape),
                 "X-Frame-Dtype": dtype,
                 "X-Frame-Bit-Depth": str(entry.bit_depth),
+                "X-Archive-Cache": "hit" if hit else "miss",
+            },
+            body,
+        )
+
+    async def _handle_preview(
+        self, name: str, params: Dict[str, List[str]]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """``GET /frames/<name>/preview?scale=k`` or ``?roi=y0-y1``.
+
+        The body is the raw pixel buffer of exactly what
+        ``reader.read_preview`` / ``reader.read_roi`` return (same wire
+        shape as a full frame; ``X-Frame-Scale`` / ``X-Frame-Roi`` name
+        the request).  ``scale`` defaults to 1.
+        """
+        scale_values = params.get("scale")
+        roi_values = params.get("roi")
+        if scale_values and roi_values:
+            raise HTTPError(400, "pass either scale= or roi=, not both")
+        if roi_values:
+            y0_text, dash, y1_text = roi_values[-1].partition("-")
+            try:
+                if not dash:
+                    raise ValueError
+                y0, y1 = int(y0_text), int(y1_text)
+            except ValueError:
+                raise HTTPError(
+                    400, f"malformed roi {roi_values[-1]!r} (expected y0-y1)"
+                ) from None
+            entry, frame = await self.service.get_roi(name, y0, y1)
+            dtype, shape, body = frame_to_wire(frame)
+            return (
+                200,
+                {
+                    "Content-Type": "application/octet-stream",
+                    "X-Frame-Name": entry.name,
+                    "X-Frame-Shape": "x".join(str(side) for side in shape),
+                    "X-Frame-Dtype": dtype,
+                    "X-Frame-Bit-Depth": str(entry.bit_depth),
+                    "X-Frame-Roi": f"{y0}-{y1}",
+                },
+                body,
+            )
+        try:
+            scale = int(scale_values[-1]) if scale_values else 1
+        except ValueError:
+            raise HTTPError(
+                400, f"malformed scale {scale_values[-1]!r} (expected an integer)"
+            ) from None
+        entry, frame, hit = await self.service.get_preview(name, scale)
+        dtype, shape, body = frame_to_wire(frame)
+        return (
+            200,
+            {
+                "Content-Type": "application/octet-stream",
+                "X-Frame-Name": entry.name,
+                "X-Frame-Shape": "x".join(str(side) for side in shape),
+                "X-Frame-Dtype": dtype,
+                "X-Frame-Bit-Depth": str(entry.bit_depth),
+                "X-Frame-Scale": str(scale),
+                "X-Frame-Layout": entry.layout,
                 "X-Archive-Cache": "hit" if hit else "miss",
             },
             body,

@@ -61,6 +61,8 @@ from ..coding.pipeline import (
 from ..coding.spec import CodecSpec, default_engine, reject_spec_overrides
 from .backend import RetryPolicy, StorageBackend
 from .format import (
+    LAYOUT_FRAME_MAJOR,
+    LAYOUTS,
     MANIFEST_MAGIC,
     MANIFEST_VERSION,
     ArchiveError,
@@ -279,7 +281,11 @@ def _read_manifest(path: Path) -> ShardManifest:
 # ---------------------------------------------------------------------------
 
 def _append_shard_worker(
-    paths: List[str], spec: CodecSpec, frames: List[np.ndarray], names: List[str]
+    paths: List[str],
+    spec: CodecSpec,
+    frames: List[np.ndarray],
+    names: List[str],
+    layout: str = LAYOUT_FRAME_MAJOR,
 ) -> Tuple[List[FrameInfo], PipelineStats]:
     """One end-to-end shard worker: compress once, write every copy.
 
@@ -291,7 +297,7 @@ def _append_shard_worker(
     batch = compress_frames(frames, spec=spec)
     entries: Optional[List[FrameInfo]] = None
     for path in paths:
-        with ArchiveWriter.append(path, spec=spec) as writer:
+        with ArchiveWriter.append(path, spec=spec, layout=layout) as writer:
             copy_entries = writer.add_batch(batch, names=names)
         if entries is None:
             entries = copy_entries
@@ -380,6 +386,7 @@ class ShardedArchiveWriter:
         codec: Optional[str] = None,
         scales: Optional[int] = None,
         engine: Optional[str] = None,
+        layout: str = LAYOUT_FRAME_MAJOR,
         **codec_options,
     ) -> "ShardedArchiveWriter":
         """Create a new set: N empty finalised shards plus the manifest.
@@ -387,8 +394,12 @@ class ShardedArchiveWriter:
         ``path`` is the manifest file (conventionally ``*.dwts``); shard
         containers are created next to it.  Configuration defaults match
         :meth:`ArchiveWriter.create`; ``spec`` and the legacy keywords are
-        mutually exclusive, as everywhere else.
+        mutually exclusive, as everywhere else.  ``layout`` (stored in the
+        manifest) sets the payload layout of every shard — pass
+        ``"subband-major"`` for progressive prefix-decodable payloads.
         """
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown payload layout {layout!r} (expected one of {LAYOUTS})")
         if spec is None:
             spec = CodecSpec.from_kwargs(
                 codec=codec if codec is not None else "s-transform",
@@ -409,6 +420,7 @@ class ShardedArchiveWriter:
             shard_names=tuple(shard_file_names(path, shards)),
             spec_json=spec.to_json(),
             boundaries=tuple(boundaries),
+            layout=layout,
         )
         return cls._init_set(path, manifest, spec, overwrite, workers)
 
@@ -429,7 +441,12 @@ class ShardedArchiveWriter:
         replica_map = manifest.replica_names or ((),) * len(manifest.shard_names)
         for shard, name in enumerate(manifest.shard_names):
             for copy in (name, *replica_map[shard]):
-                ArchiveWriter.create(path.parent / copy, spec=spec, overwrite=overwrite).close()
+                ArchiveWriter.create(
+                    path.parent / copy,
+                    spec=spec,
+                    overwrite=overwrite,
+                    layout=manifest.layout,
+                ).close()
         write_manifest(path, manifest)
         return cls(path, manifest, spec, names=set(), total=0, workers=workers)
 
@@ -483,7 +500,7 @@ class ShardedArchiveWriter:
     def _writer(self, shard: int) -> ArchiveWriter:
         if shard not in self._writers:
             self._writers[shard] = ArchiveWriter.append(
-                self.shard_paths[shard], spec=self.spec
+                self.shard_paths[shard], spec=self.spec, layout=self.manifest.layout
             )
         return self._writers[shard]
 
@@ -605,6 +622,7 @@ class ShardedArchiveWriter:
                     self.spec,
                     [frames[i] for i in groups[shard]],
                     [names[i] for i in groups[shard]],
+                    self.manifest.layout,
                 )
                 for shard in shard_order
             }
@@ -930,6 +948,19 @@ class ShardedArchiveReader:
         """
         shard, entry = self._locate(key)
         return self._shard_op(shard, lambda r: r.decode(entry))
+
+    def read_preview(self, key: FrameKey, at_scale: int) -> np.ndarray:
+        """Routed preview decode (see :meth:`ArchiveReader.read_preview`):
+        on a subband-major set only the strict byte prefix of the target
+        frame's payload is read, with the same failover ladder as
+        :meth:`decode`."""
+        shard, entry = self._locate(key)
+        return self._shard_op(shard, lambda r: r.read_preview(entry, at_scale))
+
+    def read_roi(self, key: FrameKey, y0: int, y1: int) -> np.ndarray:
+        """Routed row-band decode (see :meth:`ArchiveReader.read_roi`)."""
+        shard, entry = self._locate(key)
+        return self._shard_op(shard, lambda r: r.read_roi(entry, y0, y1))
 
     # -- bulk path ----------------------------------------------------------------------
     def to_batch(self, keys: Optional[Sequence[FrameKey]] = None) -> CompressedBatch:

@@ -50,6 +50,9 @@ from ..coding.spec import CodecSpec, default_engine, reject_spec_overrides
 from .backend import StorageBackend, resolve_backend
 from .format import (
     HEADER_SIZE,
+    LAYOUT_FRAME_MAJOR,
+    LAYOUT_SUBBAND_MAJOR,
+    LAYOUTS,
     VERSION,
     FrameInfo,
     Header,
@@ -92,12 +95,18 @@ class ArchiveWriter:
         offset: int,
         spec: CodecSpec,
         workers: int = 1,
+        layout: str = LAYOUT_FRAME_MAJOR,
     ) -> None:
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown payload layout {layout!r} (expected one of {LAYOUTS})")
         #: Storage backend holding the container's bytes.
         self.backend = resolve_backend(backend)
         self.path = Path(self.backend.describe())
         #: The writer's full compression configuration.
         self.spec = spec
+        #: Payload layout for frames added by this writer
+        #: (``"frame-major"`` or the progressive ``"subband-major"``).
+        self.layout = layout
         #: Default worker count for :meth:`append_batch` (1 = serial).
         self.workers = int(workers)
         #: Aggregated pipeline stats of every :meth:`append_batch`/:meth:`add_batch`
@@ -137,6 +146,7 @@ class ArchiveWriter:
         overwrite: bool = False,
         spec: Optional[CodecSpec] = None,
         workers: int = 1,
+        layout: str = LAYOUT_FRAME_MAJOR,
         **codec_options,
     ) -> "ArchiveWriter":
         """Create a new archive at ``path`` (refuses to clobber unless told to).
@@ -144,7 +154,9 @@ class ArchiveWriter:
         Configuration defaults: s-transform codec, 4 scales, and the
         :func:`~repro.coding.spec.default_engine` entropy tier.
         Passing ``spec`` together with any explicit codec keyword is an
-        error, never a silent override.
+        error, never a silent override.  ``layout="subband-major"`` stores
+        payloads coarsest-subband-first so previews decode from a strict
+        byte prefix (and makes the container format version 2).
         """
         if spec is None:
             spec = CodecSpec.from_kwargs(
@@ -173,7 +185,7 @@ class ArchiveWriter:
                 )
             )
         )
-        return cls(backend, fh, [], HEADER_SIZE, spec, workers=workers)
+        return cls(backend, fh, [], HEADER_SIZE, spec, workers=workers, layout=layout)
 
     @classmethod
     def append(
@@ -184,12 +196,14 @@ class ArchiveWriter:
         engine: Optional[str] = None,
         spec: Optional[CodecSpec] = None,
         workers: int = 1,
+        layout: Optional[str] = None,
         **codec_options,
     ) -> "ArchiveWriter":
         """Open an existing archive to add frames after the ones it holds.
 
         The codec configuration defaults to the last stored frame's
-        (codec, scales, bank, bit depth, RLE choice), so an appended series
+        (codec, scales, bank, bit depth, RLE choice), and the payload
+        ``layout`` to the last stored frame's layout, so an appended series
         stays homogeneous unless overridden explicitly.
         """
         backend = resolve_backend(path)
@@ -218,11 +232,15 @@ class ArchiveWriter:
                 reject_spec_overrides(
                     codec_options, codec=codec, scales=scales, engine=engine
                 )
+            if layout is None:
+                layout = entries[-1].layout if entries else LAYOUT_FRAME_MAJOR
             # New payloads go after the old index, which stays valid (and
             # the header keeps pointing at it) until close() — so a crash
             # mid-append leaves the archive exactly as it was.
             fh.seek(0, 2)
-            return cls(backend, fh, entries, fh.tell(), spec, workers=workers)
+            return cls(
+                backend, fh, entries, fh.tell(), spec, workers=workers, layout=layout
+            )
         except BaseException:
             fh.close()
             raise
@@ -246,7 +264,7 @@ class ArchiveWriter:
         name = name if name is not None else self._next_name()
         if name in self._names:
             raise ValueError(f"archive already has a frame named {name!r}")
-        payload = serialize_stream(stream)
+        payload = serialize_stream(stream, layout=self.layout)
         stream_spec = spec_for_stream(stream)
         entry = FrameInfo(
             index=len(self._entries),
@@ -261,6 +279,7 @@ class ArchiveWriter:
             raw_bytes=stream.original_bytes,
             bank_name=stream_spec.bank_name,
             use_rle=bool(stream_spec.use_rle),
+            layout=self.layout,
         )
         self._fh.seek(self._offset)
         self._fh.write(payload)
@@ -334,8 +353,14 @@ class ArchiveWriter:
         # until the header patch below, an appended archive still reads as
         # its previous state.
         self._fh.flush()
+        # Frame-major-only archives stay byte-identical version-1 files;
+        # the header only says version 2 when a subband-major payload (a
+        # v2 wire feature) is actually present.
+        subband_major = any(
+            entry.layout == LAYOUT_SUBBAND_MAJOR for entry in self._entries
+        )
         header = Header(
-            version=VERSION,
+            version=VERSION if subband_major else 1,
             flags=0,
             frame_count=len(self._entries),
             index_offset=self._offset,

@@ -50,6 +50,7 @@ from .s_transform import (
     s_transform_forward_2d,
     s_transform_inverse_1d,
     s_transform_inverse_2d,
+    s_transform_inverse_roi,
 )
 from .huffman import (
     HuffmanCode,
@@ -131,6 +132,7 @@ __all__ = [
     "s_transform_forward_2d",
     "s_transform_inverse_1d",
     "s_transform_inverse_2d",
+    "s_transform_inverse_roi",
     "HuffmanCode",
     "build_code_lengths",
     "canonical_codes",

@@ -307,6 +307,52 @@ class LosslessWaveletCodec:
         """Reconstruct the original image bit for bit."""
         return self.inverse_transform(self.decode_pyramid(compressed))
 
+    def _check_stream_config(self, compressed: CompressedImage) -> None:
+        if compressed.bank_name != self.bank.name or compressed.scales != self.scales:
+            raise ValueError(
+                "compressed stream was produced with a different codec configuration "
+                f"({compressed.bank_name}/{compressed.scales} vs "
+                f"{self.bank.name}/{self.scales})"
+            )
+
+    def decode_preview(self, compressed: CompressedImage, at_scale: int) -> np.ndarray:
+        """Decode only the subbands a scale-``at_scale`` preview needs.
+
+        Entropy decodes the approximation plus the detail subbands coarser
+        than ``at_scale`` — a prefix-decoded stream holding just those
+        chunks suffices — and stops the synthesis ladder early
+        (:meth:`FixedPointDWT.inverse_preview`).  ``at_scale=0`` decodes
+        every chunk and equals :meth:`decode` bit for bit.
+        """
+        self._check_stream_config(compressed)
+        if not 0 <= at_scale <= self.scales:
+            raise ValueError(
+                f"at_scale must be within [0, {self.scales}], got {at_scale}"
+            )
+        approximation = self._decode_band(compressed.chunk("HH", self.scales))
+        details: List[Optional[ScaleDetails]] = [None] * self.scales
+        for scale in range(at_scale + 1, self.scales + 1):
+            details[scale - 1] = ScaleDetails(
+                scale=scale,
+                hg=self._decode_band(compressed.chunk("HG", scale)),
+                gh=self._decode_band(compressed.chunk("GH", scale)),
+                gg=self._decode_band(compressed.chunk("GG", scale)),
+            )
+        pyramid = FixedPointPyramid(
+            plan=self.plan, approximation=approximation, details=details
+        )
+        return self.transform.inverse_preview(pyramid, at_scale)
+
+    def decode_roi(self, compressed: CompressedImage, y0: int, y1: int) -> np.ndarray:
+        """Decode just the output row band ``[y0, y1)``.
+
+        Every subband still entropy decodes (a row band draws on all
+        scales), but the synthesis runs windowed
+        (:meth:`FixedPointDWT.inverse_roi`), so the result is bit-exact to
+        ``decode(compressed)[y0:y1]`` at a fraction of the synthesis work.
+        """
+        return self.transform.inverse_roi(self.decode_pyramid(compressed), y0, y1)
+
     def _decode_band(self, chunk: SubbandChunk) -> np.ndarray:
         if chunk.use_rle:
             run_symbols = self._rice_decode(chunk.run_payload)

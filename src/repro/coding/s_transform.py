@@ -44,6 +44,7 @@ __all__ = [
     "s_transform_inverse_1d",
     "s_transform_forward_2d",
     "s_transform_inverse_2d",
+    "s_transform_inverse_roi",
     "STransformPyramid",
     "STransformCodec",
     "CompressedSImage",
@@ -133,6 +134,42 @@ def s_transform_inverse_2d(pyramid: STransformPyramid) -> np.ndarray:
         row_lo = s_transform_inverse_1d(data.T, bands["HG"].T).T
         row_hi = s_transform_inverse_1d(bands["GH"].T, bands["GG"].T).T
         data = s_transform_inverse_1d(row_lo, row_hi)
+    return data
+
+
+def s_transform_inverse_roi(
+    pyramid: STransformPyramid, y0: int, y1: int
+) -> np.ndarray:
+    """Inverse S-transform restricted to output rows ``[y0, y1)``.
+
+    The S-transform is non-overlapping (each output row pair draws on one
+    coefficient row), so the row window contracts exactly by
+    ``(a, b) -> (a // 2, (b - 1) // 2 + 1)`` per scale and never clamps.
+    The result is bit-exact to ``s_transform_inverse_2d(pyramid)[y0:y1]``.
+    """
+    scales = pyramid.scales
+    height = pyramid.approximation.shape[0] << scales
+    if not 0 <= y0 < y1 <= height:
+        raise ValueError(
+            f"row band [{y0}, {y1}) is not within the {height}-row image"
+        )
+    windows = [(y0, y1)]
+    for _ in range(scales):
+        a, b = windows[-1]
+        windows.append((a // 2, (b - 1) // 2 + 1))
+    lo, hi = windows[scales]
+    data = np.asarray(pyramid.approximation, dtype=np.int64)[lo:hi]
+    for level, bands in zip(range(scales, 0, -1), reversed(pyramid.details)):
+        in_win = windows[level]
+        out_win = windows[level - 1]
+        hg = bands["HG"][in_win[0] : in_win[1]]
+        gh = bands["GH"][in_win[0] : in_win[1]]
+        gg = bands["GG"][in_win[0] : in_win[1]]
+        row_lo = s_transform_inverse_1d(data.T, hg.T).T
+        row_hi = s_transform_inverse_1d(gh.T, gg.T).T
+        start = out_win[0] - 2 * in_win[0]
+        stop = out_win[1] - 2 * in_win[0]
+        data = s_transform_inverse_1d(row_lo[start:stop], row_hi[start:stop])
     return data
 
 
@@ -258,6 +295,43 @@ class STransformCodec:
     def decode(self, compressed: CompressedSImage) -> np.ndarray:
         """Reconstruct the original image bit for bit."""
         return self.inverse_transform(self.decode_pyramid(compressed))
+
+    def decode_preview(self, compressed: CompressedSImage, at_scale: int) -> np.ndarray:
+        """Decode the scale-``at_scale`` approximation image.
+
+        Only the approximation and the detail subbands coarser than
+        ``at_scale`` are entropy decoded, so a prefix-decoded stream holding
+        just those chunks suffices.  The S-transform averages (rather than
+        sums) on analysis, so the preview stays in pixel range.
+        ``at_scale=0`` equals :meth:`decode` bit for bit.
+        """
+        if compressed.scales != self.scales:
+            raise ValueError(
+                f"stream has {compressed.scales} scales, codec configured for {self.scales}"
+            )
+        if not 0 <= at_scale <= self.scales:
+            raise ValueError(
+                f"at_scale must be within [0, {self.scales}], got {at_scale}"
+            )
+        data = self._get_band(compressed, "HH", self.scales)
+        for scale in range(self.scales, at_scale, -1):
+            bands = {
+                kind: self._get_band(compressed, kind, scale)
+                for kind in ("HG", "GH", "GG")
+            }
+            row_lo = s_transform_inverse_1d(data.T, bands["HG"].T).T
+            row_hi = s_transform_inverse_1d(bands["GH"].T, bands["GG"].T).T
+            data = s_transform_inverse_1d(row_lo, row_hi)
+        return data
+
+    def decode_roi(self, compressed: CompressedSImage, y0: int, y1: int) -> np.ndarray:
+        """Decode just the output row band ``[y0, y1)``.
+
+        Bit-exact to ``decode(compressed)[y0:y1]``; every subband still
+        entropy decodes, but the inverse transform runs windowed
+        (:func:`s_transform_inverse_roi`).
+        """
+        return s_transform_inverse_roi(self.decode_pyramid(compressed), y0, y1)
 
     def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, CompressedSImage]:
         compressed = self.encode(image)

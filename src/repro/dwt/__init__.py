@@ -39,6 +39,7 @@ from .transform2d import (
     analyze_2d_stage,
     fdwt_2d,
     idwt_2d,
+    reconstruct_preview,
     synthesize_2d_stage,
     validate_image_for_transform,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "analyze_2d_stage",
     "fdwt_2d",
     "idwt_2d",
+    "reconstruct_preview",
     "synthesize_2d_stage",
     "validate_image_for_transform",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "synthesize_2d_stage",
     "fdwt_2d",
     "idwt_2d",
+    "reconstruct_preview",
     "validate_image_for_transform",
 ]
 
@@ -114,5 +115,25 @@ def idwt_2d(pyramid: WaveletPyramid, bank: BiorthogonalBank) -> np.ndarray:
     """Multi-scale inverse 2-D DWT (inverse of :func:`fdwt_2d`)."""
     image = np.asarray(pyramid.approximation, dtype=float)
     for details in reversed(pyramid.details):
+        image = synthesize_2d_stage(image, details, bank)
+    return image
+
+
+def reconstruct_preview(
+    pyramid: WaveletPyramid, bank: BiorthogonalBank, at_scale: int
+) -> np.ndarray:
+    """Early-stopped inverse: the scale-``at_scale`` approximation image.
+
+    Runs only the synthesis stages above ``at_scale``, so detail entries
+    for finer scales are never touched (they may be ``None`` placeholders
+    in a prefix-decoded pyramid).  ``at_scale=0`` equals :func:`idwt_2d`.
+    This is the floating-point reference for the fixed-point
+    :func:`repro.fxdwt.transform.reconstruct_preview`.
+    """
+    scales = len(pyramid.details)
+    if not 0 <= at_scale <= scales:
+        raise ValueError(f"at_scale must be within [0, {scales}], got {at_scale}")
+    image = np.asarray(pyramid.approximation, dtype=float)
+    for details in reversed(pyramid.details[at_scale:]):
         image = synthesize_2d_stage(image, details, bank)
     return image

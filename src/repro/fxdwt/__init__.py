@@ -11,13 +11,20 @@ Public API
 """
 
 from .lossless import LosslessReport, lossless_word_length_search, verify_lossless
-from .transform import FixedPointDWT, FixedPointPyramid, QuantizedFilter, quantize_filter
+from .transform import (
+    FixedPointDWT,
+    FixedPointPyramid,
+    QuantizedFilter,
+    quantize_filter,
+    reconstruct_preview,
+)
 
 __all__ = [
     "FixedPointDWT",
     "FixedPointPyramid",
     "QuantizedFilter",
     "quantize_filter",
+    "reconstruct_preview",
     "LosslessReport",
     "lossless_word_length_search",
     "verify_lossless",

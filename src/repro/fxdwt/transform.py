@@ -36,6 +36,7 @@ __all__ = [
     "quantize_filter",
     "FixedPointPyramid",
     "FixedPointDWT",
+    "reconstruct_preview",
 ]
 
 
@@ -311,8 +312,209 @@ class FixedPointDWT:
         # _synthesis_1d already returns int64; avoid a redundant full-image copy.
         return np.asarray(data, dtype=np.int64)
 
+    def inverse_preview(self, pyramid: FixedPointPyramid, at_scale: int) -> np.ndarray:
+        """Partial inverse: stop the synthesis ladder at ``at_scale``.
+
+        Runs the same ladder as :meth:`inverse` but only for scales
+        ``S .. at_scale+1``, so it needs only the approximation and the
+        detail subbands *coarser* than ``at_scale`` — ``pyramid.details``
+        entries for finer scales may be ``None`` placeholders (the
+        prefix-decode path never materialises them).  ``at_scale=0`` is
+        exactly :meth:`inverse`, bit for bit.
+
+        For ``at_scale=k > 0`` the scale-``k`` approximation is narrowed
+        from its data format to integer precision with the same §4.3
+        rounding the ladder uses everywhere else, giving a
+        ``(H/2^k, W/2^k)`` integer preview.  The preview carries the
+        analysis filters' DC gain per descent (it *is* the transform's
+        scale-``k`` average signal, whose dynamic range the Table II
+        integer-bits schedule bounds); viewers normalise for display.
+        """
+        if pyramid.scales != self.scales:
+            raise ValueError(
+                f"pyramid has {pyramid.scales} scales, engine configured for {self.scales}"
+            )
+        if not 0 <= at_scale <= self.scales:
+            raise ValueError(
+                f"at_scale must be within [0, {self.scales}], got {at_scale}"
+            )
+        data = np.asarray(pyramid.approximation, dtype=np.int64)
+        for scale in range(self.scales, at_scale, -1):
+            source = self.plan.format_for_scale(scale)
+            target = self.plan.format_for_scale(scale - 1)
+            entry = pyramid.details[scale - 1]
+            frac = source.fractional_bits
+            row_lo = self._synthesis_1d(data.T, entry.hg.T, frac, source).T
+            row_hi = self._synthesis_1d(entry.gh.T, entry.gg.T, frac, source).T
+            data = self._synthesis_1d(row_lo, row_hi, frac, target)
+        if at_scale == 0:
+            return np.asarray(data, dtype=np.int64)
+        fmt = self.plan.format_for_scale(at_scale)
+        shift = self._shift_amount(
+            fmt.fractional_bits, self.plan.input_format.fractional_bits
+        )
+        # The stored value's magnitude is bounded by the scale's integer
+        # part, so the narrowed integers fit b_int(k) bits exactly.
+        target = QFormat(word_length=fmt.integer_bits, integer_bits=fmt.integer_bits)
+        return self._narrow(data, shift, target)
+
+    # -- row-band ROI ----------------------------------------------------------------
+    def _roi_windows(
+        self, y0: int, y1: int, height: int
+    ) -> List[Optional[Tuple[int, int]]]:
+        """Per-scale row windows feeding output rows ``[y0, y1)``.
+
+        ``windows[s]`` is the half-open row range needed at scale ``s``
+        (``windows[0]`` is the request itself).  The contraction inverts
+        the synthesis scatter ``out = 2*in + tap_index``; when a window
+        would clamp at an array edge the wraparound (circular-extension)
+        contributions come into play, so the window degrades to ``None`` —
+        "use every row" — there and at every coarser scale.
+        """
+        taps = [idx for idx, _ in self._qht.items()] + [
+            idx for idx, _ in self._qgt.items()
+        ]
+        min_idx, max_idx = min(taps), max(taps)
+        windows: List[Optional[Tuple[int, int]]] = [(y0, y1)]
+        rows = height
+        for _ in range(1, self.scales + 1):
+            rows //= 2
+            previous = windows[-1]
+            if previous is None:
+                windows.append(None)
+                continue
+            a, b = previous
+            lo = (a - max_idx + 1) // 2  # ceil((a - max_idx) / 2)
+            hi = (b - 1 - min_idx) // 2 + 1
+            windows.append((lo, hi) if 0 <= lo and hi <= rows else None)
+        return windows
+
+    def _synthesis_window(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        source_frac: int,
+        target: QFormat,
+        in_start: int,
+        out_window: Tuple[int, int],
+    ) -> np.ndarray:
+        """One synthesis stage producing only output positions
+        ``[out_window)`` from inputs whose global start index is
+        ``in_start`` (``lo``/``hi`` already sliced to their window).
+
+        Positions are global and unwrapped: the window ladder falls back
+        to the full :meth:`_synthesis_1d` whenever a window clamps, and
+        wraparound contributions exist *only* in that clamped case, so the
+        masked scatter here is exact for every window that reaches it.
+        """
+        half = lo.shape[-1]
+        o0, o1 = out_window
+        acc = np.zeros(lo.shape[:-1] + (o1 - o0,), dtype=np.int64)
+        positions = 2 * (in_start + np.arange(half))
+        for source, qfilt in ((lo, self._qht), (hi, self._qgt)):
+            for idx, stored in qfilt.items():
+                local = positions + idx - o0
+                mask = (local >= 0) & (local < o1 - o0)
+                if mask.any():
+                    np.add.at(
+                        acc,
+                        (..., local[mask]),
+                        np.int64(stored) * source[..., mask],
+                    )
+        shift = self._shift_amount(
+            source_frac + self.plan.coefficient_format.fractional_bits,
+            target.fractional_bits,
+        )
+        return self._narrow(acc, shift, target)
+
+    def inverse_roi(
+        self, pyramid: FixedPointPyramid, y0: int, y1: int
+    ) -> np.ndarray:
+        """Inverse transform of just the output row band ``[y0, y1)``.
+
+        Synthesises only the rows that contribute to the requested band —
+        the vertical (column) synthesis runs windowed per scale, the
+        horizontal one only over the surviving rows — and returns a
+        ``(y1 - y0, W)`` integer image **bit-exact** to
+        ``inverse(pyramid)[y0:y1]``.  Every subband is still needed (a
+        row band draws on all scales), so the saving is synthesis compute
+        and intermediate memory, not entropy-decode work.
+        """
+        if pyramid.scales != self.scales:
+            raise ValueError(
+                f"pyramid has {pyramid.scales} scales, engine configured for {self.scales}"
+            )
+        height = pyramid.approximation.shape[0] << self.scales
+        if not 0 <= y0 < y1 <= height:
+            raise ValueError(
+                f"row band [{y0}, {y1}) must be non-empty and within [0, {height})"
+            )
+        windows = self._roi_windows(y0, y1, height)
+        top = windows[self.scales]
+        data = np.asarray(pyramid.approximation, dtype=np.int64)
+        if top is not None:
+            data = data[top[0] : top[1]]
+        for scale in range(self.scales, 0, -1):
+            source = self.plan.format_for_scale(scale)
+            target = self.plan.format_for_scale(scale - 1)
+            entry = pyramid.details[scale - 1]
+            frac = source.fractional_bits
+            in_win, out_win = windows[scale], windows[scale - 1]
+            if in_win is None:
+                # Clamped somewhere at or above this scale: full vertical
+                # synthesis (wraparound handled by the mod scatter), then
+                # keep only the rows the next stage needs.
+                row_lo = self._synthesis_1d(data.T, entry.hg.T, frac, source).T
+                row_hi = self._synthesis_1d(entry.gh.T, entry.gg.T, frac, source).T
+                if out_win is not None:
+                    row_lo = row_lo[out_win[0] : out_win[1]]
+                    row_hi = row_hi[out_win[0] : out_win[1]]
+            else:
+                hg = entry.hg[in_win[0] : in_win[1]]
+                gh = entry.gh[in_win[0] : in_win[1]]
+                gg = entry.gg[in_win[0] : in_win[1]]
+                row_lo = self._synthesis_window(
+                    data.T, hg.T, frac, source, in_win[0], out_win
+                ).T
+                row_hi = self._synthesis_window(
+                    gh.T, gg.T, frac, source, in_win[0], out_win
+                ).T
+            data = self._synthesis_1d(row_lo, row_hi, frac, target)
+        return np.asarray(data, dtype=np.int64)
+
     # -- convenience -----------------------------------------------------------------
     def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, FixedPointPyramid]:
         """Forward + inverse transform; returns ``(reconstructed, pyramid)``."""
         pyramid = self.forward(image)
         return self.inverse(pyramid), pyramid
+
+
+#: Engine cache for :func:`reconstruct_preview` — quantising the synthesis
+#: filters and deriving shift schedules is pure per-(bank, depth) setup, so
+#: one engine per configuration is reused across calls (the same plan-reuse
+#: the codecs get by holding their own engine).
+_PREVIEW_ENGINES: Dict[Tuple[str, int, str], FixedPointDWT] = {}
+
+
+def reconstruct_preview(
+    pyramid: FixedPointPyramid,
+    bank: BiorthogonalBank,
+    at_scale: int,
+    rounding: str = "half_up",
+) -> np.ndarray:
+    """Early-stopped inverse of a fixed-point pyramid (module-level helper).
+
+    Reconstructs the scale-``at_scale`` approximation from only the
+    subbands coarser than ``at_scale`` by stopping the synthesis ladder
+    early (:meth:`FixedPointDWT.inverse_preview`), reusing one cached
+    engine — quantised synthesis filters, word-length plan, shift
+    schedule — per ``(bank, scales, rounding)`` configuration.
+    """
+    key = (bank.name, pyramid.scales, rounding)
+    engine = _PREVIEW_ENGINES.get(key)
+    if engine is None:
+        engine = FixedPointDWT(
+            bank, pyramid.scales, plan=pyramid.plan, rounding=rounding
+        )
+        _PREVIEW_ENGINES[key] = engine
+    return engine.inverse_preview(pyramid, at_scale)

@@ -352,3 +352,123 @@ class TestMidSessionDisappearance:
             reader.copy_paths[victim_shard][0].unlink()
             assert np.array_equal(reader.decode("s0"), frames[0])
             assert reader.failovers == 1
+
+
+class TestSubbandMajorTruncationSweep:
+    """Truncation sweep over the v2 subband-major payload's structure.
+
+    Every cut point in the payload must map to ``TruncatedArchiveError``
+    naming where the bytes end — the head, the table prologue, a specific
+    section descriptor, or a specific section — and a cut *after* a
+    preview's prefix must leave that preview decodable: the prefix
+    property is exactly what makes partial payloads useful rather than
+    merely diagnosable."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        from repro.archive import LAYOUT_SUBBAND_MAJOR, serialize_stream
+        from repro.coding import STransformCodec
+        from repro.imaging import shepp_logan
+
+        stream = STransformCodec(scales=3).encode(shepp_logan(64))
+        return serialize_stream(stream, layout=LAYOUT_SUBBAND_MAJOR)
+
+    def test_cut_inside_the_head(self, payload):
+        from repro.archive.serialize import PAYLOAD_HEAD_SIZE, parse_section_table
+
+        for cut in range(PAYLOAD_HEAD_SIZE):
+            with pytest.raises(TruncatedArchiveError, match="head"):
+                parse_section_table(payload[:cut])
+
+    def test_cut_inside_the_prologue(self, payload):
+        from repro.archive.serialize import PAYLOAD_HEAD_SIZE, parse_section_table
+
+        with pytest.raises(TruncatedArchiveError, match="prologue"):
+            parse_section_table(payload[: PAYLOAD_HEAD_SIZE + 5])
+
+    def test_cut_inside_each_descriptor_names_its_index(self, payload):
+        from repro.archive.serialize import PAYLOAD_HEAD_SIZE, parse_section_table
+
+        table = parse_section_table(payload)
+        # s-transform meta block: 13-byte prologue, then one fixed 18-byte
+        # descriptor per section.
+        prologue, descriptor = 13, 18
+        for index in range(len(table.sections)):
+            cut = PAYLOAD_HEAD_SIZE + prologue + index * descriptor + descriptor // 2
+            with pytest.raises(
+                TruncatedArchiveError,
+                match=f"descriptor {index} of {len(table.sections)}",
+            ):
+                parse_section_table(payload[:cut])
+
+    def test_cut_inside_the_table_checksum(self, payload):
+        from repro.archive.serialize import parse_section_table
+
+        table = parse_section_table(payload)
+        with pytest.raises(TruncatedArchiveError, match="checksum"):
+            parse_section_table(payload[: table.body_offset - 2])
+
+    def test_cut_at_each_section_boundary(self, payload):
+        """Sweep the cut across every section boundary: previews whose
+        prefix survived the cut decode; the first missing section is named
+        for the ones that did not."""
+        from repro.archive.serialize import deserialize_prefix, parse_section_table
+
+        table = parse_section_table(payload)
+        scales = table.scales
+        for section in table.sections:
+            cut = payload[: section.offset + section.length]
+            for at_scale in range(scales, -1, -1):
+                needed = table.prefix_length(at_scale)
+                if needed <= len(cut):
+                    stream, _ = deserialize_prefix(cut, at_scale)
+                    kinds = (
+                        stream.chunks
+                        if isinstance(stream.chunks, dict)
+                        else {(c.kind, c.scale) for c in stream.chunks}
+                    )
+                    assert ("HH", scales) in kinds
+                else:
+                    # Prefix sections are a leading run, so the first one the
+                    # cut lost is the section right after the boundary.
+                    with pytest.raises(
+                        TruncatedArchiveError,
+                        match=f"section {section.index + 1} ",
+                    ):
+                        deserialize_prefix(cut, at_scale)
+
+    def test_cut_mid_section_names_that_section(self, payload):
+        from repro.archive.serialize import deserialize_prefix, parse_section_table
+
+        table = parse_section_table(payload)
+        for section in table.sections:
+            if section.length < 2:
+                continue
+            cut = payload[: section.offset + section.length // 2]
+            with pytest.raises(
+                TruncatedArchiveError, match=f"section {section.index} "
+            ):
+                deserialize_prefix(cut, 0)
+
+    def test_reader_guards_an_inflated_section_table(self, tmp_path):
+        """A bit flip that inflates ``meta_len`` past the stored payload
+        must surface as ``TruncatedArchiveError`` before any parse."""
+        from repro.archive import LAYOUT_SUBBAND_MAJOR
+        from repro.imaging import shepp_logan
+
+        path = tmp_path / "prog.dwta"
+        with ArchiveWriter.create(
+            path, scales=3, layout=LAYOUT_SUBBAND_MAJOR
+        ) as writer:
+            writer.append_batch([shepp_logan(64)], names=["frame"])
+        with ArchiveReader(path) as clean:
+            entry = clean.find("frame")
+        backend = FaultInjectionBackend(
+            FileBackend(path),
+            # Head layout "<IBI": offset 7 is the third byte of meta_len,
+            # so the flip adds 0x400000 — far past the payload's length.
+            faults=(Fault(kind="bit-flip", offset=entry.offset + 7, mask=0x40),),
+        )
+        with ArchiveReader(backend) as reader:
+            with pytest.raises(TruncatedArchiveError, match="section table"):
+                reader.read_preview("frame", 2)
