@@ -1,0 +1,63 @@
+"""Shared CPU-count gating for throughput benchmarks.
+
+Every scaling benchmark in this directory has the same shape: a
+correctness half that always runs (byte identity, invariance) and a
+throughput half that only makes physical sense when the host actually has
+CPUs to scale onto.  On narrow hosts (a single-core CI container) a pool
+can only add overhead, so the speedup assertion is *waived* — and the
+waiver, with the measured numbers, is recorded in the benchmark's JSON
+report so a reader of the trajectory knows the gate was not silently
+skipped.
+
+This module is that logic, shared: probe the usable CPU count, decide
+enforce-vs-waive against a minimum, and render the uniform record string.
+The probe deliberately does **not** go through
+:func:`repro.coding.executor.default_workers` — ``REPRO_WORKERS`` pins
+pool widths for CI legs, and an environment variable must not be able to
+waive (or force) a physical throughput gate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["usable_cpu_count", "cpu_throughput_gate", "ThroughputGate"]
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ThroughputGate:
+    """One benchmark's enforce-or-waive decision, plus its report string."""
+
+    usable_cpus: int
+    min_cpus: int
+    #: Why a waiver is physically justified on a narrow host, e.g.
+    #: "a process pool cannot speed up CPU-bound work without CPUs".
+    waiver: str
+
+    @property
+    def active(self) -> bool:
+        return self.usable_cpus >= self.min_cpus
+
+    @property
+    def record(self) -> str:
+        """The uniform ``throughput_gate`` value for the JSON report."""
+        if self.active:
+            return "enforced"
+        return (
+            f"waived: host exposes {self.usable_cpus} usable CPU(s); "
+            f"{self.waiver}"
+        )
+
+
+def cpu_throughput_gate(waiver: str, min_cpus: int = 4) -> ThroughputGate:
+    """The gate for one benchmark run on this host."""
+    return ThroughputGate(usable_cpu_count(), min_cpus, waiver)

@@ -25,10 +25,10 @@ import time
 import numpy as np
 import pytest
 
+from _gates import cpu_throughput_gate
 from repro.archive import ShardedArchiveReader
 from repro.archive.replication import ReplicatedShardSet
 from repro.archive.server import ArchiveHTTPServer, ArchiveService
-from repro.coding.executor import default_workers
 from repro.imaging import ct_slice_series
 
 pytestmark = pytest.mark.archive
@@ -100,7 +100,9 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
     with ShardedArchiveReader(path) as direct:
         expected = {name: direct.decode(name) for name in names}
         payload_layout = direct.manifest.layout
-    usable_cpus = default_workers()
+    gate = cpu_throughput_gate(
+        "the event loop, shard workers and 16 clients all contend for them"
+    )
     latencies = []
 
     async def scenario():
@@ -141,7 +143,6 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
     ordered = sorted(latencies)
     p50 = statistics.median(ordered)
     p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
-    gate_active = usable_cpus >= 4
     record = {
         "frame_count": FRAME_COUNT,
         "frame_size": FRAME_SIZE,
@@ -151,7 +152,7 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
         "clients": CLIENTS,
         "requests_per_client": REQUESTS_PER_CLIENT,
         "total_requests": total_requests,
-        "usable_cpus": usable_cpus,
+        "usable_cpus": gate.usable_cpus,
         "byte_identical": True,
         "elapsed_s": elapsed,
         "requests_per_s": requests_per_s,
@@ -161,12 +162,7 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
         "reader": stats["reader"],
         "queue_peaks": stats["queues"]["peak_depths"],
         "min_requests_per_s": MIN_REQUESTS_PER_S,
-        "throughput_gate": (
-            "enforced"
-            if gate_active
-            else f"waived: host exposes {usable_cpus} usable CPU(s); the "
-            "event loop, shard workers and 16 clients all contend for them"
-        ),
+        "throughput_gate": gate.record,
     }
     save_json_record("bench_archive_server", record)
 
@@ -174,7 +170,7 @@ def test_server_sustained_concurrent_load(tmp_path, save_json_record):
     assert stats["cache"]["hits"] > 0
     assert stats["reader"]["failovers" if "failovers" in stats["reader"] else "retries"] == 0
 
-    if gate_active:
+    if gate.active:
         assert requests_per_s >= MIN_REQUESTS_PER_S, (
             f"served only {requests_per_s:.0f} req/s "
             f"(p99 {p99 * 1e3:.1f} ms) under {CLIENTS} clients"

@@ -22,8 +22,8 @@ import time
 
 import pytest
 
+from _gates import cpu_throughput_gate
 from repro.archive import ArchiveReader, ArchiveWriter, ShardedArchiveReader, ShardedArchiveWriter
-from repro.coding.executor import default_workers
 from repro.imaging import ct_slice_series
 
 pytestmark = pytest.mark.archive
@@ -55,7 +55,9 @@ def _pack_set(directory, frames, workers, repeats=3):
 
 def test_sharded_pack_scaling(tmp_path, save_json_record):
     frames = ct_slice_series(count=FRAME_COUNT, size=FRAME_SIZE, seed=20260728)
-    usable_cpus = default_workers()
+    gate = cpu_throughput_gate(
+        "one worker per shard cannot beat serial without CPUs to run on"
+    )
 
     seconds, sets = {}, {}
     for workers in WORKER_COUNTS:
@@ -81,28 +83,22 @@ def test_sharded_pack_scaling(tmp_path, save_json_record):
 
     pixels = FRAME_COUNT * FRAME_SIZE * FRAME_SIZE
     speedup = seconds[1] / seconds[4]
-    gate_active = usable_cpus >= 4
     record = {
         "frame_count": FRAME_COUNT,
         "frame_size": FRAME_SIZE,
         "shards": SHARDS,
-        "usable_cpus": usable_cpus,
+        "usable_cpus": gate.usable_cpus,
         "byte_identical": True,
         "reshard_invariant": True,
         "seconds": {str(w): seconds[w] for w in WORKER_COUNTS},
         "mpixels_per_s": {str(w): pixels / seconds[w] / 1e6 for w in WORKER_COUNTS},
         "speedup_at_4_workers": speedup,
         "min_speedup_at_4": MIN_SPEEDUP_AT_4,
-        "throughput_gate": (
-            "enforced"
-            if gate_active
-            else f"waived: host exposes {usable_cpus} usable CPU(s); one "
-            "worker per shard cannot beat serial without CPUs to run on"
-        ),
+        "throughput_gate": gate.record,
     }
     save_json_record("bench_archive_sharded", record)
 
-    if gate_active:
+    if gate.active:
         assert speedup >= MIN_SPEEDUP_AT_4, (
             f"4-worker sharded pack speedup only {speedup:.2f}x "
             f"({seconds[1] * 1e3:.0f} ms serial vs {seconds[4] * 1e3:.0f} ms parallel)"

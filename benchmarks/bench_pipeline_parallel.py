@@ -21,8 +21,8 @@ import time
 
 import pytest
 
+from _gates import cpu_throughput_gate
 from repro.coding import compress_frames
-from repro.coding.executor import default_workers
 from repro.imaging import ct_slice_series
 
 pytestmark = pytest.mark.archive
@@ -45,7 +45,9 @@ def _best_run(frames, workers, repeats=3):
 
 def test_parallel_scaling(save_json_record):
     frames = ct_slice_series(count=FRAME_COUNT, size=FRAME_SIZE, seed=20260728)
-    usable_cpus = default_workers()
+    gate = cpu_throughput_gate(
+        "a process pool cannot speed up CPU-bound work without CPUs to run on"
+    )
 
     seconds = {}
     batches = {}
@@ -65,11 +67,10 @@ def test_parallel_scaling(save_json_record):
 
     pixels = sum(int(frame.size) for frame in frames)
     speedups = {workers: seconds[1] / seconds[workers] for workers in WORKER_COUNTS}
-    gate_active = usable_cpus >= 4
     record = {
         "frame_count": FRAME_COUNT,
         "frame_size": FRAME_SIZE,
-        "usable_cpus": usable_cpus,
+        "usable_cpus": gate.usable_cpus,
         "byte_identical": True,
         "seconds": {str(w): seconds[w] for w in WORKER_COUNTS},
         "mpixels_per_s": {
@@ -77,16 +78,11 @@ def test_parallel_scaling(save_json_record):
         },
         "speedup_vs_serial": {str(w): speedups[w] for w in WORKER_COUNTS},
         "min_speedup_at_4": MIN_SPEEDUP_AT_4,
-        "throughput_gate": (
-            "enforced"
-            if gate_active
-            else f"waived: host exposes {usable_cpus} usable CPU(s); a process "
-            "pool cannot speed up CPU-bound work without CPUs to run on"
-        ),
+        "throughput_gate": gate.record,
     }
     save_json_record("bench_pipeline_parallel", record)
 
-    if gate_active:
+    if gate.active:
         assert speedups[4] >= MIN_SPEEDUP_AT_4, (
             f"4-worker speedup only {speedups[4]:.2f}x "
             f"({seconds[1] * 1e3:.0f} ms serial vs {seconds[4] * 1e3:.0f} ms parallel)"

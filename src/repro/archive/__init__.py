@@ -86,6 +86,7 @@ from .ingest import (
     ingest_frames,
     iter_compress,
 )
+from .placement import assign_round_robin, normalize_placement, placement_of
 from .reader import ArchiveReader, VerifyReport
 from .serialize import (
     deserialize_prefix,
@@ -154,6 +155,9 @@ __all__ = [
     "make_router",
     "is_sharded",
     "open_archive",
+    "normalize_placement",
+    "assign_round_robin",
+    "placement_of",
     "ShardedArchiveWriter",
     "ShardedArchiveReader",
     "write_manifest",

@@ -77,6 +77,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _workers_value(text: str):
+    """A ``--workers`` value: a pool width (``4``) or socket worker
+    addresses (``host:port,host:port`` — the work runs on those remote
+    workers, see ``python -m repro.netexec worker``)."""
+    if ":" in text:
+        from ..coding.netexec import parse_worker_addresses
+
+        try:
+            parse_worker_addresses(text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        return text
+    return _positive_int(text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.archive",
@@ -137,11 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_workers_value,
         default=1,
-        help="compress across N worker processes (default 1 = serial; "
-        "streams are byte-identical either way; with --shards, one "
-        "end-to-end worker per shard)",
+        help="compress across N worker processes, or across socket workers "
+        "given as host:port,host:port (default 1 = serial; streams are "
+        "byte-identical in every mode; with --shards, one end-to-end "
+        "worker per shard)",
+    )
+    pack.add_argument(
+        "--place",
+        default=None,
+        metavar="NODE,NODE",
+        help="with --shards: store a placement map dealing shards "
+        "round-robin onto these worker node ids (manifest v3); "
+        "distributed appends/verifies then route each shard to its "
+        "placed worker first",
     )
     pack.add_argument(
         "--shards",
@@ -228,10 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_workers_value,
         default=1,
-        help="verify across N worker processes (one per shard copy on a "
-        "sharded set, frame-sharded on a single archive; default 1 = serial)",
+        help="verify across N worker processes, or across socket workers "
+        "given as host:port,host:port (one per shard copy on a sharded "
+        "set, frame-sharded on a single archive; default 1 = serial)",
     )
     verify.add_argument(
         "--json",
@@ -330,8 +356,21 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         )
     if args.replicas and not args.shards:
         raise SystemExit("--replicas needs --shards (it replicates shard files)")
-    if args.stream and args.workers > 1:
+    if args.place and not args.shards:
+        raise SystemExit("--place needs --shards (it places shard files on workers)")
+    if args.stream and args.workers != 1:
         raise SystemExit("--stream ingests serially; drop --workers")
+    placement = None
+    if args.place:
+        from .placement import assign_round_robin
+        from .sharding import shard_file_names
+
+        nodes = [node for node in args.place.split(",") if node.strip()]
+        if not nodes:
+            raise SystemExit("--place needs at least one worker node id")
+        placement = assign_round_robin(
+            shard_file_names(args.archive, args.shards), nodes
+        )
     if args.synthetic:
         dataset = archive_dataset(slices=args.synthetic, size=args.size, seed=args.seed)
         names = dataset.names()
@@ -416,6 +455,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 overwrite=args.overwrite,
                 workers=args.workers,
                 layout=args.layout or LAYOUT_FRAME_MAJOR,
+                placement=placement,
                 **options,
             )
         else:
@@ -428,6 +468,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 overwrite=args.overwrite,
                 workers=args.workers,
                 layout=args.layout or LAYOUT_FRAME_MAJOR,
+                placement=placement,
                 **options,
             )
     else:
@@ -491,7 +532,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "layout": e.layout,
                 }
                 if sharded:
-                    record["shard"] = reader.router.route(e.name)
+                    shard = reader.router.route(e.name)
+                    record["shard"] = shard
+                    placed = reader.manifest.placement.get(
+                        reader.manifest.shard_names[shard]
+                    )
+                    if placed:
+                        record["placed_node"] = placed
                 if args.verbose:
                     record["spec"] = frame_spec(e).to_dict()
                 records.append(record)
@@ -502,10 +549,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
             f"{'sc':>2} {'bits':>4} {'raw kB':>8} {'stored kB':>10} {'ratio':>6}"
         )
         if sharded:
+            placement_note = (
+                f", {len(reader.manifest.placement)} shards placed on "
+                f"{len(set(reader.manifest.placement.values()))} nodes"
+                if reader.manifest.placement
+                else ""
+            )
             print(
                 f"{args.archive}: {len(reader)} frames in {reader.shard_count} "
                 f"shards ({reader.manifest.router}-routed), "
-                f"manifest v{reader.manifest.version}"
+                f"manifest v{reader.manifest.version}{placement_note}"
             )
         else:
             print(f"{args.archive}: {len(reader)} frames, format v{reader.header.version}")

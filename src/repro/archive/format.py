@@ -34,7 +34,10 @@ shard file names (relative to the manifest), the set-level
 :class:`~repro.coding.spec.CodecSpec` as JSON and — since version 2 — a
 **replica map** (per primary shard, the names of its byte-identical replica
 containers, for read failover and verify-driven repair in
-:mod:`repro.archive.replication`), all protected by a trailing CRC-32::
+:mod:`repro.archive.replication`) and — since version 3 — a **placement
+table** (per primary shard, the preferred worker/node id for distributed
+socket-pool routing, :mod:`repro.archive.placement`), all protected by a
+trailing CRC-32::
 
     +-----------------------------+  offset 0
     |  magic "RPRDWTM\\0" (8)      |
@@ -46,14 +49,17 @@ containers, for read failover and verify-driven repair in
     |  u16 n + range boundaries   |
     |  per shard: u16 replica     |
     |    count + u16 len + name   |  (version >= 2 only)
+    |  per shard: u16 len + node  |  (version >= 3 only; "" = unplaced)
     +-----------------------------+
     |  crc32 of everything above  |
     +-----------------------------+  EOF
 
-The replica table is a parse-breaking addition for version-1 readers, so
-it rides a version bump per the rules in ``docs/archive_format.md``;
-version-1 manifests (no replica table) are still read, as an
-unreplicated set.
+The replica and placement tables are parse-breaking additions for older
+readers, so each rides a version bump per the rules in
+``docs/archive_format.md``; version-1 manifests (no replica table) and
+version-2 manifests (no placement table) are still read, as unreplicated
+or unplaced sets respectively — and writers stamp the lowest version the
+manifest's features need, so existing sets keep their exact bytes.
 """
 
 from __future__ import annotations
@@ -412,10 +418,15 @@ def unpack_index(data: bytes, frame_count: int) -> List[FrameInfo]:
 MANIFEST_MAGIC = b"RPRDWTM\x00"
 
 #: Current manifest format version.  Readers reject newer versions; they
-#: keep reading version 1 (no replica table → an unreplicated set).
-#: Version 2 added the per-shard replica map — a parse-breaking addition,
-#: hence the bump.
-MANIFEST_VERSION = 2
+#: keep reading version 1 (no replica table → an unreplicated set) and
+#: version 2 (no placement table → an unplaced set).
+#: Version 2 added the per-shard replica map; version 3 adds the per-shard
+#: **placement table** (preferred worker/node id per shard, for routing
+#: distributed appends and verifies) — both parse-breaking additions,
+#: hence the bumps.  Writers stamp version 3 only when a placement is
+#: present (and version 2 only when needed beyond that), so sets without
+#: the newer features keep their old bytes.
+MANIFEST_VERSION = 3
 
 #: Router identifiers stored in the manifest (see
 #: :mod:`repro.archive.sharding` for the routing rules themselves).
@@ -445,7 +456,13 @@ class ShardManifest:
     (version >= 2): one tuple of replica container file names per primary
     shard, empty for an unreplicated set; every copy of a shard is
     byte-identical by construction (write fan-out), which is what makes
-    read failover and byte-copy repair sound.
+    read failover and byte-copy repair sound.  ``node_ids`` is the
+    placement table (version >= 3): one preferred worker/node id per
+    primary shard (``""`` = unplaced), used by the distributed socket pool
+    (:mod:`repro.archive.placement`) to route each shard's appends and
+    verifies to the worker that holds — or is warm for — that shard;
+    placement is advisory, so routing degrades to any-worker when a placed
+    node is down.
     """
 
     version: int
@@ -455,11 +472,21 @@ class ShardManifest:
     boundaries: Tuple[str, ...] = ()
     replica_names: Tuple[Tuple[str, ...], ...] = ()
     layout: str = LAYOUT_FRAME_MAJOR
+    node_ids: Tuple[str, ...] = ()
 
     @property
     def replicas(self) -> int:
         """Replica count per shard (0 for an unreplicated set)."""
         return max((len(names) for names in self.replica_names), default=0)
+
+    @property
+    def placement(self) -> "dict[str, str]":
+        """Shard file name → preferred node id (placed shards only)."""
+        return {
+            name: node
+            for name, node in zip(self.shard_names, self.node_ids)
+            if node
+        }
 
 
 def _pack_str(text: str, label: str) -> bytes:
@@ -491,6 +518,17 @@ def pack_manifest(manifest: ShardManifest) -> bytes:
         if len(manifest.replica_names) != len(manifest.shard_names):
             raise ValueError(
                 f"replica map covers {len(manifest.replica_names)} shards, "
+                f"set has {len(manifest.shard_names)}"
+            )
+    if manifest.node_ids:
+        if manifest.version < 3:
+            raise ValueError(
+                "placement tables need manifest version >= 3 "
+                f"(got version {manifest.version})"
+            )
+        if len(manifest.node_ids) != len(manifest.shard_names):
+            raise ValueError(
+                f"placement table covers {len(manifest.node_ids)} shards, "
                 f"set has {len(manifest.shard_names)}"
             )
     if manifest.layout not in LAYOUTS:
@@ -527,6 +565,13 @@ def pack_manifest(manifest: ShardManifest) -> bytes:
             parts.append(struct.pack("<H", len(replicas)))
             for name in replicas:
                 parts.append(_pack_str(name, "replica file name"))
+    if manifest.version >= 3:
+        # Placement table: one u16-length-prefixed node id per primary
+        # shard, in shard order ("" = unplaced; all empty for an unplaced
+        # set).
+        node_ids = manifest.node_ids or ("",) * len(manifest.shard_names)
+        for node in node_ids:
+            parts.append(_pack_str(node, "placement node id"))
     body = b"".join(parts)
     return body + struct.pack("<I", crc32(body))
 
@@ -603,6 +648,14 @@ def unpack_manifest(data: bytes) -> ShardManifest:
             )
         if any(replica_map):
             replica_names = tuple(replica_map)
+    node_ids: Tuple[str, ...] = ()
+    if version >= 3:
+        placement = tuple(
+            take_str(f"shard {shard} placement node id")
+            for shard in range(shard_count)
+        )
+        if any(placement):
+            node_ids = placement
     if pos != end:
         raise ArchiveFormatError(
             f"manifest has {end - pos} trailing bytes before its checksum"
@@ -626,6 +679,7 @@ def unpack_manifest(data: bytes) -> ShardManifest:
             if flags & MANIFEST_FLAG_SUBBAND_MAJOR
             else LAYOUT_FRAME_MAJOR
         ),
+        node_ids=node_ids,
     )
 
 

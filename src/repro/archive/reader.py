@@ -503,10 +503,19 @@ class ArchiveReader:
         ``workers`` > 1 shards the frames across a process pool (file-backed
         archives only — other backends fall back to serial): each worker
         reopens the archive and verifies its share, so deep verification
-        parallelises the way ``pack --workers`` does.  The payload reads
-        then happen in the workers, so this reader's ``bytes_read`` counter
-        does not advance.
+        parallelises the way ``pack --workers`` does.  Socket workers
+        (``"host:port,host:port"`` or a
+        :class:`~repro.coding.netexec.WorkerPool`) shard the frames across
+        remote workers instead (which must see the archive's filesystem,
+        like the pool's processes).  The payload reads then happen in the
+        workers, so this reader's ``bytes_read`` counter does not advance.
         """
+        from ..coding.executor import is_socket_workers
+
+        if is_socket_workers(workers):
+            if len(self.frames) > 0 and isinstance(self.backend, FileBackend):
+                return self._verify_socket(deep, workers)
+            workers = 1
         if workers > 1 and len(self.frames) > 1 and isinstance(self.backend, FileBackend):
             return self._verify_parallel(deep, workers)
         payload_bytes = 0
@@ -535,6 +544,41 @@ class ArchiveReader:
                 for indices in shards
             ]
             payload_bytes = sum(future.result() for future in futures)
+        return VerifyReport(frames=len(self.frames), payload_bytes=payload_bytes, deep=deep)
+
+    def _verify_socket(self, deep: bool, workers) -> VerifyReport:
+        """Verify via socket workers: one ``verify_frames`` RPC per shard
+        of the frame list, each worker reopening the archive by path."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..coding.executor import shard_indices
+        from ..coding.netexec import WorkerPool
+
+        pool, owns = WorkerPool.from_any(workers)
+        try:
+            live = pool.ensure_connected()
+            shards = shard_indices(len(self.frames), len(live))
+
+            def run_shard(item) -> int:
+                position, indices = item
+                result, _node = pool.call(
+                    "verify_frames",
+                    {
+                        "path": str(self.backend.path),
+                        "indices": indices,
+                        "deep": deep,
+                        "engine": self.engine,
+                        "verify_checksums": self.verify_checksums,
+                    },
+                    preferred_index=live[position % len(live)],
+                )
+                return result["payload_bytes"]
+
+            with ThreadPoolExecutor(max_workers=len(shards)) as threads:
+                payload_bytes = sum(threads.map(run_shard, enumerate(shards)))
+        finally:
+            if owns:
+                pool.disconnect()
         return VerifyReport(frames=len(self.frames), payload_bytes=payload_bytes, deep=deep)
 
     # -- lifecycle ----------------------------------------------------------------------

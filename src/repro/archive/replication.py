@@ -45,6 +45,7 @@ from .format import (
     FrameInfo,
     ShardManifest,
 )
+from .placement import normalize_placement
 from .reader import VerifyReport
 from .serialize import CompressedStream
 from .sharding import (
@@ -147,10 +148,12 @@ class ReplicatedShardSet(ShardedArchiveWriter):
         scales: Optional[int] = None,
         engine: Optional[str] = None,
         layout: str = LAYOUT_FRAME_MAJOR,
+        placement=None,
         **codec_options,
     ) -> "ReplicatedShardSet":
         """Create a replicated set: ``shards`` primaries × (1 + ``replicas``)
-        copies, all empty finalised containers, plus the v2 manifest."""
+        copies, all empty finalised containers, plus the manifest (v2, or
+        v3 when ``placement`` maps shards to preferred worker nodes)."""
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         if layout not in LAYOUTS:
@@ -169,14 +172,17 @@ class ReplicatedShardSet(ShardedArchiveWriter):
             raise FileExistsError(
                 f"shard-set manifest {path} already exists (pass overwrite=True)"
             )
+        shard_names = tuple(shard_file_names(path, shards))
+        node_ids = normalize_placement(placement, shard_names)
         manifest = ShardManifest(
-            version=MANIFEST_VERSION,
+            version=MANIFEST_VERSION if node_ids else 2,
             router=router,
-            shard_names=tuple(shard_file_names(path, shards)),
+            shard_names=shard_names,
             spec_json=spec.to_json(),
             boundaries=tuple(boundaries),
             replica_names=shard_replica_names(path, shards, replicas),
             layout=layout,
+            node_ids=node_ids,
         )
         return cls._init_set(path, manifest, spec, overwrite, workers)
 

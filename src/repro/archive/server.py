@@ -655,11 +655,21 @@ class ArchiveService:
                 r.failovers for r in readers if isinstance(r, ShardedArchiveReader)
             )
             counters["opened_shards"] = self._reader.opened_shards
+            counters["placement_hits"] = sum(
+                r.placement_hits
+                for r in readers
+                if isinstance(r, ShardedArchiveReader)
+            )
+            counters["placement_fallbacks"] = sum(
+                r.placement_fallbacks
+                for r in readers
+                if isinstance(r, ShardedArchiveReader)
+            )
         return counters
 
     def stats(self) -> Dict[str, object]:
         """The live counters behind ``GET /stats`` (plain data, no I/O)."""
-        return {
+        record: Dict[str, object] = {
             "archive": self.describe(),
             "kind": self.kind,
             "readonly": self.readonly,
@@ -683,6 +693,9 @@ class ArchiveService:
                 "generation": self._generation,
             },
         }
+        if self.sharded:
+            record["placement"] = dict(self._reader.manifest.placement)
+        return record
 
     # -- read operations ----------------------------------------------------------------
     async def get_frame(self, name: str) -> Tuple[FrameInfo, np.ndarray, bool]:
@@ -808,6 +821,7 @@ class ArchiveService:
                         primary: list(replica_map[shard])
                         for shard, primary in enumerate(manifest.shard_names)
                     },
+                    "placement": dict(manifest.placement),
                     "manifest_version": manifest.version,
                 }
                 spec = reader.spec.to_dict()

@@ -51,7 +51,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
-from ..coding.executor import pool_context
+from ..coding.executor import is_socket_workers, pool_context
 from ..coding.pipeline import (
     CompressedBatch,
     PipelineStats,
@@ -75,6 +75,7 @@ from .format import (
     pack_manifest,
     unpack_manifest,
 )
+from .placement import PlacementLike, normalize_placement
 from .reader import ArchiveReader, FrameKey, VerifyReport
 from .serialize import CompressedStream, materialize_stream
 from .writer import ArchiveWriter
@@ -360,10 +361,18 @@ class ShardedArchiveWriter:
         #: The set-level compression configuration (from the manifest).
         self.spec = spec
         self.router = router_for_manifest(manifest)
-        #: Default worker count for :meth:`append_batch` (1 = serial).
-        self.workers = int(workers)
+        #: Default workers for :meth:`append_batch` — a pool width
+        #: (1 = serial) or socket worker addresses / a
+        #: :class:`~repro.coding.netexec.WorkerPool` for distributed
+        #: appends.
+        self.workers = workers if is_socket_workers(workers) else int(workers)
         #: Aggregated pipeline stats of every append on this writer.
         self.stats = PipelineStats()
+        #: Distributed appends routed to each shard's placed worker, and
+        #: appends that fell back to any-worker routing (placement absent,
+        #: or the placed node down/unknown).
+        self.placement_hits = 0
+        self.placement_fallbacks = 0
         self.shard_paths: List[Path] = [
             self.path.parent / name for name in manifest.shard_names
         ]
@@ -387,6 +396,7 @@ class ShardedArchiveWriter:
         scales: Optional[int] = None,
         engine: Optional[str] = None,
         layout: str = LAYOUT_FRAME_MAJOR,
+        placement: PlacementLike = None,
         **codec_options,
     ) -> "ShardedArchiveWriter":
         """Create a new set: N empty finalised shards plus the manifest.
@@ -397,6 +407,10 @@ class ShardedArchiveWriter:
         mutually exclusive, as everywhere else.  ``layout`` (stored in the
         manifest) sets the payload layout of every shard — pass
         ``"subband-major"`` for progressive prefix-decodable payloads.
+        ``placement`` (shard file name → preferred worker node id, or a
+        node-id sequence in shard order) stores the distributed routing
+        map; a placed manifest is stamped version 3, an unplaced one keeps
+        its version-2 bytes (see :mod:`repro.archive.placement`).
         """
         if layout not in LAYOUTS:
             raise ValueError(f"unknown payload layout {layout!r} (expected one of {LAYOUTS})")
@@ -414,13 +428,16 @@ class ShardedArchiveWriter:
             raise FileExistsError(
                 f"shard-set manifest {path} already exists (pass overwrite=True)"
             )
+        shard_names = tuple(shard_file_names(path, shards))
+        node_ids = normalize_placement(placement, shard_names)
         manifest = ShardManifest(
-            version=MANIFEST_VERSION,
+            version=MANIFEST_VERSION if node_ids else 2,
             router=router,
-            shard_names=tuple(shard_file_names(path, shards)),
+            shard_names=shard_names,
             spec_json=spec.to_json(),
             boundaries=tuple(boundaries),
             layout=layout,
+            node_ids=node_ids,
         )
         return cls._init_set(path, manifest, spec, overwrite, workers)
 
@@ -550,26 +567,37 @@ class ShardedArchiveWriter:
         self,
         frames: Sequence[np.ndarray],
         names: Optional[Sequence[str]] = None,
-        workers: Optional[int] = None,
+        workers=None,
     ) -> List[FrameInfo]:
         """Compress and archive ``frames``, one pipeline run per shard.
 
         Serially the shards are filled one after another; with ``workers``
         > 1 every non-empty shard gets its own end-to-end worker process
-        (compress + write), the true "one worker per shard" scale-out.  The
-        shard files are byte-identical either way.  Returns the new index
-        entries in input order (``entry.index`` is shard-local).
+        (compress + write), the true "one worker per shard" scale-out.
+        With socket workers (``"host:port,host:port"`` or a
+        :class:`~repro.coding.netexec.WorkerPool`) each shard's
+        compression runs on a remote worker — routed to the shard's
+        *placed* node when the manifest carries a placement map
+        (``placement_hits``/``placement_fallbacks`` count the routing) —
+        and the streams are written locally.  The shard files are
+        byte-identical in every mode.  Returns the new index entries in
+        input order (``entry.index`` is shard-local).
         """
         if self._closed:
             raise ValueError("sharded archive writer is closed")
         frames = [np.asarray(frame) for frame in frames]
-        workers = self.workers if workers is None else int(workers)
+        if workers is None:
+            workers = self.workers
+        elif not is_socket_workers(workers):
+            workers = int(workers)
         resolved = self._resolve_names(len(frames), names)
         groups: Dict[int, List[int]] = {}
         for position, name in enumerate(resolved):
             groups.setdefault(self.router.route(name), []).append(position)
         entries: List[Optional[FrameInfo]] = [None] * len(frames)
-        if workers > 1 and len(groups) > 1:
+        if is_socket_workers(workers) and groups:
+            self._run_shard_netpool(groups, frames, resolved, entries, workers)
+        elif workers > 1 and len(groups) > 1:
             self._run_shard_pool(groups, frames, resolved, entries, workers)
         else:
             for shard in sorted(groups):
@@ -635,6 +663,87 @@ class ShardedArchiveWriter:
                 entries[position] = entry
             merged.merge(shard_stats)
         merged.workers = min(workers, len(shard_order))
+        merged.wall_seconds = wall
+        self.stats.merge(merged)
+
+    def _run_shard_netpool(
+        self,
+        groups: Dict[int, List[int]],
+        frames: List[np.ndarray],
+        names: List[str],
+        entries: List[Optional[FrameInfo]],
+        workers,
+    ) -> None:
+        """Distributed append: compress each shard on a socket worker.
+
+        Each shard's frames go out as one ``compress`` job, routed to the
+        shard's placed node when the manifest has a placement map
+        (any-worker otherwise, or when the placed node is down — counted
+        in ``placement_fallbacks``); the returned streams are written to
+        the shard's copies *locally, in shard order*, so the on-disk bytes
+        are exactly the serial path's regardless of which worker compressed
+        what or in which order results arrived.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..coding.netexec import WorkerPool
+
+        self._flush_shards()
+        pool, owns = WorkerPool.from_any(workers)
+        shard_order = sorted(groups)
+        placement = self.manifest.placement
+        began = time.perf_counter()
+        try:
+            live = pool.ensure_connected()
+
+            def run_shard(shard: int):
+                preferred = placement.get(self.manifest.shard_names[shard])
+                result, node = pool.call(
+                    "compress",
+                    {
+                        "spec": self.spec,
+                        "items": [frames[i] for i in groups[shard]],
+                    },
+                    preferred_node=preferred,
+                )
+                return shard, result, node, preferred
+
+            with ThreadPoolExecutor(
+                max_workers=min(len(shard_order), len(live))
+            ) as threads:
+                outcomes = {
+                    shard: (result, node, preferred)
+                    for shard, result, node, preferred in threads.map(
+                        run_shard, shard_order
+                    )
+                }
+        finally:
+            if owns:
+                pool.disconnect()
+        wall = time.perf_counter() - began
+        merged = PipelineStats()
+        for shard in shard_order:
+            result, node, preferred = outcomes[shard]
+            if preferred is not None:
+                if node == preferred:
+                    self.placement_hits += 1
+                else:
+                    self.placement_fallbacks += 1
+            batch = CompressedBatch.from_spec(self.spec, result["items"])
+            shard_entries: Optional[List[FrameInfo]] = None
+            for path in self._shard_write_paths(shard):
+                with ArchiveWriter.append(
+                    path, spec=self.spec, layout=self.manifest.layout
+                ) as writer:
+                    copy_entries = writer.add_batch(
+                        batch, names=[names[i] for i in groups[shard]]
+                    )
+                if shard_entries is None:
+                    shard_entries = copy_entries
+            for position, entry in zip(groups[shard], shard_entries or []):
+                entries[position] = entry
+            merged.merge(result["stats"])
+        merged.workers = len(live)
         merged.wall_seconds = wall
         self.stats.merge(merged)
 
@@ -727,6 +836,10 @@ class ShardedArchiveReader:
         ]
         #: Routed reads that had to switch to another copy after damage.
         self.failovers = 0
+        #: Distributed verifies routed to each shard's placed worker, and
+        #: verifies that fell back to any-worker routing.
+        self.placement_hits = 0
+        self.placement_fallbacks = 0
         self._readers: Dict[int, ArchiveReader] = {}
         self._active: Dict[int, int] = {}
         self._retired_bytes = 0
@@ -1024,9 +1137,13 @@ class ShardedArchiveReader:
         valid but diverged from its most complete sibling (a stale replica
         left by a torn fan-out append) is reported as damaged too, because
         it must not serve reads or source a repair.  ``workers`` > 1
-        verifies copies concurrently, one worker process per copy
-        (``backend_factory`` forces the serial path — injected backends
-        do not cross process boundaries).
+        verifies copies concurrently, one worker process per copy; socket
+        workers (``"host:port,host:port"`` or a
+        :class:`~repro.coding.netexec.WorkerPool`) verify copies on remote
+        workers instead, routed by the manifest's placement map when it
+        has one (the workers must see the set's filesystem, like the fork
+        pool's processes).  ``backend_factory`` forces the serial path —
+        injected backends cross neither process nor socket boundaries.
 
         Returns a :class:`VerifyReport` with set totals (counting each
         shard's authoritative copy once) plus ``shards``, ``copies``, a
@@ -1052,7 +1169,14 @@ class ShardedArchiveReader:
         args = [
             (target, deep, self.engine, self.verify_checksums) for target in targets
         ]
-        if workers > 1 and len(args) > 1 and self.backend_factory is None:
+        if is_socket_workers(workers) and self.backend_factory is None:
+            results = self._verify_remote(copy_names, args, workers)
+        elif (
+            not is_socket_workers(workers)
+            and workers > 1
+            and len(args) > 1
+            and self.backend_factory is None
+        ):
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(
@@ -1109,6 +1233,54 @@ class ShardedArchiveReader:
                 "verified clean"
             )
         return report
+
+    def _verify_remote(
+        self,
+        copy_names: List[Tuple[int, str]],
+        args: List[Tuple],
+        workers,
+    ) -> List[Dict]:
+        """Verify every copy on socket workers, one ``verify_copy`` RPC per
+        copy, routed to the copy's shard's placed node (any-worker when
+        unplaced or the node is down — ``placement_fallbacks`` counts the
+        misses)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..coding.netexec import WorkerPool
+
+        pool, owns = WorkerPool.from_any(workers)
+        placement = self.manifest.placement
+        try:
+            live = pool.ensure_connected()
+
+            def run_copy(item: Tuple[Tuple[int, str], Tuple]) -> Dict:
+                (shard, _name), (target, deep, engine, verify_checksums) = item
+                preferred = placement.get(self.manifest.shard_names[shard])
+                result, node = pool.call(
+                    "verify_copy",
+                    {
+                        "target": target,
+                        "deep": deep,
+                        "engine": engine,
+                        "verify_checksums": verify_checksums,
+                    },
+                    preferred_node=preferred,
+                )
+                with self._lock:
+                    if preferred is not None:
+                        if node == preferred:
+                            self.placement_hits += 1
+                        else:
+                            self.placement_fallbacks += 1
+                return result
+
+            with ThreadPoolExecutor(
+                max_workers=min(len(args), len(live))
+            ) as threads:
+                return list(threads.map(run_copy, zip(copy_names, args)))
+        finally:
+            if owns:
+                pool.disconnect()
 
     # -- lifecycle ----------------------------------------------------------------------
     def close(self) -> None:

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..coding.executor import is_socket_workers
 from ..coding.pipeline import CompressedBatch, PipelineStats, compress_frames
 from ..coding.spec import CodecSpec, default_engine, reject_spec_overrides
 from .backend import StorageBackend, resolve_backend
@@ -107,8 +108,10 @@ class ArchiveWriter:
         #: Payload layout for frames added by this writer
         #: (``"frame-major"`` or the progressive ``"subband-major"``).
         self.layout = layout
-        #: Default worker count for :meth:`append_batch` (1 = serial).
-        self.workers = int(workers)
+        #: Default workers for :meth:`append_batch` — a pool width
+        #: (1 = serial) or socket worker addresses for distributed
+        #: compression (:mod:`repro.coding.netexec`).
+        self.workers = workers if is_socket_workers(workers) else int(workers)
         #: Aggregated pipeline stats of every :meth:`append_batch`/:meth:`add_batch`
         #: call on this writer (wall-clock per stage, sizes, ratios).
         self.stats = PipelineStats()

@@ -19,7 +19,12 @@ Public API
 
 from .bitstream import BitReader, BitWriter
 from .codec import CompressedImage, LosslessWaveletCodec, SubbandChunk
-from .executor import ParallelExecutor, default_workers
+from .executor import (
+    ParallelExecutor,
+    default_workers,
+    is_socket_workers,
+    make_executor,
+)
 from .pipeline import (
     CompressedBatch,
     PipelineStats,
@@ -125,6 +130,8 @@ __all__ = [
     "register_codec",
     "ParallelExecutor",
     "default_workers",
+    "is_socket_workers",
+    "make_executor",
     "CompressedSImage",
     "STransformCodec",
     "STransformPyramid",

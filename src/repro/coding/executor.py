@@ -47,11 +47,37 @@ from .pipeline import (
 )
 from .spec import CodecSpec, reject_spec_overrides
 
-__all__ = ["ParallelExecutor", "default_workers", "pool_context", "shard_indices"]
+__all__ = [
+    "ParallelExecutor",
+    "default_workers",
+    "is_socket_workers",
+    "make_executor",
+    "merge_shard_results",
+    "pool_context",
+    "shard_indices",
+]
 
 
 def default_workers() -> int:
-    """Worker count when none is given: the CPUs this process may use."""
+    """Worker count when none is given.
+
+    The ``REPRO_WORKERS`` environment variable pins the count process-wide
+    (the seam CI legs and benchmarks use to fix pool widths without
+    plumbing kwargs, mirroring ``REPRO_ENGINE`` in
+    :func:`~repro.coding.spec.default_engine`); otherwise it is the number
+    of CPUs this process may actually use.
+    """
+    override = os.environ.get("REPRO_WORKERS", "").strip()
+    if override:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {override!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+        return workers
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -91,6 +117,74 @@ def shard_indices(count: int, shards: int) -> List[List[int]]:
     return [list(range(i, count, shards)) for i in range(shards)]
 
 
+def merge_shard_results(
+    shards: List[List[int]],
+    results: Sequence[Tuple[List, PipelineStats]],
+    count: int,
+) -> Tuple[List, PipelineStats]:
+    """Reassemble per-shard ``(items, stats)`` results in original order.
+
+    The inverse of :func:`shard_indices`: items return to their input
+    positions, the per-shard :class:`PipelineStats` are merged, and
+    accelerator reports (which arrive shard by shard) are restored to
+    frame order so merged stats read exactly like serial stats.  Shared by
+    the fork-pool executor and the socket-pool executor
+    (:mod:`repro.coding.netexec`) — the merge, like the shard contract, is
+    transport-independent.
+    """
+    merged_items: List = [None] * count
+    stats = PipelineStats()
+    for indices, (shard_items, shard_stats) in zip(shards, results):
+        for position, item in zip(indices, shard_items):
+            merged_items[position] = item
+        stats.merge(shard_stats)
+    if stats.accelerator_reports:
+        ordered = sorted(
+            (
+                (position, report)
+                for indices, (_, shard_stats) in zip(shards, results)
+                for position, report in zip(indices, shard_stats.accelerator_reports)
+            ),
+            key=lambda pair: pair[0],
+        )
+        stats.accelerator_reports = [report for _, report in ordered]
+    return merged_items, stats
+
+
+def is_socket_workers(workers) -> bool:
+    """Whether a ``workers=`` value names socket workers, not a pool width.
+
+    Integers (and ``None``) mean a local fork pool; anything else — an
+    ``"host:port,host:port"`` address string, a
+    :class:`~repro.coding.netexec.WorkerPool`, a list of addresses — is
+    handed to the socket-pool executor.  The helper lives here (not in
+    :mod:`~repro.coding.netexec`) so call sites can branch without
+    importing the network layer.
+    """
+    return workers is not None and not isinstance(workers, (int, np.integer))
+
+
+def make_executor(workers):
+    """Resolve a ``workers=`` value to the executor that runs it.
+
+    ``None`` or an integer builds a :class:`ParallelExecutor` (local fork
+    pool; 1 degenerates to serial).  Worker addresses
+    (``"host:port,host:port"``), a list of addresses, or a ready
+    :class:`~repro.coding.netexec.WorkerPool` build a
+    :class:`~repro.coding.netexec.SocketPoolExecutor` over the remote
+    workers — the seam that lets ``compress_frames(..., workers=...)``
+    and every archive call site scale past one host with zero signature
+    changes.
+    """
+    if not is_socket_workers(workers):
+        return ParallelExecutor(None if workers is None else int(workers))
+    from .netexec import SocketPoolExecutor
+
+    if isinstance(workers, SocketPoolExecutor):
+        return workers
+    return SocketPoolExecutor(workers)
+
+
 class ParallelExecutor:
     """Shards frame batches across a ``concurrent.futures`` process pool.
 
@@ -122,24 +216,7 @@ class ParallelExecutor:
             ]
             results = [future.result() for future in futures]
         wall = time.perf_counter() - began
-        merged_items: List = [None] * len(items)
-        stats = PipelineStats()
-        for indices, (shard_items, shard_stats) in zip(shards, results):
-            for position, item in zip(indices, shard_items):
-                merged_items[position] = item
-            stats.merge(shard_stats)
-        # Accelerator reports arrive shard by shard; restore frame order so
-        # parallel stats read exactly like serial stats.
-        if stats.accelerator_reports:
-            ordered = sorted(
-                (
-                    (position, report)
-                    for indices, (_, shard_stats) in zip(shards, results)
-                    for position, report in zip(indices, shard_stats.accelerator_reports)
-                ),
-                key=lambda pair: pair[0],
-            )
-            stats.accelerator_reports = [report for _, report in ordered]
+        merged_items, stats = merge_shard_results(shards, results, len(items))
         stats.workers = len(shards)
         stats.wall_seconds = wall
         return merged_items, stats

@@ -656,9 +656,12 @@ def compress_frames(
     silent override.
 
     ``workers=N`` (N > 1) shards the batch across a process pool
-    (:class:`~repro.coding.executor.ParallelExecutor`); the streams are
-    byte-identical to the serial run and ``stats.wall_seconds`` records the
-    parallel elapsed time.
+    (:class:`~repro.coding.executor.ParallelExecutor`);
+    ``workers="host:port,host:port"`` (or a
+    :class:`~repro.coding.netexec.WorkerPool`) shards it across remote
+    socket workers instead (:class:`~repro.coding.netexec.SocketPoolExecutor`).
+    Either way the streams are byte-identical to the serial run and
+    ``stats.wall_seconds`` records the parallel elapsed time.
 
     ``transform="accelerator"`` replaces the software transform stage with
     the cycle-accurate accelerator model (``"coefficient"`` codec, square
@@ -669,9 +672,9 @@ def compress_frames(
         spec, codec, scales, engine, transform, transform_engine, codec_options
     )
     if workers != 1:
-        from .executor import ParallelExecutor
+        from .executor import make_executor
 
-        return ParallelExecutor(workers).compress(frames, spec)
+        return make_executor(workers).compress(frames, spec)
     resources = CodecResources(spec)
     pipeline = encode_pipeline()
     stats = PipelineStats()
@@ -707,9 +710,9 @@ def decompress_frames(
         ),
     )
     if workers != 1:
-        from .executor import ParallelExecutor
+        from .executor import make_executor
 
-        return ParallelExecutor(workers).decompress(batch, spec=spec)
+        return make_executor(workers).decompress(batch, spec=spec)
     resources = CodecResources(spec)
     pipeline = decode_pipeline()
     stats = PipelineStats()

@@ -1,0 +1,12 @@
+"""``python -m repro.netexec`` — socket pool worker entry point.
+
+Thin launcher for :mod:`repro.coding.netexec`: ``worker`` serves
+compress/decompress/verify jobs on a listen address, ``ping`` heartbeats a
+worker, ``shutdown`` drains one.  See ``docs/operations.md`` for the
+runbook.
+"""
+
+from .coding.netexec import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,245 @@
+"""Fuzzing the socket-pool wire protocol: hostile bytes in either direction.
+
+A table-driven corpus (style of ``tests/archive/test_server_protocol.py``)
+of truncated length prefixes, bad CRCs, wrong-version handshakes and
+oversized frames.  The contract under test, for every case:
+
+* a worker answers malformed input with a *typed* ERROR frame (or drops a
+  stream it cannot resync, counting it in ``protocol_errors``) and loses
+  only that one connection — it serves a well-formed job afterwards, and
+* a client faced with a misbehaving server raises the matching typed
+  exception (:class:`ProtocolError` / :class:`FrameCrcError` /
+  :class:`FrameTooLargeError` / :class:`VersionMismatchError` /
+  :class:`WorkerUnavailableError`), never a misparse.
+"""
+
+import contextlib
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.coding.netexec import (
+    MAX_FRAME_BYTES,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_HELLO_OK,
+    MSG_RESULT,
+    MSG_SUBMIT,
+    PROTOCOL_VERSION,
+    FrameCrcError,
+    FrameTooLargeError,
+    ProtocolError,
+    RemoteWorkerError,
+    SocketWorker,
+    VersionMismatchError,
+    WorkerClient,
+    WorkerUnavailableError,
+    _FRAME_HEAD,
+    _frame_crc,
+    recv_message,
+    send_message,
+)
+
+
+def frame(msg_type, payload, crc=None):
+    """One wire frame, optionally with a deliberately wrong CRC."""
+    crc = _frame_crc(msg_type, payload) if crc is None else crc
+    return _FRAME_HEAD.pack(len(payload), crc, msg_type) + payload
+
+
+HELLO = frame(MSG_HELLO, pickle.dumps({"version": PROTOCOL_VERSION}))
+
+#: (case id, raw bytes, ERROR code answered — ``None`` means the worker may
+#: only drop the connection silently, counts toward ``protocol_errors``).
+CORPUS = [
+    ("truncated-length-prefix", b"\x04\x00", None, True),
+    ("truncated-payload", _FRAME_HEAD.pack(100, 0, MSG_HELLO) + b"short", None, True),
+    ("bad-crc", frame(MSG_HELLO, pickle.dumps({"version": 1}), crc=0xDEADBEEF), "bad-crc", True),
+    ("oversized-declared-length", _FRAME_HEAD.pack(MAX_FRAME_BYTES + 1, 0, MSG_SUBMIT), "frame-too-large", True),
+    ("wrong-version-hello", frame(MSG_HELLO, pickle.dumps({"version": 99})), "version-mismatch", False),
+    ("hello-payload-garbage", frame(MSG_HELLO, b"\xff\xfe not a pickle"), "protocol", True),
+    ("hello-payload-not-a-mapping", frame(MSG_HELLO, pickle.dumps(42)), "protocol", True),
+    ("submit-before-hello", frame(MSG_SUBMIT, pickle.dumps({"job": 1, "kind": "echo", "payload": None})), "protocol", True),
+    ("result-before-hello", frame(MSG_RESULT, pickle.dumps({"job": 1})), "protocol", True),
+    ("unknown-type-after-hello", HELLO + frame(77, b""), "protocol", True),
+    ("submit-payload-garbage", HELLO + frame(MSG_SUBMIT, b"junk junk junk"), "protocol", True),
+    ("submit-payload-not-a-job", HELLO + frame(MSG_SUBMIT, pickle.dumps([1, 2, 3])), "protocol", True),
+]
+
+
+@pytest.fixture(scope="module")
+def worker():
+    with SocketWorker(node="fuzzed") as served:
+        yield served
+
+
+def poke(worker, raw, timeout=10):
+    """Send raw bytes; return the first ERROR code answered, or ``None``
+    when the worker just closes the connection."""
+    with socket.create_connection((worker.host, worker.port), timeout=timeout) as conn:
+        conn.sendall(raw)
+        conn.shutdown(socket.SHUT_WR)
+        while True:
+            message = recv_message(conn)
+            if message is None:
+                return None
+            msg_type, payload = message
+            if msg_type == MSG_ERROR:
+                return pickle.loads(payload)["code"]
+            assert msg_type == MSG_HELLO_OK  # the only benign interim reply
+
+
+def assert_still_serving(worker):
+    with WorkerClient(worker.address, timeout=10) as client:
+        assert client.call("echo", "still-alive") == "still-alive"
+
+
+class TestHostileClient:
+    @pytest.mark.parametrize(
+        "case,raw,code,counted", CORPUS, ids=[c[0] for c in CORPUS]
+    )
+    def test_malformed_input_gets_typed_error(self, worker, case, raw, code, counted):
+        before = worker.protocol_errors
+        assert poke(worker, raw) == code, case
+        # The violation cost one connection, nothing more: the very same
+        # worker keeps serving well-formed jobs.
+        assert_still_serving(worker)
+        if counted:
+            assert worker.protocol_errors > before, case
+
+    def test_oversized_frame_rejected_by_small_cap(self):
+        """A worker's cap applies before allocation, at whatever size."""
+        with SocketWorker(node="tiny", max_frame_bytes=1024) as worker:
+            raw = _FRAME_HEAD.pack(2048, 0, MSG_HELLO)
+            assert poke(worker, raw) == "frame-too-large"
+            with pytest.raises(FrameTooLargeError):
+                WorkerClient(worker.address, max_frame_bytes=1024).connect().call(
+                    "echo", "x" * 4096
+                )
+
+    def test_unknown_job_kind_is_remote_error(self, worker):
+        with WorkerClient(worker.address) as client:
+            with pytest.raises(RemoteWorkerError, match="no-such-kind"):
+                client.call("no-such-kind", {})
+            # A job-level error does not cost the connection.
+            assert client.call("echo", 7) == 7
+
+    def test_job_failure_is_remote_error(self, worker):
+        from repro.coding.spec import CodecSpec
+
+        with WorkerClient(worker.address) as client:
+            with pytest.raises(RemoteWorkerError, match="Error"):
+                client.call(
+                    "compress",
+                    {"spec": CodecSpec(scales=2), "items": [object()]},
+                )
+            assert client.call("echo", 8) == 8
+
+    def test_protocol_errors_visible_in_heartbeat(self, worker):
+        poke(worker, b"\x01")
+        with WorkerClient(worker.address) as client:
+            status = client.heartbeat()
+        assert status["protocol_errors"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# The other direction: a misbehaving *server* and the client's taxonomy.
+# ---------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def evil_server(script):
+    """One accepted connection handled by ``script(conn)``, then closed."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+
+    def serve():
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return
+        with conn:
+            try:
+                script(conn)
+            except OSError:
+                pass
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield f"127.0.0.1:{port}"
+    finally:
+        listener.close()
+        thread.join(timeout=5)
+
+
+def _drain_hello(conn):
+    assert recv_message(conn)[0] == MSG_HELLO
+
+
+def reply_wrong_version(conn):
+    _drain_hello(conn)
+    send_message(conn, MSG_HELLO_OK, pickle.dumps({"version": 99, "node": "evil"}))
+
+
+def reply_wrong_type(conn):
+    _drain_hello(conn)
+    send_message(conn, MSG_RESULT, pickle.dumps({"job": 1, "payload": None}))
+
+
+def reply_error_frame(conn):
+    _drain_hello(conn)
+    send_message(conn, MSG_ERROR, pickle.dumps({"code": "protocol", "message": "no"}))
+
+
+def close_without_reply(conn):
+    _drain_hello(conn)
+
+
+def reply_truncated_header(conn):
+    _drain_hello(conn)
+    conn.sendall(b"\x01\x02\x03")
+
+
+def reply_bad_crc(conn):
+    _drain_hello(conn)
+    conn.sendall(frame(MSG_HELLO_OK, pickle.dumps({"version": 1}), crc=0xBADBAD))
+
+
+def reply_oversized(conn):
+    _drain_hello(conn)
+    conn.sendall(_FRAME_HEAD.pack(MAX_FRAME_BYTES + 1, 0, MSG_HELLO_OK))
+
+
+EVIL = [
+    ("wrong-version-reply", reply_wrong_version, VersionMismatchError),
+    ("unexpected-reply-type", reply_wrong_type, ProtocolError),
+    ("error-frame-reply", reply_error_frame, ProtocolError),
+    ("close-without-reply", close_without_reply, WorkerUnavailableError),
+    ("truncated-reply-header", reply_truncated_header, ProtocolError),
+    ("bad-reply-crc", reply_bad_crc, FrameCrcError),
+    ("oversized-reply", reply_oversized, FrameTooLargeError),
+]
+
+
+class TestMisbehavingServer:
+    @pytest.mark.parametrize("case,script,expected", EVIL, ids=[c[0] for c in EVIL])
+    def test_client_raises_typed_error(self, case, script, expected):
+        with evil_server(script) as address:
+            client = WorkerClient(address, timeout=10)
+            with pytest.raises(expected):
+                client.connect()
+            assert not client.connected  # a failed handshake leaves no socket
+
+    def test_client_send_cap_applies_before_sending(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(FrameTooLargeError):
+                send_message(left, MSG_SUBMIT, b"x" * 64, max_frame_bytes=10)
+            right.settimeout(0.2)
+            with pytest.raises(socket.timeout):
+                right.recv(1)  # nothing was written at all
+        finally:
+            left.close()
+            right.close()
